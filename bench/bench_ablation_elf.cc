@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation study of ELF's design choices (DESIGN.md's per-experiment
+ * index calls these out; the paper discusses each):
+ *
+ *  1. Checkpoint payload policy (Section IV-D1): populate payloads
+ *     from FAQ information (proposed) vs. wait for the ROB head
+ *     (simple) vs. idealized free checkpoints.
+ *  2. The COND-ELF saturation filter (Section VI-B): speculate only
+ *     past saturated bimodal counters, or always.
+ *  3. Coupled bimodal size (the paper limits it to 2K x 3-bit).
+ *  4. Divergence-tracking capacity (64-entry bitvectors / 16-entry
+ *     target queues in Table II).
+ *  5. FAQ depth (32 in Table II).
+ */
+
+#include "bench_util.hh"
+
+using namespace elfsim;
+
+namespace {
+
+double
+run(const Program &p, const SimConfig &cfg, const RunOptions &o)
+{
+    return runSimulation(p, cfg, o).ipc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    const RunOptions o = opt.runOptions();
+    bench::banner("Ablations — ELF design choices",
+                  "U-ELF IPC relative to the default U-ELF "
+                  "configuration, on the high-MPKI MCTS proxy");
+
+    const WorkloadSpec *w = findWorkload("641.leela");
+    Program p = buildWorkload(*w);
+
+    const SimConfig base = makeConfig(FrontendVariant::UElf);
+    const double baseIpc = run(p, base, o);
+    const double dcfIpc =
+        run(p, makeConfig(FrontendVariant::Dcf), o);
+
+    std::printf("%-44s %10s\n", "configuration", "rel. IPC");
+    std::printf("%-44s %10.3f\n", "U-ELF (default)", 1.0);
+    std::printf("%-44s %10.3f\n", "DCF baseline", dcfIpc / baseIpc);
+
+    {
+        SimConfig c = base;
+        c.payloadPolicy = PayloadPolicy::RobHead;
+        std::printf("%-44s %10.3f\n",
+                    "payloads wait for ROB head (IV-D1 baseline)",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.payloadPolicy = PayloadPolicy::Ideal;
+        std::printf("%-44s %10.3f\n", "idealized free checkpoints",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.condElfRequireSaturation = false;
+        std::printf("%-44s %10.3f\n",
+                    "no saturation filter (speculate always)",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.coupledPreds.bimodal.entries = 8192;
+        std::printf("%-44s %10.3f\n", "4x coupled bimodal (8K entries)",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.coupledPreds.bimodal.entries = 512;
+        std::printf("%-44s %10.3f\n", "1/4 coupled bimodal (512)",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.divergence.vecEntries = 16;
+        c.divergence.targetEntries = 4;
+        std::printf("%-44s %10.3f\n",
+                    "1/4 divergence tracking (16-entry vectors)",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.faqEntries = 8;
+        std::printf("%-44s %10.3f\n", "shallow FAQ (8 entries)",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.faqEntries = 128;
+        std::printf("%-44s %10.3f\n", "deep FAQ (128 entries)",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.coupledPreds.condKind = CoupledCondKind::Gshare;
+        std::printf("%-44s %10.3f\n",
+                    "extension: gshare coupled predictor",
+                    run(p, c, o) / baseIpc);
+    }
+    {
+        SimConfig c = base;
+        c.decodeBtbFill = true;
+        std::printf("%-44s %10.3f\n",
+                    "extension: decode-time BTB fill (Boomerang)",
+                    run(p, c, o) / baseIpc);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 7 equivalent: IPC of L-ELF and the restricted U-ELF variants
+ * (RET/IND/COND-ELF) relative to the DCF baseline.
+ */
+
+#include "bench_util.hh"
+
+using namespace elfsim;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner(
+        "Figure 7 — L/RET/IND/COND-ELF IPC relative to DCF",
+        "COND-ELF generally wins; RET-ELF shines on recursion "
+        "(srv2.subtest_2); COND-ELF can lose on bimodal-hostile "
+        "patterns (620.omnetpp)");
+
+    std::printf("%-18s %8s %8s %8s %8s %8s\n", "workload", "DCF IPC",
+                "L-ELF", "RET", "IND", "COND");
+
+    for (const std::string &name : elfRelevantWorkloads()) {
+        const WorkloadSpec *w = findWorkload(name);
+        Program p = buildWorkload(*w);
+        const RunResult dcf =
+            runVariant(p, FrontendVariant::Dcf, opt.runOptions());
+        const RunResult l =
+            runVariant(p, FrontendVariant::LElf, opt.runOptions());
+        const RunResult ret =
+            runVariant(p, FrontendVariant::RetElf, opt.runOptions());
+        const RunResult ind =
+            runVariant(p, FrontendVariant::IndElf, opt.runOptions());
+        const RunResult cond =
+            runVariant(p, FrontendVariant::CondElf, opt.runOptions());
+        std::printf("%-18s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                    name.c_str(), dcf.ipc, l.ipc / dcf.ipc,
+                    ret.ipc / dcf.ipc, ind.ipc / dcf.ipc,
+                    cond.ipc / dcf.ipc);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's components:
+ * predictor lookup/update throughput, BTB probe, cache access, and
+ * whole-core simulation speed (host MIPS).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/predictor_bank.hh"
+#include "btb/btb.hh"
+#include "cache/hierarchy.hh"
+#include "sim/core.hh"
+#include "workload/catalog.hh"
+
+using namespace elfsim;
+
+namespace {
+
+void
+BM_TagePredict(benchmark::State &state)
+{
+    Tage tage;
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tage.predict(pc));
+        tage.pushSpec(pc, (pc >> 4) & 1);
+        pc += instBytes * 7;
+        if (pc > 0x500000)
+            pc = 0x400000;
+    }
+}
+BENCHMARK(BM_TagePredict);
+
+void
+BM_TageUpdate(benchmark::State &state)
+{
+    Tage tage;
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        const TagePrediction p = tage.predict(pc);
+        tage.update(pc, p, (pc >> 3) & 1);
+        tage.pushSpec(pc, (pc >> 3) & 1);
+        tage.pushArch(pc, (pc >> 3) & 1);
+        pc += instBytes * 5;
+        if (pc > 0x480000)
+            pc = 0x400000;
+    }
+}
+BENCHMARK(BM_TageUpdate);
+
+void
+BM_BtbLookup(benchmark::State &state)
+{
+    MultiBtb btb;
+    for (unsigned i = 0; i < 512; ++i) {
+        BtbEntry e;
+        e.valid = true;
+        e.startPC = 0x400000 + instsToBytes(16 * i);
+        e.numInsts = 16;
+        btb.insert(e);
+    }
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(btb.lookup(pc));
+        pc += instsToBytes(16 * 37);
+        if (pc >= 0x400000 + instsToBytes(16 * 512))
+            pc = 0x400000 + (pc % instsToBytes(16 * 512)) /
+                                instsToBytes(16) * instsToBytes(16);
+    }
+}
+BENCHMARK(BM_BtbLookup);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemHierarchy mem;
+    Addr a = 0x10000000;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.dataAccess(0x400000, a, false,
+                                                ++now));
+        a += 64;
+        if (a > 0x10000000 + (1 << 20))
+            a = 0x10000000;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    const WorkloadSpec *w = findWorkload("641.leela");
+    Program p = buildWorkload(*w);
+    SimConfig cfg = makeConfig(
+        static_cast<FrontendVariant>(state.range(0)));
+    Core core(cfg, p);
+    core.run(50000); // warm
+    for (auto _ : state) {
+        const InstCount before = core.committed();
+        core.run(10000);
+        benchmark::DoNotOptimize(core.committed() - before);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(core.committed()));
+}
+BENCHMARK(BM_CoreSimulation)
+    ->Arg(static_cast<int>(FrontendVariant::Dcf))
+    ->Arg(static_cast<int>(FrontendVariant::UElf))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table I equivalent: the workload catalog, with the generator knobs
+ * and static characteristics of each synthetic proxy.
+ */
+
+#include "bench_util.hh"
+
+using namespace elfsim;
+
+int
+main(int argc, char **argv)
+{
+    (void)argc;
+    (void)argv;
+    bench::banner("Table I — Applications used in the evaluation",
+                  "Synthetic proxies standing in for SPEC2K6/SPEC2K17 "
+                  "simpoints and the proprietary server suites");
+
+    std::string suite;
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        if (w.suite != suite) {
+            suite = w.suite;
+            std::printf("\n[%s]\n", suite.c_str());
+        }
+        Program p = buildWorkload(w);
+        std::printf("  %-18s code=%5lluKB data=%6lluKB  %s\n",
+                    w.name.c_str(),
+                    (unsigned long long)(p.footprintBytes() / 1024),
+                    (unsigned long long)(w.params.dataFootprint / 1024),
+                    w.notes.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table II equivalent: the baseline pipeline configuration and the
+ * ELF structure sizes/storage costs.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sim/config.hh"
+
+using namespace elfsim;
+
+int
+main(int argc, char **argv)
+{
+    (void)argc;
+    (void)argv;
+    bench::banner("Table II — Baseline pipeline configuration",
+                  "Defaults of this simulator; ELF adds < 2KB of "
+                  "coupled-predictor storage");
+    printConfig(std::cout, makeConfig(FrontendVariant::Dcf));
+    std::cout << "\n";
+    printConfig(std::cout, makeConfig(FrontendVariant::UElf));
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: option parsing and
+ * table formatting. Each bench binary regenerates one table or figure
+ * of the paper; rows print as aligned text so paper-vs-measured
+ * comparison (EXPERIMENTS.md) is a copy-paste.
+ */
+
+#ifndef ELFSIM_BENCH_BENCH_UTIL_HH
+#define ELFSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/runner.hh"
+#include "workload/catalog.hh"
+
+namespace elfsim {
+namespace bench {
+
+/** Common command-line options. */
+struct Options
+{
+    InstCount warmupInsts = 100000;
+    InstCount measureInsts = 200000;
+    bool quick = false;
+
+    RunOptions
+    runOptions() const
+    {
+        RunOptions o;
+        o.warmupInsts = quick ? warmupInsts / 4 : warmupInsts;
+        o.measureInsts = quick ? measureInsts / 4 : measureInsts;
+        return o;
+    }
+};
+
+/** Parse --warmup N / --insts N / --quick. */
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
+            o.warmupInsts = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
+            o.measureInsts = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--quick"))
+            o.quick = true;
+    }
+    return o;
+}
+
+/** Print the experiment banner. */
+inline void
+banner(const char *experiment, const char *caption)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s\n  %s\n", experiment, caption);
+    std::printf("==================================================="
+                "=========================\n");
+}
+
+} // namespace bench
+} // namespace elfsim
+
+#endif // ELFSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Build, test, and regenerate every experiment.
+#
+#   scripts/run_all.sh          # full experiment windows
+#   scripts/run_all.sh --quick  # quarter-size windows (smoke)
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "######## $b"
+    "$b" "$@"
+done

@@ -1,0 +1,393 @@
+#include "backend/backend.hh"
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace elfsim {
+
+Backend::Backend(const BackendParams &params, MemHierarchy &mem,
+                 MemDepPredictor &mdp)
+    : params(params), mem(mem), mdp(mdp),
+      lastProducer(numArchRegs, 0)
+{
+}
+
+bool
+Backend::canAccept(unsigned n) const
+{
+    return rob.size() + renamePipe.size() + n <= params.robEntries;
+}
+
+void
+Backend::accept(DynInst di, Cycle now)
+{
+    di.readyAt = now + params.decodeToDispatch;
+    ELFSIM_ASSERT(renamePipe.empty() || renamePipe.back().seq < di.seq,
+                  "out-of-order accept");
+    renamePipe.push_back(std::move(di));
+}
+
+DynInst *
+Backend::findBySeq(SeqNum seq)
+{
+    auto it = std::lower_bound(
+        rob.begin(), rob.end(), seq,
+        [](const DynInst &d, SeqNum s) { return d.seq < s; });
+    if (it != rob.end() && it->seq == seq)
+        return &*it;
+    return nullptr;
+}
+
+const DynInst *
+Backend::findBySeq(SeqNum seq) const
+{
+    return const_cast<Backend *>(this)->findBySeq(seq);
+}
+
+bool
+Backend::sourcesReady(const DynInst &di) const
+{
+    for (SeqNum p : {di.srcProducer0, di.srcProducer1}) {
+        if (p == 0)
+            continue;
+        const DynInst *prod = findBySeq(p);
+        if (prod && !prod->completed)
+            return false;
+        // Producer already committed (not found) => ready.
+    }
+    return true;
+}
+
+Cycle
+Backend::execLatency(const DynInst &di, Cycle now)
+{
+    switch (di.si->cls) {
+      case InstClass::IntMul:
+        return params.mulLatency;
+      case InstClass::IntDiv:
+        return params.divLatency;
+      case InstClass::FloatOp:
+        return params.fpLatency;
+      case InstClass::Load:
+        // Address generated at EXE; the access starts there. The
+        // load-to-use latency comes from the hierarchy — wrong-path
+        // loads access (and pollute) it too.
+        return mem.dataAccess(di.pc(), di.memAddr, false,
+                              now + params.issueToExec);
+      default:
+        return 1;
+    }
+}
+
+void
+Backend::dispatch(Cycle now)
+{
+    unsigned n = 0;
+    while (n < params.dispatchWidth && !renamePipe.empty() &&
+           renamePipe.front().readyAt <= now) {
+        if (rob.size() >= params.robEntries) {
+            ++st.robFullCycles;
+            return;
+        }
+        if (iq.size() >= params.iqEntries)
+            return;
+        DynInst &front = renamePipe.front();
+        if (front.si->isMemInst() && lsq.size() >= params.lsqEntries)
+            return;
+
+        DynInst di = std::move(front);
+        renamePipe.pop_front();
+        ++n;
+
+        // Record producers at rename.
+        for (unsigned s = 0; s < 2; ++s) {
+            const RegIndex r = di.si->srcRegs[s];
+            const SeqNum p =
+                r < numArchRegs ? lastProducer[r] : 0;
+            if (s == 0)
+                di.srcProducer0 = p;
+            else
+                di.srcProducer1 = p;
+        }
+        if (di.si->destReg < numArchRegs)
+            lastProducer[di.si->destReg] = di.seq;
+
+        // Memory-dependence filter: the load waits for the youngest
+        // older in-flight store with the recorded PC.
+        if (di.isLoad()) {
+            const Addr storePC = mdp.storeFor(di.pc());
+            if (storePC != invalidAddr) {
+                for (auto it = rob.rbegin(); it != rob.rend(); ++it) {
+                    if (it->isStore() && it->pc() == storePC &&
+                        !it->completed) {
+                        di.waitStore = it->seq;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if (di.si->isMemInst())
+            lsq.push_back(di.seq);
+        iq.push_back(di.seq);
+        di.dispatched = true;
+        rob.push_back(std::move(di));
+    }
+}
+
+void
+Backend::issue(Cycle now, Redirect &redirect)
+{
+    (void)redirect;
+    unsigned issued = 0;
+    unsigned alu = 0, muldiv = 0, ldst = 0, simd = 0;
+
+    auto it = iq.begin();
+    while (it != iq.end() && issued < params.issueWidth) {
+        DynInst *di = findBySeq(*it);
+        ELFSIM_ASSERT(di != nullptr, "IQ entry not in ROB");
+        if (di->issued) {
+            it = iq.erase(it);
+            continue;
+        }
+
+        if (!sourcesReady(*di)) {
+            ++it;
+            continue;
+        }
+
+        // Memory-dependence wait.
+        if (di->isLoad() && di->waitStore != 0) {
+            const DynInst *dep = findBySeq(di->waitStore);
+            if (dep && !dep->completed) {
+                ++it;
+                continue;
+            }
+            di->waitStore = 0;
+        }
+
+        // Functional unit availability.
+        bool fuOk = false;
+        switch (di->si->cls) {
+          case InstClass::IntMul:
+          case InstClass::IntDiv:
+            fuOk = muldiv < params.numMulDiv && alu < params.numAlu;
+            if (fuOk) {
+                ++muldiv;
+                ++alu;
+            }
+            break;
+          case InstClass::FloatOp:
+            fuOk = simd < params.numSimd;
+            if (fuOk)
+                ++simd;
+            break;
+          case InstClass::Load:
+          case InstClass::Store:
+            fuOk = ldst < params.numLdSt;
+            if (fuOk)
+                ++ldst;
+            break;
+          default: // ALU, branches, nops
+            fuOk = alu < params.numAlu;
+            if (fuOk)
+                ++alu;
+            break;
+        }
+        if (!fuOk) {
+            ++it;
+            continue;
+        }
+
+        di->issued = true;
+        const Cycle lat = di->isStore() ? 1 : execLatency(*di, now);
+        di->completeCycle = now + params.issueToExec + lat - 1;
+        ++issued;
+        it = iq.erase(it);
+    }
+}
+
+void
+Backend::complete(Cycle now, Redirect &redirect)
+{
+    for (DynInst &di : rob) {
+        if (!di.issued || di.completed || di.completeCycle > now)
+            continue;
+        di.completed = true;
+
+        // Store-to-load order violation check: a younger load that
+        // already executed with an overlapping address speculated
+        // past this store.
+        if (di.isStore() && !di.wrongPath) {
+            for (SeqNum lseq : lsq) {
+                if (lseq <= di.seq)
+                    continue;
+                const DynInst *ld = findBySeq(lseq);
+                if (!ld || !ld->isLoad() || !ld->completed ||
+                    ld->wrongPath)
+                    continue;
+                if (ld->memAddr / 8 == di.memAddr / 8) {
+                    mdp.train(ld->pc(), di.pc());
+                    ++st.memOrderFlushes;
+                    Redirect req;
+                    req.kind = RedirectKind::MemOrder;
+                    req.survivorSeq = ld->seq - 1;
+                    req.targetPC = ld->pc();
+                    req.oracleCursor = ld->oracleIdx;
+                    req.atCycle = now;
+                    mergeRedirect(redirect, req);
+                    break;
+                }
+            }
+        }
+
+        // Branch resolution.
+        if (di.isBranch() && !di.wrongPath &&
+            (di.mispredict || di.fetchStalled)) {
+            Redirect req;
+            req.kind = RedirectKind::ExecMispredict;
+            req.survivorSeq = di.seq;
+            req.targetPC = di.actualNext;
+            req.oracleCursor = di.oracleIdx + 1;
+            req.atCycle = now;
+            mergeRedirect(redirect, req);
+        }
+    }
+}
+
+void
+Backend::commit(Cycle now)
+{
+    unsigned n = 0;
+    while (n < params.commitWidth && !rob.empty()) {
+        DynInst &head = rob.front();
+        if (!head.completed)
+            break;
+        // A flush triggered by this instruction has not been applied
+        // yet (ELF payload-pending): it must not retire.
+        if (head.flushPending)
+            break;
+        ELFSIM_ASSERT(!head.wrongPath,
+                      "wrong-path instruction reached commit: seq=%llu "
+                      "pc=0x%llx mode=%d stalled=%d haspred=%d "
+                      "predTaken=%d %s",
+                      (unsigned long long)head.seq,
+                      (unsigned long long)head.pc(), int(head.mode),
+                      int(head.fetchStalled), int(head.hasPrediction),
+                      int(head.predTaken), head.si->disasm().c_str());
+
+        if (head.isStore())
+            mem.dataAccess(head.pc(), head.memAddr, true, now);
+
+        ++st.committed;
+        if (head.mode == FetchMode::Coupled)
+            ++st.coupledCommitted;
+        if (head.isBranch()) {
+            ++st.committedBranches;
+            const bool mispredicted =
+                head.wasMispredicted || head.mispredict ||
+                head.taken != head.predTaken;
+            if (head.si->branch == BranchKind::CondDirect) {
+                if (mispredicted)
+                    ++st.condMispredicts;
+            } else if (mispredicted) {
+                ++st.targetMispredicts;
+            }
+        }
+
+#ifdef ELFSIM_TRACE_REDIRECTS
+        if (head.seq >= 218840 && head.seq <= 218875) {
+            std::fprintf(stderr,
+                         "  commit seq=%llu pc=0x%llx mode=%d wp=%d "
+                         "hasPred=%d predTaken=%d taken=%d mispred=%d "
+                         "stalled=%d ckpt=%llu\n",
+                         (unsigned long long)head.seq,
+                         (unsigned long long)head.pc(), int(head.mode),
+                         int(head.wrongPath), int(head.hasPrediction),
+                         int(head.predTaken), int(head.taken),
+                         int(head.mispredict), int(head.fetchStalled),
+                         (unsigned long long)head.checkpointId);
+        }
+#endif
+        if (commitHook)
+            commitHook(head);
+
+        if (!lsq.empty() && lsq.front() == head.seq)
+            lsq.erase(lsq.begin());
+        rob.pop_front();
+        ++n;
+    }
+}
+
+void
+Backend::tick(Cycle now, Redirect &redirect)
+{
+    commit(now);
+    complete(now, redirect);
+    issue(now, redirect);
+    dispatch(now);
+}
+
+void
+Backend::rebuildScoreboard()
+{
+    // Only dispatched (ROB) instructions define producers: rename-
+    // pipe instructions re-register their destinations when they
+    // dispatch, in order — pre-registering them here would make
+    // older instructions read younger (or their own) producers.
+    std::fill(lastProducer.begin(), lastProducer.end(), 0);
+    for (const DynInst &di : rob) {
+        if (di.si->destReg < numArchRegs)
+            lastProducer[di.si->destReg] = di.seq;
+    }
+}
+
+void
+Backend::squashYoungerThan(SeqNum survivor_seq)
+{
+    while (!renamePipe.empty() &&
+           renamePipe.back().seq > survivor_seq)
+        renamePipe.pop_back();
+    while (!rob.empty() && rob.back().seq > survivor_seq)
+        rob.pop_back();
+    iq.erase(std::remove_if(iq.begin(), iq.end(),
+                            [&](SeqNum s) { return s > survivor_seq; }),
+             iq.end());
+    lsq.erase(std::remove_if(lsq.begin(), lsq.end(),
+                             [&](SeqNum s) { return s > survivor_seq; }),
+              lsq.end());
+    rebuildScoreboard();
+}
+
+void
+Backend::forEachInFlight(
+    const std::function<void(const DynInst &)> &fn) const
+{
+    for (const DynInst &di : rob)
+        fn(di);
+    for (const DynInst &di : renamePipe)
+        fn(di);
+}
+
+bool
+Backend::atRobHead(SeqNum seq) const
+{
+    return !rob.empty() && rob.front().seq == seq;
+}
+
+DynInst *
+Backend::findInFlightMutable(SeqNum seq)
+{
+    if (DynInst *di = findBySeq(seq))
+        return di;
+    for (DynInst &di : renamePipe) {
+        if (di.seq == seq)
+            return &di;
+    }
+    return nullptr;
+}
+
+} // namespace elfsim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Simplified out-of-order back-end: rename/dispatch delay pipe, ROB,
+ * issue queue with FU pools, load/store queue with speculative
+ * memory disambiguation, and in-order commit.
+ *
+ * Renaming is idealized (the PRF bounds in-flight producers, WAR/WAW
+ * never stall); dependencies flow through architectural registers via
+ * a producer scoreboard that is rebuilt exactly on squash.
+ */
+
+#ifndef ELFSIM_BACKEND_BACKEND_HH
+#define ELFSIM_BACKEND_BACKEND_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "backend/mem_dep.hh"
+#include "cache/hierarchy.hh"
+#include "common/types.hh"
+#include "frontend/pipeline_types.hh"
+
+namespace elfsim {
+
+/** Back-end parameters (defaults = paper Table II). */
+struct BackendParams
+{
+    unsigned robEntries = 256;
+    unsigned iqEntries = 128;
+    unsigned lsqEntries = 128;
+    unsigned dispatchWidth = 8;  ///< fetch-through-rename width
+    unsigned issueWidth = 9;
+    unsigned commitWidth = 9;
+    unsigned numAlu = 4;        ///< incl. the 2 mul/div-capable ones
+    unsigned numMulDiv = 2;
+    unsigned numLdSt = 2;
+    unsigned numSimd = 2;
+    unsigned numStData = 1;
+    Cycle decodeToDispatch = 3;  ///< DEC -> IQ insertion (REN/REN/DISP)
+    Cycle issueToExec = 3;       ///< issue selection -> EXE stage
+    Cycle mulLatency = 3;
+    Cycle divLatency = 12;
+    Cycle fpLatency = 3;
+};
+
+/** Back-end statistics. */
+struct BackendStats
+{
+    std::uint64_t committed = 0;        ///< committed instructions
+    std::uint64_t committedBranches = 0;
+    std::uint64_t condMispredicts = 0;  ///< committed direction misses
+    std::uint64_t targetMispredicts = 0;
+    std::uint64_t memOrderFlushes = 0;
+    std::uint64_t robFullCycles = 0;
+    std::uint64_t coupledCommitted = 0; ///< committed insts fetched in
+                                        ///< coupled mode
+};
+
+/**
+ * The out-of-order back-end. The core pushes decoded instructions in
+ * program order; the back-end reports branch resolutions and memory
+ * order violations as redirect requests and retires instructions
+ * through a commit callback.
+ */
+class Backend
+{
+  public:
+    /** Called once per committed instruction, in program order. */
+    using CommitHook = std::function<void(const DynInst &)>;
+
+    Backend(const BackendParams &params, MemHierarchy &mem,
+            MemDepPredictor &mdp);
+
+    /** @return true iff the back-end can accept @a n more insts. */
+    bool canAccept(unsigned n) const;
+
+    /** Accept one decoded instruction (program order). */
+    void accept(DynInst di, Cycle now);
+
+    /**
+     * Advance one cycle: dispatch, issue, execute completions, and
+     * commit. Branch mispredictions / order violations discovered
+     * this cycle are merged into @a redirect if older than what it
+     * already holds.
+     */
+    void tick(Cycle now, Redirect &redirect);
+
+    /**
+     * Squash every instruction younger than @a survivor_seq and
+     * rebuild the producer scoreboard.
+     */
+    void squashYoungerThan(SeqNum survivor_seq);
+
+    /** Program-order scan of in-flight instructions (for history
+     *  replay on flush). Includes the rename pipe. */
+    void forEachInFlight(const std::function<void(const DynInst &)> &fn)
+        const;
+
+    /** Set the commit callback. */
+    void setCommitHook(CommitHook hook) { commitHook = std::move(hook); }
+
+    /** @return true iff a redirect for @a seq may be applied now
+     *  (ELF: checkpoint payload pending delays it unless the
+     *  instruction reached the ROB head). */
+    bool atRobHead(SeqNum seq) const;
+
+    /** Mutable lookup across the ROB and the rename pipe (used to
+     *  apply ELF prediction patches and pending-flush marks). */
+    DynInst *findInFlightMutable(SeqNum seq);
+
+    std::size_t robSize() const { return rob.size() + renamePipe.size(); }
+    bool empty() const { return rob.empty() && renamePipe.empty(); }
+
+    /** Oldest in-flight instruction, or nullptr. */
+    const DynInst *robHead() const { return rob.empty() ? nullptr : &rob.front(); }
+    std::size_t iqSize() const { return iq.size(); }
+    std::size_t lsqSize() const { return lsq.size(); }
+    std::size_t renamePipeSize() const { return renamePipe.size(); }
+
+    const BackendStats &stats() const { return st; }
+    const BackendParams &config() const { return params; }
+
+  private:
+    void dispatch(Cycle now);
+    void issue(Cycle now, Redirect &redirect);
+    void complete(Cycle now, Redirect &redirect);
+    void commit(Cycle now);
+    void rebuildScoreboard();
+
+    DynInst *findBySeq(SeqNum seq);
+    const DynInst *findBySeq(SeqNum seq) const;
+    bool sourcesReady(const DynInst &di) const;
+    Cycle execLatency(const DynInst &di, Cycle now);
+
+    BackendParams params;
+    MemHierarchy &mem;
+    MemDepPredictor &mdp;
+    CommitHook commitHook;
+
+    std::deque<DynInst> renamePipe; ///< decode -> dispatch delay
+    std::deque<DynInst> rob;        ///< program order
+    std::vector<SeqNum> iq;         ///< waiting/unissued, by seq
+    std::vector<SeqNum> lsq;        ///< loads+stores in flight, by seq
+
+    /** Producer scoreboard per architectural register. */
+    std::vector<SeqNum> lastProducer;
+
+    BackendStats st;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_BACKEND_BACKEND_HH

@@ -1,0 +1,21 @@
+#include "bpred/bimodal.hh"
+
+namespace elfsim {
+
+Bimodal::Bimodal(const BimodalParams &params)
+    : params(params),
+      table(params.entries, SatCounter(params.counterBits, 0))
+{
+    reset();
+}
+
+void
+Bimodal::reset()
+{
+    for (SatCounter &c : table) {
+        c = SatCounter(params.counterBits, 0);
+        c.resetWeak();
+    }
+}
+
+} // namespace elfsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Gshare conditional predictor — an optional upgrade for the ELF
+ * coupled predictor (the paper's conclusion calls for "a better
+ * conditional predictor and/or filtering scheme" as future work for
+ * COND-ELF).
+ *
+ * To stay within ELF's no-checkpoint constraint for coupled
+ * predictors (Section IV-C1), the global history register here is
+ * updated only at commit: it is never speculative, so it never needs
+ * restoring. The history is therefore a few branches stale at
+ * prediction time — an accuracy/complexity trade-off this module
+ * makes explicit.
+ */
+
+#ifndef ELFSIM_BPRED_GSHARE_HH
+#define ELFSIM_BPRED_GSHARE_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace elfsim {
+
+/** Gshare parameters. */
+struct GshareParams
+{
+    unsigned entries = 2048;   ///< counter table size
+    unsigned counterBits = 3;
+    unsigned historyBits = 8;  ///< commit-time global history length
+};
+
+/** Commit-history gshare predictor. */
+class Gshare
+{
+  public:
+    explicit Gshare(const GshareParams &params = {})
+        : params(params),
+          table(params.entries, SatCounter(params.counterBits, 0))
+    {
+        for (SatCounter &c : table)
+            c.resetWeak();
+    }
+
+    /** Predicted direction for @a pc under the commit history. */
+    bool predict(Addr pc) const { return entry(pc).isTaken(); }
+
+    /** @return true iff the counter for @a pc is saturated (the
+     *  COND-ELF speculation filter). */
+    bool saturated(Addr pc) const { return entry(pc).isSaturated(); }
+
+    /** Train at commit: update the counter and push the history. */
+    void
+    update(Addr pc, bool taken)
+    {
+        entry(pc).update(taken);
+        history = ((history << 1) | (taken ? 1 : 0)) &
+                  ((1u << params.historyBits) - 1);
+    }
+
+    /** Reset counters and history. */
+    void
+    reset()
+    {
+        for (SatCounter &c : table) {
+            c = SatCounter(params.counterBits, 0);
+            c.resetWeak();
+        }
+        history = 0;
+    }
+
+    double
+    storageBytes() const
+    {
+        return params.entries * params.counterBits / 8.0;
+    }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return ((pc / instBytes) ^ history) % params.entries;
+    }
+    SatCounter &entry(Addr pc) { return table[index(pc)]; }
+    const SatCounter &entry(Addr pc) const { return table[index(pc)]; }
+
+    GshareParams params;
+    std::vector<SatCounter> table;
+    std::uint32_t history = 0;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_BPRED_GSHARE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ITTAGE indirect target predictor (Seznec, "A 64-Kbytes ITTAGE
+ * indirect branch predictor", CBP-3 2011) — the paper's L1 indirect
+ * predictor (4 tagged tables, 3-cycle access, 32KB budget), backed in
+ * the front-end by the 1-cycle L0 Branch Target Cache.
+ *
+ * Uses the same speculative/architectural history split as Tage.
+ */
+
+#ifndef ELFSIM_BPRED_ITTAGE_HH
+#define ELFSIM_BPRED_ITTAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/history.hh"
+#include "common/random.hh"
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace elfsim {
+
+/** Compile-time cap on ITTAGE tagged tables. */
+constexpr unsigned ittageMaxTables = 8;
+
+/** ITTAGE parameters. Defaults approximate the paper's 32KB budget. */
+struct IttageParams
+{
+    unsigned numTables = 4;
+    unsigned tableEntriesLog2 = 9;  ///< 512 entries per tagged table
+    unsigned baseEntriesLog2 = 9;   ///< 512-entry tagless base table
+    unsigned tagBits = 11;
+    unsigned minHist = 4;
+    unsigned maxHist = 128;
+    unsigned uResetPeriod = 1 << 17;
+};
+
+/** Carried from predict() to update(). */
+struct IttagePrediction
+{
+    Addr target = invalidAddr;   ///< predicted target (invalid = miss)
+    int provider = -1;           ///< providing table; -1 = base
+    bool baseHit = false;
+    bool valid = false;          ///< a real prediction was made
+    std::array<std::uint32_t, ittageMaxTables> indices{};
+    std::array<std::uint32_t, ittageMaxTables> tags{};
+    std::uint32_t baseIndex = 0;
+};
+
+/** The ITTAGE predictor. */
+class Ittage
+{
+  public:
+    explicit Ittage(const IttageParams &params = {});
+
+    /** Predict the target of the indirect branch at @a pc. */
+    IttagePrediction
+    predict(Addr pc) const
+    {
+        return predictWith(spec, pc);
+    }
+
+    /** Predict with the architectural history (for commit training
+     *  of branches that had no front-end prediction). */
+    IttagePrediction
+    predictArch(Addr pc) const
+    {
+        return predictWith(arch, pc);
+    }
+
+    /** Push one speculative history bit (same stream as TAGE). */
+    void pushSpec(Addr pc, bool bit) { push(spec, pc, bit); }
+
+    /** Push the resolved bit into the architectural history. */
+    void pushArch(Addr pc, bool bit) { push(arch, pc, bit); }
+
+    /** Restore the speculative history from the architectural one. */
+    void resetSpecToArch() { spec = arch; }
+
+    /** Train with the resolved target. */
+    void update(Addr pc, const IttagePrediction &pred, Addr target);
+
+    double storageBytes() const;
+
+    const IttageParams &config() const { return params; }
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        Addr target = invalidAddr;
+        SatCounter conf;    ///< 2-bit hysteresis
+        std::uint8_t useful = 0;
+        bool valid = false;
+    };
+
+    struct HistState
+    {
+        GlobalHistory ghr{1024};
+        std::uint64_t pathHist = 0;
+        std::vector<FoldedHistory> indexFold;
+        std::vector<FoldedHistory> tagFold;
+    };
+
+    IttagePrediction predictWith(const HistState &h, Addr pc) const;
+    void push(HistState &h, Addr pc, bool bit);
+    std::uint32_t tableIndex(const HistState &h, Addr pc,
+                             unsigned t) const;
+    std::uint16_t tableTag(const HistState &h, Addr pc,
+                           unsigned t) const;
+
+    IttageParams params;
+    std::vector<unsigned> histLengths;
+    std::vector<std::vector<Entry>> tables;
+    std::vector<Entry> base; ///< tagless, always "hits" once trained
+
+    HistState spec;
+    HistState arch;
+
+    std::uint64_t updateCount = 0;
+    mutable Rng allocRng;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_BPRED_ITTAGE_HH

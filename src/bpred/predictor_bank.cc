@@ -1,0 +1,102 @@
+#include "bpred/predictor_bank.hh"
+
+namespace elfsim {
+
+PredictorBank::PredictorBank(const PredictorBankParams &params)
+    : params(params), tagePred(params.tage), ittagePred(params.ittage),
+      l0Ind(params.l0Indirect), specRasStack(params.rasEntries),
+      archRasStack(params.rasEntries)
+{
+}
+
+void
+PredictorBank::specBranch(Addr pc, BranchKind kind, bool taken)
+{
+    switch (kind) {
+      case BranchKind::None:
+        return;
+      case BranchKind::CondDirect:
+        tagePred.pushSpec(pc, taken);
+        ittagePred.pushSpec(pc, taken);
+        return;
+      case BranchKind::DirectCall:
+      case BranchKind::IndirectCall:
+        specRasStack.push(pc + instBytes);
+        break;
+      case BranchKind::Return:
+        specRasStack.pop();
+        break;
+      default:
+        break;
+    }
+    // Non-conditional control transfers are always taken; record one
+    // taken bit so indirect history sees the control flow.
+    tagePred.pushSpec(pc, true);
+    ittagePred.pushSpec(pc, true);
+}
+
+void
+PredictorBank::commitBranch(Addr pc, BranchKind kind, bool taken,
+                            Addr target, const TagePrediction &tp,
+                            const IttagePrediction &ip,
+                            bool history_visible)
+{
+    switch (kind) {
+      case BranchKind::None:
+        return;
+      case BranchKind::CondDirect: {
+        if (tp.valid) {
+            tagePred.update(pc, tp, taken);
+        } else {
+            const TagePrediction archPred = tagePred.predictArch(pc);
+            tagePred.update(pc, archPred, taken);
+        }
+        if (history_visible) {
+            tagePred.pushArch(pc, taken);
+            ittagePred.pushArch(pc, taken);
+        }
+        return;
+      }
+      case BranchKind::IndirectJump:
+      case BranchKind::IndirectCall: {
+        if (ip.valid) {
+            ittagePred.update(pc, ip, target);
+        } else {
+            const IttagePrediction archPred =
+                ittagePred.predictArch(pc);
+            ittagePred.update(pc, archPred, target);
+        }
+        l0Ind.update(pc, target);
+        break;
+      }
+      default:
+        break;
+    }
+    // The architectural RAS tracks every call/return regardless of
+    // BTB visibility.
+    if (isCall(kind))
+        archRasStack.push(pc + instBytes);
+    if (isReturn(kind))
+        archRasStack.pop();
+    if (history_visible) {
+        tagePred.pushArch(pc, true);
+        ittagePred.pushArch(pc, true);
+    }
+}
+
+void
+PredictorBank::resetSpecToArch()
+{
+    tagePred.resetSpecToArch();
+    ittagePred.resetSpecToArch();
+    specRasStack = archRasStack;
+}
+
+double
+PredictorBank::storageBytes() const
+{
+    return tagePred.storageBytes() + ittagePred.storageBytes() +
+           l0Ind.storageBytes() + specRasStack.storageBytes();
+}
+
+} // namespace elfsim

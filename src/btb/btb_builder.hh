@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Non-speculative BTB entry establishment at retire (paper §III-A).
+ *
+ * The builder follows the committed instruction stream. Each time the
+ * stream reaches a fresh region start (the target of a taken branch,
+ * or the fall-through of the previous entry), it constructs the entry
+ * by walking the *static* code image forward — gated by the dynamic
+ * "observed taken before" knowledge that decides which conditionals
+ * claim branch slots — and inserts it into the BTB. When a
+ * never-taken conditional first retires taken, the covering entry is
+ * rebuilt, which naturally shortens/splits it (the paper's
+ * amendment/split case).
+ */
+
+#ifndef ELFSIM_BTB_BTB_BUILDER_HH
+#define ELFSIM_BTB_BTB_BUILDER_HH
+
+#include <unordered_set>
+
+#include "btb/btb.hh"
+#include "workload/program.hh"
+
+namespace elfsim {
+
+/** Builds BTB entries from the retire stream. */
+class BtbBuilder
+{
+  public:
+    BtbBuilder(const Program &prog, MultiBtb &btb);
+
+    /**
+     * Observe one retired instruction.
+     *
+     * @param si The retired static instruction.
+     * @param taken Resolved direction (false for non-branches).
+     * @param next_pc Architectural next PC.
+     */
+    void retire(const StaticInst &si, bool taken, Addr next_pc);
+
+    /**
+     * Construct the entry starting at @a start_pc from the static
+     * image and the observed-taken knowledge (exposed for tests and
+     * for ELF's FAQ-block reconstruction).
+     */
+    BtbEntry buildEntry(Addr start_pc) const;
+
+    /** @return true iff @a pc has ever retired as a taken branch. */
+    bool
+    observedTaken(Addr pc) const
+    {
+        return takenBefore.count(pc) != 0;
+    }
+
+    /** Number of entries established so far. */
+    std::uint64_t establishments() const { return establishCount; }
+
+    /** Number of amendment rebuilds (split case). */
+    std::uint64_t amendments() const { return amendCount; }
+
+  private:
+    void establish(Addr start_pc);
+
+    const Program &prog;
+    MultiBtb &btb;
+    std::unordered_set<Addr> takenBefore;
+
+    Addr nextEstablishPC = invalidAddr;
+    Addr currentStart = invalidAddr;   ///< start of the live region
+    Addr currentEnd = invalidAddr;     ///< fall-through of live region
+
+    std::uint64_t establishCount = 0;
+    std::uint64_t amendCount = 0;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_BTB_BTB_BUILDER_HH

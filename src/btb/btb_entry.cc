@@ -1,0 +1,16 @@
+#include "btb/btb_entry.hh"
+
+namespace elfsim {
+
+const char *
+btbTerminationName(BtbTermination t)
+{
+    switch (t) {
+      case BtbTermination::Unconditional: return "uncond";
+      case BtbTermination::SlotPressure: return "slot-pressure";
+      case BtbTermination::MaxInsts: return "max-insts";
+    }
+    return "?";
+}
+
+} // namespace elfsim

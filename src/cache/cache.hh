@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Set-associative cache model with a simple latency-based timing
+ * scheme.
+ *
+ * Each line records the cycle at which its data becomes available
+ * (readyCycle). An access that hits a ready line costs the hit
+ * latency; an access that hits an in-flight line waits for the fill;
+ * a miss recursively accesses the next level and allocates the line.
+ * There is no bandwidth or MSHR-count model — the paper's effects are
+ * latency effects (taken-branch bubbles, miss exposure), which this
+ * captures.
+ */
+
+#ifndef ELFSIM_CACHE_CACHE_HH
+#define ELFSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace elfsim {
+
+/** Anything that can serve memory accesses with a latency. */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
+
+    /**
+     * Access @a addr at time @a now.
+     *
+     * @param addr Byte address.
+     * @param write True for stores.
+     * @param now Current cycle.
+     * @param is_prefetch True when issued by a prefetcher (counted
+     *        separately; still fills lines).
+     * @return Number of cycles until the data is available.
+     */
+    virtual Cycle access(Addr addr, bool write, Cycle now,
+                         bool is_prefetch = false) = 0;
+
+    /** Component name (for stats/traces). */
+    virtual const std::string &name() const = 0;
+};
+
+/** Fixed-latency backing memory. */
+class FixedLatencyMemory : public MemoryLevel
+{
+  public:
+    FixedLatencyMemory(std::string name, Cycle latency);
+
+    Cycle access(Addr addr, bool write, Cycle now,
+                 bool is_prefetch = false) override;
+    const std::string &name() const override { return memName; }
+
+    /** Access statistics. */
+    const stats::StatGroup &statGroup() const { return statsGroup; }
+    std::uint64_t accesses() const { return accessCount.raw(); }
+
+  private:
+    std::string memName;
+    Cycle latency;
+    stats::StatGroup statsGroup;
+    stats::Counter &accessCount;
+};
+
+/** Geometry and timing parameters of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 64;
+    Cycle hitLatency = 1;
+    /**
+     * Number of set interleaves (banks selected by low line-address
+     * bits). The L0 I-cache uses 2-way set interleaving, which lets
+     * the fetcher fetch across a taken branch in a single cycle when
+     * branch and target lines fall in different interleaves.
+     */
+    unsigned interleaves = 1;
+};
+
+/** One set-associative cache level with LRU replacement. */
+class Cache : public MemoryLevel
+{
+  public:
+    /**
+     * @param params Geometry/timing.
+     * @param next Next level (not owned; must outlive this cache).
+     */
+    Cache(const CacheParams &params, MemoryLevel *next);
+
+    Cycle access(Addr addr, bool write, Cycle now,
+                 bool is_prefetch = false) override;
+
+    /**
+     * Start filling the line containing @a addr (no latency returned
+     * to a consumer). Used for FAQ-directed instruction prefetch and
+     * the D-side stride prefetcher.
+     */
+    void prefetch(Addr addr, Cycle now);
+
+    /** @return true iff the line is present and ready at @a now. */
+    bool probe(Addr addr, Cycle now) const;
+
+    /** @return true iff the line is present (ready or in flight). */
+    bool present(Addr addr) const;
+
+    /** Interleave (bank) index of the line containing @a addr. */
+    unsigned
+    bank(Addr addr) const
+    {
+        return (addr / params.lineBytes) % params.interleaves;
+    }
+
+    /** Invalidate the whole cache (used between benchmark runs). */
+    void invalidateAll();
+
+    const std::string &name() const override { return params.name; }
+    const CacheParams &config() const { return params; }
+
+    const stats::StatGroup &statGroup() const { return statsGroup; }
+    std::uint64_t hits() const { return hitCount.raw(); }
+    std::uint64_t misses() const { return missCount.raw(); }
+    std::uint64_t accesses() const
+    {
+        return hitCount.raw() + missCount.raw();
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        bool valid = false;
+        Cycle readyCycle = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / params.lineBytes; }
+    Addr setIndex(Addr line) const { return line % numSets; }
+
+    /** Find the line; nullptr on miss. */
+    Line *findLine(Addr line);
+    const Line *findLine(Addr line) const;
+
+    /** Choose a victim way in the set of @a line. */
+    Line &victim(Addr line);
+
+    CacheParams params;
+    MemoryLevel *nextLevel;
+    std::uint64_t numSets;
+    std::vector<Line> lines; // numSets * assoc, set-major
+    std::uint64_t useTick = 0;
+
+    stats::StatGroup statsGroup;
+    stats::Counter &hitCount;
+    stats::Counter &missCount;
+    stats::Counter &inflightHitCount;
+    stats::Counter &prefetchCount;
+    stats::Counter &prefetchUnusedDropCount;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_CACHE_CACHE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher ("Advanced Stride-based prefetch" in
+ * the paper's Table II memory configuration).
+ */
+
+#ifndef ELFSIM_CACHE_PREFETCH_HH
+#define ELFSIM_CACHE_PREFETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace elfsim {
+
+/** Stride prefetcher parameters. */
+struct StridePrefetcherParams
+{
+    unsigned tableEntries = 256;  ///< direct-mapped PC table
+    unsigned degree = 2;          ///< prefetches issued per trigger
+    unsigned distance = 2;        ///< lead distance in strides
+    unsigned confThreshold = 2;   ///< confidence needed to issue
+};
+
+/**
+ * Classic PC-based stride prefetcher: learns (last address, stride,
+ * confidence) per load/store PC and prefetches ahead once confident.
+ */
+class StridePrefetcher
+{
+  public:
+    StridePrefetcher(const StridePrefetcherParams &params, Cache &target);
+
+    /** Observe a demand access from @a pc to @a addr; maybe prefetch. */
+    void train(Addr pc, Addr addr, Cycle now);
+
+    /** Reset learned state. */
+    void reset();
+
+    const stats::StatGroup &statGroup() const { return statsGroup; }
+    std::uint64_t issued() const { return issuedCount.raw(); }
+
+  private:
+    struct Entry
+    {
+        Addr tag = invalidAddr;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned conf = 0;
+    };
+
+    StridePrefetcherParams params;
+    Cache &target;
+    std::vector<Entry> table;
+    stats::StatGroup statsGroup;
+    stats::Counter &issuedCount;
+    stats::Counter &trainCount;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_CACHE_PREFETCH_HH

@@ -1,0 +1,64 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace elfsim {
+
+namespace {
+
+void
+vreport(const char *prefix, const char *file, int line, const char *fmt,
+        va_list args)
+{
+    std::fflush(stdout);
+    if (file)
+        std::fprintf(stderr, "%s: %s:%d: ", prefix, file, line);
+    else
+        std::fprintf(stderr, "%s: ", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+} // namespace elfsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error/status reporting helpers, following the gem5 fatal/panic split.
+ *
+ * panic() is for simulator bugs (aborts); fatal() is for user errors
+ * (clean exit); warn()/inform() print status without stopping.
+ */
+
+#ifndef ELFSIM_COMMON_LOGGING_HH
+#define ELFSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace elfsim {
+
+/** Print a formatted message and abort(); use for simulator bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted warning to stderr. */
+void warnImpl(const char *fmt, ...);
+
+/** Print a formatted informational message to stderr. */
+void informImpl(const char *fmt, ...);
+
+} // namespace elfsim
+
+#define ELFSIM_PANIC(...) \
+    ::elfsim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define ELFSIM_FATAL(...) \
+    ::elfsim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define ELFSIM_WARN(...) ::elfsim::warnImpl(__VA_ARGS__)
+
+#define ELFSIM_INFORM(...) ::elfsim::informImpl(__VA_ARGS__)
+
+/** Panic with a formatted message if a simulator invariant fails. */
+#define ELFSIM_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::elfsim::warnImpl("assertion (" #cond ") failed");           \
+            ::elfsim::panicImpl(__FILE__, __LINE__, __VA_ARGS__);         \
+        }                                                                 \
+    } while (0)
+
+#endif // ELFSIM_COMMON_LOGGING_HH

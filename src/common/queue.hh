@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fixed-capacity FIFO queue used for pipeline decoupling structures
+ * (FAQ, fetch buffers, checkpoint queues).
+ */
+
+#ifndef ELFSIM_COMMON_QUEUE_HH
+#define ELFSIM_COMMON_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace elfsim {
+
+/**
+ * Bounded circular FIFO. Indexable from front (0 = oldest) to support
+ * structures like the FAQ where the fetcher peeks at the head while
+ * prefetch scans older-to-younger.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity)
+        : buf(capacity), cap(capacity)
+    {
+        ELFSIM_ASSERT(capacity > 0, "queue capacity must be non-zero");
+    }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == cap; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return cap; }
+    std::size_t freeSlots() const { return cap - count; }
+
+    /** Push a new youngest element. Queue must not be full. */
+    void
+    push(T v)
+    {
+        ELFSIM_ASSERT(!full(), "push to full queue");
+        buf[(head + count) % cap] = std::move(v);
+        ++count;
+    }
+
+    /** Pop and return the oldest element. Queue must not be empty. */
+    T
+    pop()
+    {
+        ELFSIM_ASSERT(!empty(), "pop from empty queue");
+        T v = std::move(buf[head]);
+        head = (head + 1) % cap;
+        --count;
+        return v;
+    }
+
+    /** Oldest element. */
+    T &front() { ELFSIM_ASSERT(!empty(), "front of empty"); return buf[head]; }
+    const T &
+    front() const
+    {
+        ELFSIM_ASSERT(!empty(), "front of empty");
+        return buf[head];
+    }
+
+    /** Youngest element. */
+    T &
+    back()
+    {
+        ELFSIM_ASSERT(!empty(), "back of empty");
+        return buf[(head + count - 1) % cap];
+    }
+
+    /** Element i positions from the front (0 = oldest). */
+    T &
+    at(std::size_t i)
+    {
+        ELFSIM_ASSERT(i < count, "queue index out of range");
+        return buf[(head + i) % cap];
+    }
+    const T &
+    at(std::size_t i) const
+    {
+        ELFSIM_ASSERT(i < count, "queue index out of range");
+        return buf[(head + i) % cap];
+    }
+
+    /** Remove all elements. */
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+    /** Drop the youngest n elements (used on pipeline squash). */
+    void
+    popBack(std::size_t n)
+    {
+        ELFSIM_ASSERT(n <= count, "popBack more than size");
+        count -= n;
+    }
+
+  private:
+    std::vector<T> buf;
+    std::size_t cap;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_COMMON_QUEUE_HH

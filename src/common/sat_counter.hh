@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Saturating up/down counter, the workhorse of branch predictors.
+ */
+
+#ifndef ELFSIM_COMMON_SAT_COUNTER_HH
+#define ELFSIM_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace elfsim {
+
+/**
+ * An n-bit saturating counter. The counter saturates at 0 and
+ * (2^bits - 1). For direction prediction the MSB is the taken bit.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits Counter width in bits (1..16).
+     * @param initial Initial counter value.
+     */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : maxVal((1u << bits) - 1), value(initial)
+    {
+        ELFSIM_ASSERT(bits >= 1 && bits <= 16, "bad counter width");
+        ELFSIM_ASSERT(initial <= maxVal, "initial value out of range");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value < maxVal)
+            ++value;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    /** Move the counter towards taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** @return true iff the MSB is set (predict taken). */
+    bool isTaken() const { return value > maxVal / 2; }
+
+    /** @return true iff the counter is at either saturation point. */
+    bool isSaturated() const { return value == 0 || value == maxVal; }
+
+    /** @return true iff the counter is weakly confident (mid values). */
+    bool
+    isWeak() const
+    {
+        return value == maxVal / 2 || value == maxVal / 2 + 1;
+    }
+
+    /** Raw counter value. */
+    unsigned raw() const { return value; }
+
+    /** Directly set the raw value (clamped to range). */
+    void
+    set(unsigned v)
+    {
+        value = v > maxVal ? maxVal : v;
+    }
+
+    /** Reset to the weakly-not-taken midpoint. */
+    void resetWeak() { value = maxVal / 2; }
+
+    /** Maximum representable value. */
+    unsigned max() const { return maxVal; }
+
+  private:
+    unsigned maxVal = 3;
+    unsigned value = 0;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,84 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace elfsim {
+namespace stats {
+
+void
+Stat::print(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name() << " "
+       << std::right << std::setw(16) << value()
+       << "    # " << desc() << "\n";
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << (name() + "::mean") << " "
+       << std::right << std::setw(16) << mean()
+       << "    # " << desc() << " (mean)\n";
+    os << std::left << std::setw(44) << (name() + "::samples") << " "
+       << std::right << std::setw(16) << samples()
+       << "    # " << desc() << " (samples)\n";
+    os << std::left << std::setw(44) << (name() + "::min") << " "
+       << std::right << std::setw(16) << minimum()
+       << "    # " << desc() << " (min)\n";
+    os << std::left << std::setw(44) << (name() + "::max") << " "
+       << std::right << std::setw(16) << maximum()
+       << "    # " << desc() << " (max)\n";
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    counterPool.emplace_back(groupName + "." + name, desc);
+    order.push_back(&counterPool.back());
+    return counterPool.back();
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &name,
+                           const std::string &desc)
+{
+    distPool.emplace_back(groupName + "." + name, desc);
+    order.push_back(&distPool.back());
+    return distPool.back();
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    formulaPool.emplace_back(groupName + "." + name, desc, std::move(fn));
+    order.push_back(&formulaPool.back());
+    return formulaPool.back();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Stat *s : order)
+        s->print(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : order)
+        s->reset();
+}
+
+const Stat *
+StatGroup::find(const std::string &name) const
+{
+    for (const Stat *s : order) {
+        if (s->name() == name || s->name() == groupName + "." + name)
+            return s;
+    }
+    return nullptr;
+}
+
+} // namespace stats
+} // namespace elfsim

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own a StatGroup; scalar counters, distributions and
+ * derived formulas register themselves with the group and can be
+ * dumped uniformly at end of simulation.
+ */
+
+#ifndef ELFSIM_COMMON_STATS_HH
+#define ELFSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace elfsim {
+namespace stats {
+
+/** Base class for a named, self-describing statistic. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : statName(std::move(name)), statDesc(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Current value as a double (for formulas and dumping). */
+    virtual double value() const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+    /** Print "name value # desc" to the stream. */
+    virtual void print(std::ostream &os) const;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** Monotonic event counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator++() { ++count; return *this; }
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        count += n;
+        return *this;
+    }
+
+    std::uint64_t raw() const { return count; }
+    double value() const override { return static_cast<double>(count); }
+    void reset() override { count = 0; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Sampled distribution: tracks count, sum, min, max (mean derived). */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++n;
+        sum += v;
+        if (v < mn)
+            mn = v;
+        if (v > mx)
+            mx = v;
+    }
+
+    std::uint64_t samples() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double total() const { return sum; }
+    double minimum() const { return n ? mn : 0.0; }
+    double maximum() const { return n ? mx : 0.0; }
+
+    /** value() is the mean, so formulas can consume distributions. */
+    double value() const override { return mean(); }
+
+    void
+    reset() override
+    {
+        n = 0;
+        sum = 0;
+        mn = std::numeric_limits<double>::max();
+        mx = std::numeric_limits<double>::lowest();
+    }
+
+    void print(std::ostream &os) const override;
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0;
+    double mn = std::numeric_limits<double>::max();
+    double mx = std::numeric_limits<double>::lowest();
+};
+
+/** Derived statistic computed on demand from other stats. */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(std::move(name), std::move(desc)), func(std::move(fn))
+    {}
+
+    double value() const override { return func ? func() : 0.0; }
+    void reset() override {}
+
+  private:
+    std::function<double()> func;
+};
+
+/**
+ * A named collection of statistics. Components create their stats
+ * through the group so dumping and resetting can be done centrally.
+ * Stats are stored by unique_ptr-like ownership inside the group;
+ * references returned remain valid for the group's lifetime.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : groupName(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Create and register a counter. */
+    Counter &addCounter(const std::string &name, const std::string &desc);
+
+    /** Create and register a distribution. */
+    Distribution &addDistribution(const std::string &name,
+                                  const std::string &desc);
+
+    /** Create and register a formula. */
+    Formula &addFormula(const std::string &name, const std::string &desc,
+                        std::function<double()> fn);
+
+    /** Dump all stats in registration order. */
+    void dump(std::ostream &os) const;
+
+    /** Reset all stats. */
+    void resetAll();
+
+    /** Look up a stat by name; nullptr if absent. */
+    const Stat *find(const std::string &name) const;
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    std::string groupName;
+    std::vector<Stat *> order;
+    // Deques keep references to elements stable across growth.
+    std::deque<Counter> counterPool;
+    std::deque<Distribution> distPool;
+    std::deque<Formula> formulaPool;
+};
+
+} // namespace stats
+} // namespace elfsim
+
+#endif // ELFSIM_COMMON_STATS_HH

@@ -1,0 +1,190 @@
+#include "core/divergence.hh"
+
+#include "common/logging.hh"
+
+namespace elfsim {
+
+DivergenceTracker::DivergenceTracker(const DivergenceParams &params)
+    : params(params)
+{
+}
+
+unsigned
+DivergenceTracker::takenCount(const std::deque<Record> &q) const
+{
+    unsigned n = 0;
+    for (const Record &r : q)
+        n += (r.isBranch && r.taken) ? 1 : 0;
+    return n;
+}
+
+unsigned
+DivergenceTracker::coupledSpace() const
+{
+    if (coupled.size() >= params.vecEntries)
+        return 0;
+    if (takenCount(coupled) >= params.targetEntries)
+        return 0;
+    return params.vecEntries - static_cast<unsigned>(coupled.size());
+}
+
+void
+DivergenceTracker::recordCoupled(const DynInst &di)
+{
+    ELFSIM_ASSERT(coupled.size() < params.vecEntries,
+                  "coupled bitvector overflow");
+    Record r;
+    r.isBranch = di.isBranch();
+    r.undecided = di.fetchStalled && !di.hasPrediction;
+    r.taken = di.isBranch() &&
+              (di.hasPrediction ? di.predTaken : false);
+    r.kind = di.si->branch;
+    r.pc = di.pc();
+    r.nextPC = r.taken ? di.predTarget : di.pc() + instBytes;
+    r.seq = di.seq;
+    r.oracleIdx = di.oracleIdx;
+    r.wrongPath = di.wrongPath;
+    coupled.push_back(r);
+}
+
+void
+DivergenceTracker::recordDecoupled(bool is_branch, bool taken,
+                                   BranchKind kind, Addr pc,
+                                   Addr next_pc,
+                                   const TagePrediction &tp,
+                                   const IttagePrediction &ip)
+{
+    ELFSIM_ASSERT(decoupled.size() < params.vecEntries,
+                  "decoupled bitvector overflow");
+    Record r;
+    r.isBranch = is_branch;
+    r.taken = taken;
+    r.kind = kind;
+    r.pc = pc;
+    r.nextPC = next_pc;
+    r.tp = tp;
+    r.ip = ip;
+    decoupled.push_back(r);
+}
+
+std::optional<Divergence>
+DivergenceTracker::compare(std::vector<Divergence> &adoptions)
+{
+    while (!coupled.empty() && !decoupled.empty()) {
+        const Record &c = coupled.front();
+        const Record &d = decoupled.front();
+
+        auto patchFromDcf = [&](Divergence &out) {
+            if (!c.isBranch)
+                return;
+            out.patchSurvivor = true;
+            out.patchFromSlot = d.isBranch;
+            out.patchTaken = d.taken;
+            out.patchTarget =
+                d.taken ? d.nextPC : c.pc + instBytes;
+            out.patchTage = d.tp;
+            out.patchIttage = d.ip;
+        };
+
+        if (c.pc != d.pc) {
+            // The streams are positionally misaligned (the catching-up
+            // DCF guessed sequentially through a taken branch): none
+            // of the pairwise rules apply. Trust the fetcher's real
+            // instructions; the DCF restarts behind them.
+            ++bitvecDivs;
+            Divergence div{};
+            div.verdict = DivergenceVerdict::TrustFetcher;
+            div.survivorSeq = c.seq;
+            div.oracleCursor = c.wrongPath ? 0 : c.oracleIdx + 1;
+            div.continuation = c.nextPC;
+            div.targetMismatch = false;
+            return div;
+        }
+
+        if (c.undecided) {
+            // The fetcher made no call here (it stalled): adopt the
+            // DCF's prediction — no control-flow divergence, since
+            // nothing was fetched past this instruction.
+            Divergence adopt{};
+            adopt.verdict = DivergenceVerdict::TrustDcf;
+            adopt.survivorSeq = c.seq;
+            adopt.oracleCursor = 0;
+            adopt.continuation = invalidAddr;
+            adopt.targetMismatch = false;
+            patchFromDcf(adopt);
+            adopt.patchFromMiss = !d.isBranch;
+            if (adopt.patchSurvivor)
+                adoptions.push_back(adopt);
+            coupled.pop_front();
+            decoupled.pop_front();
+            continue;
+        }
+
+        // Control flow diverges only on a taken disagreement or a
+        // taken-target disagreement; branch-bit-only differences with
+        // both sides falling through continue identically.
+        const bool takenMatch = c.taken == d.taken;
+        const bool targetsMatch =
+            !(c.taken && d.taken) || c.nextPC == d.nextPC;
+
+        if (takenMatch && targetsMatch) {
+            coupled.pop_front();
+            decoupled.pop_front();
+            continue;
+        }
+
+        Divergence div{};
+        div.survivorSeq = c.seq;
+        div.oracleCursor = c.wrongPath ? 0 : c.oracleIdx + 1;
+        div.targetMismatch = takenMatch && !targetsMatch;
+
+        if (!takenMatch) {
+            ++bitvecDivs;
+            if (c.taken && isUnconditional(c.kind)) {
+                // The DCF did not follow an unconditional the fetcher
+                // decoded (BTB miss through it): fetcher wins
+                // (paper IV-C2 case 1).
+                div.verdict = DivergenceVerdict::TrustFetcher;
+                div.continuation = c.nextPC;
+            } else if (d.taken && !c.isBranch) {
+                // The DCF believes a taken branch lives where the
+                // fetcher decoded a non-branch: stale BTB content
+                // (self-modifying code); the decoded instruction is
+                // authoritative (paper IV-C2 case 2).
+                div.verdict = DivergenceVerdict::TrustFetcher;
+                div.continuation = c.nextPC;
+            } else {
+                // Conditional direction disagreement: trust the DCF
+                // and its complex predictors; the in-flight branch
+                // adopts the DCF's prediction.
+                div.verdict = DivergenceVerdict::TrustDcf;
+                div.continuation = d.nextPC;
+                patchFromDcf(div);
+            }
+        } else {
+            ++targetDivs;
+            // Both predicted taken but to different targets. The
+            // decoded target of a direct branch is authoritative; for
+            // indirect branches the DCF (ITTAGE) wins (paper IV-C2).
+            if (isDirect(c.kind)) {
+                div.verdict = DivergenceVerdict::TrustFetcher;
+                div.continuation = c.nextPC;
+            } else {
+                div.verdict = DivergenceVerdict::TrustDcf;
+                div.continuation = d.nextPC;
+                patchFromDcf(div);
+            }
+        }
+        return div;
+    }
+    return std::nullopt;
+}
+
+void
+DivergenceTracker::reset()
+{
+    coupled.clear();
+    decoupled.clear();
+}
+
+} // namespace elfsim

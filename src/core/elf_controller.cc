@@ -1,0 +1,392 @@
+#include "core/elf_controller.hh"
+
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace elfsim {
+
+ElfController::ElfController(const ElfControllerParams &params,
+                             MemHierarchy &mem, InstSupply &supply,
+                             Faq &faq, CheckpointQueue &ckpts,
+                             PredictorBank &bank, MultiBtb &btb)
+    : params(params), mem(mem), supply(supply), faq(faq), ckpts(ckpts),
+      bank(bank), coupledPreds(params.coupledPreds),
+      divTracker(params.divergence)
+{
+    if (params.variant == FrontendVariant::NoDcf) {
+        policy = std::make_unique<NoDcfPolicy>(bank);
+    } else {
+        policy = std::make_unique<ElfCoupledPolicy>(
+            params.variant, coupledPreds,
+            params.condRequireSaturation);
+    }
+
+    if (params.variant != FrontendVariant::NoDcf) {
+        dcfEngine = std::make_unique<DecoupledFetcher>(btb, bank, faq);
+        decEng = std::make_unique<DecoupledFetchEngine>(
+            params.fetch, mem, supply, faq, ckpts);
+    }
+    cplEng = std::make_unique<CoupledFetchEngine>(
+        params.fetch, mem, supply, ckpts, *policy);
+
+    curMode = params.variant == FrontendVariant::Dcf
+                  ? FetchMode::Decoupled
+                  : FetchMode::Coupled;
+}
+
+void
+ElfController::dcfTick(Cycle now)
+{
+    if (dcfEngine)
+        dcfEngine->tick(now);
+}
+
+void
+ElfController::expandDecoupledRecords(const FaqEntry &e, unsigned first,
+                                      unsigned count)
+{
+    for (unsigned i = first; i < first + count; ++i) {
+        const Addr pc = e.startPC + instsToBytes(i);
+        const FaqBranch *fb = e.branchAt(i);
+        // Whether the DCF pushed a history bit for this instance is
+        // exactly whether it sits in a BTB slot of this block; the
+        // core corrects the in-flight instruction's flag so commit
+        // pushes (or skips) the matching architectural bit.
+        visFixes.emplace_back(
+            periodStartSeq + decoupledCount + (i - first),
+            fb != nullptr);
+        if (fb) {
+            divTracker.recordDecoupled(
+                true, fb->predTaken, fb->kind, pc,
+                fb->predTaken ? fb->target : pc + instBytes,
+                fb->tagePred, fb->ittagePred);
+        } else {
+            divTracker.recordDecoupled(false, false, BranchKind::None,
+                                       pc, pc + instBytes);
+        }
+    }
+}
+
+void
+ElfController::patchFromFaq(const FaqEntry &e, unsigned offset,
+                            SeqNum seq)
+{
+    PredPatch p;
+    p.seq = seq;
+    p.clearStall = true;
+    const FaqBranch *fb = e.branchAt(offset);
+    if (fb) {
+        p.historyPushed = true;
+        p.taken = fb->predTaken;
+        p.target = fb->predTaken
+                       ? fb->target
+                       : e.startPC + instsToBytes(offset + 1);
+        p.tage = fb->tagePred;
+        p.ittage = fb->ittagePred;
+    } else {
+        // The DCF has no branch information here; if the block was a
+        // BTB-miss guess the core re-runs decode-style recovery.
+        p.taken = false;
+        p.target = e.startPC + instsToBytes(offset + 1);
+        p.fromBtbMiss = e.fromBtbMiss;
+#ifdef ELFSIM_TRACE_ADOPT
+        std::fprintf(stderr,
+                     "adopt-null: seq=%llu entry=0x%llx+%u miss=%d "
+                     "n=%u\n",
+                     (unsigned long long)seq,
+                     (unsigned long long)e.startPC, offset,
+                     int(e.fromBtbMiss), e.numInsts);
+#endif
+    }
+    patches.push_back(p);
+}
+
+void
+ElfController::switchToDecoupled(Cycle now)
+{
+    ELFSIM_ASSERT(!faq.empty(), "switch without a FAQ block");
+    FaqEntry &head = faq.front();
+
+    ELFSIM_ASSERT(fetchCoupledCount >= decoupledCount,
+                  "count inversion at switch");
+    const unsigned consumed =
+        static_cast<unsigned>(fetchCoupledCount - decoupledCount);
+    ELFSIM_ASSERT(consumed <= head.numInsts,
+                  "switch consumed more than the head block");
+
+    // The consumed prefix covers coupled-fetched instructions: they
+    // still flow to decode, so their divergence records are needed.
+    expandDecoupledRecords(head, 0, consumed);
+
+    // The DCF caught up: every coupled checkpoint payload can now be
+    // populated from FAQ information (Section IV-D1).
+    if (params.payloadPolicy == PayloadPolicy::FaqFill)
+        ckpts.fillPayloadsUpTo(supply.nextSeq() - 1);
+
+    // A branch the coupled engine stalled on is covered by the FAQ
+    // now: adopt the DCF's prediction for it — but only if the block
+    // really lines up with the coupled stream (the catching-up DCF
+    // may have guessed sequentially through a taken branch, in which
+    // case divergence detection recovers instead).
+    if (stalledSeq != 0 && stalledPos >= decoupledCount &&
+        stalledPos < decoupledCount + consumed) {
+        const unsigned off =
+            static_cast<unsigned>(stalledPos - decoupledCount);
+        if (head.startPC + instsToBytes(off) == stalledPC) {
+            patchFromFaq(head, off, stalledSeq);
+            stalledSeq = 0;
+        }
+    }
+
+    decoupledCount += consumed;
+    head.advance(consumed);
+    if (head.numInsts == 0)
+        faq.pop();
+
+    curMode = FetchMode::Decoupled;
+    cplEng->stop();
+    decEng->redirect(now);
+    draining = true;
+    ++st.switches;
+    (void)now;
+}
+
+void
+ElfController::processFaqWhileCoupled(Cycle now)
+{
+    while (!faq.empty() &&
+           faq.front().genCycle + params.bp1ToFe <= now) {
+        const FaqEntry &head = faq.front();
+
+        // Rule 3 (Figure 5): the FAQ (including this block) now
+        // covers at least everything fetched in coupled mode — the
+        // DCF has caught up; switch to decoupled mode. This is also
+        // how a coupled fetcher stalled at an unpredictable decision
+        // resumes: the FAQ covers the decision and drives past it.
+        if (decoupledCount + head.numInsts >= fetchCoupledCount) {
+            switchToDecoupled(now);
+            return;
+        }
+
+        // Rule 1/2: the fetcher already fetched (and decoded) every
+        // instruction of this block: it can be popped safely.
+        if (decodeCoupledCount >= decoupledCount + head.numInsts) {
+            expandDecoupledRecords(head, 0, head.numInsts);
+            decoupledCount += head.numInsts;
+            if (params.payloadPolicy == PayloadPolicy::FaqFill)
+                ckpts.fillPayloadsUpTo(periodStartSeq +
+                                       decoupledCount - 1);
+            faq.pop();
+            continue;
+        }
+        break;
+    }
+}
+
+unsigned
+ElfController::fetchTick(Cycle now, std::vector<DynInst> &out,
+                         Redirect &redirect, bool can_fetch)
+{
+    const std::size_t before = out.size();
+    unsigned n = 0;
+
+    if (params.variant == FrontendVariant::NoDcf) {
+        return can_fetch ? cplEng->tick(now, out) : 0;
+    }
+    if (params.variant == FrontendVariant::Dcf) {
+        return can_fetch ? decEng->tick(now, params.bp1ToFe, out) : 0;
+    }
+
+    if (curMode == FetchMode::Coupled) {
+        ++st.coupledCycles;
+        // Respect the finite bitvectors/target queues: account for
+        // coupled instructions fetched but not yet recorded at decode.
+        const std::uint64_t unrecorded =
+            coupledFetched - decodeCoupledCount;
+        if (can_fetch && divTracker.coupledSpace() >
+                             unrecorded + params.fetch.width) {
+            n = cplEng->tick(now, out);
+        }
+        for (std::size_t i = before; i < out.size(); ++i) {
+            const DynInst &di = out[i];
+            if (di.fetchStalled) {
+                stalledSeq = di.seq;
+                stalledPC = di.pc();
+                stalledPos = coupledFetched + (di.seq - out[before].seq);
+            }
+        }
+        fetchCoupledCount += n;
+        coupledFetched += n;
+        st.coupledInsts += n;
+        processFaqWhileCoupled(now);
+    } else {
+        ++st.decoupledCycles;
+        if (can_fetch)
+            n = decEng->tick(now, params.bp1ToFe, out);
+        // The coupled RAS is updated even in decoupled mode (IV-D2).
+        if (hasCoupledRas(params.variant)) {
+            for (std::size_t i = before; i < out.size(); ++i) {
+                const DynInst &di = out[i];
+                if (isCall(di.si->branch))
+                    coupledPreds.ras().push(di.pc() + instBytes);
+                else if (isReturn(di.si->branch))
+                    coupledPreds.ras().pop();
+            }
+        }
+    }
+
+    // Divergence detection (runs during coupled mode and while the
+    // last coupled instructions drain through decode). Stalled
+    // branches adopt the DCF's prediction without flushing.
+    std::vector<Divergence> adoptions;
+    const auto div = divTracker.compare(adoptions);
+    for (const Divergence &a : adoptions) {
+        PredPatch p;
+        p.seq = a.survivorSeq;
+        p.taken = a.patchTaken;
+        p.target = a.patchTarget;
+        p.tage = a.patchTage;
+        p.ittage = a.patchIttage;
+        p.clearStall = true;
+        p.historyPushed = a.patchFromSlot;
+        p.fromBtbMiss = a.patchFromMiss;
+        patches.push_back(p);
+    }
+    if (!div && drainComplete) {
+        // Every coupled instruction decoded and compared clean: the
+        // resynchronization is fully done.
+        endPeriodTracking();
+    }
+    if (div) {
+        Redirect req;
+        req.kind = RedirectKind::Divergence;
+        req.survivorSeq = div->survivorSeq;
+        req.targetPC = div->continuation;
+        req.oracleCursor = div->oracleCursor;
+        req.atCycle = now;
+        mergeRedirect(redirect, req);
+        ++st.divergenceFlushes;
+        if (div->verdict == DivergenceVerdict::TrustFetcher)
+            ++st.trustFetcherFlushes;
+        if (div->patchSurvivor) {
+            PredPatch p;
+            p.seq = div->survivorSeq;
+            p.taken = div->patchTaken;
+            p.target = div->patchTarget;
+            p.tage = div->patchTage;
+            p.ittage = div->patchIttage;
+            p.clearStall = true;
+            p.historyPushed = div->patchFromSlot;
+            patches.push_back(p);
+        }
+    }
+    return n;
+}
+
+void
+ElfController::onDecoded(const DynInst &di)
+{
+    if (!isElf(params.variant))
+        return;
+    if (di.mode != FetchMode::Coupled || di.seq < periodStartSeq)
+        return;
+    ++decodeCoupledCount;
+    divTracker.recordCoupled(di);
+    // Do not reset the bitvectors here even if decode has caught up:
+    // the record just added still needs to be compared against the
+    // decoupled stream (paper IV-C3). fetchTick() finishes the period
+    // after a clean comparison.
+    if (draining && decodeCoupledCount >= coupledFetched)
+        drainComplete = true;
+}
+
+void
+ElfController::endPeriodTracking()
+{
+    draining = false;
+    drainComplete = false;
+    divTracker.reset();
+    fetchCoupledCount = 0;
+    decodeCoupledCount = 0;
+    decoupledCount = 0;
+    coupledFetched = 0;
+    stalledSeq = 0;
+}
+
+void
+ElfController::applyRedirect(Cycle now, Addr target_pc)
+{
+    switch (params.variant) {
+      case FrontendVariant::NoDcf:
+        cplEng->resumeAt(target_pc, now);
+        return;
+      case FrontendVariant::Dcf:
+        dcfEngine->restart(target_pc, now);
+        decEng->redirect(now);
+        return;
+      default:
+        break;
+    }
+
+    // ELF: enter coupled mode at the corrected PC while the DCF
+    // restarts from BP1 behind the fetcher.
+    dcfEngine->restart(target_pc, now);
+    decEng->redirect(now);
+    cplEng->start(target_pc, now);
+    curMode = FetchMode::Coupled;
+    draining = false;
+    drainComplete = false;
+    divTracker.reset();
+    fetchCoupledCount = 0;
+    decodeCoupledCount = 0;
+    decoupledCount = 0;
+    coupledFetched = 0;
+    stalledSeq = 0;
+    periodStartSeq = supply.nextSeq();
+    coupledPreds.syncRasFrom(bank.specRas());
+    ++st.coupledPeriods;
+}
+
+void
+ElfController::prefetchTick(Cycle now, bool fetch_was_idle)
+{
+    if (params.variant == FrontendVariant::NoDcf)
+        return;
+    if (!fetch_was_idle)
+        return;
+    while (!prefetchInflight.empty() && prefetchInflight.front() <= now)
+        prefetchInflight.pop_front();
+    if (prefetchInflight.size() >= params.maxInstPrefetch)
+        return;
+
+    // Oldest-to-youngest scan of the FAQ for the first block whose
+    // line is not already in the L0I.
+    for (std::size_t i = 0; i < faq.size(); ++i) {
+        const FaqEntry &e = faq.at(i);
+        if (!mem.l0i().present(e.startPC)) {
+            mem.prefetchInst(e.startPC, now);
+            prefetchInflight.push_back(now + 8);
+            ++st.instPrefetches;
+            return;
+        }
+    }
+}
+
+std::vector<PredPatch>
+ElfController::takePatches()
+{
+    std::vector<PredPatch> out;
+    out.swap(patches);
+    return out;
+}
+
+std::vector<std::pair<SeqNum, bool>>
+ElfController::takeVisibilityFixes()
+{
+    std::vector<std::pair<SeqNum, bool>> out;
+    out.swap(visFixes);
+    return out;
+}
+
+} // namespace elfsim

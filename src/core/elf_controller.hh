@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The ELastic Fetching controller — the paper's primary contribution.
+ *
+ * Owns the front-end's two fetch-address engines (decoupled/FAQ and
+ * coupled) and arbitrates between them:
+ *
+ *  - NoDCF: coupled engine only, driven by the full predictor bank;
+ *  - DCF:   decoupled engine only (the Table II baseline);
+ *  - ELF:   decoupled in steady state; after every pipeline flush or
+ *    misfetch recovery the fetcher enters Coupled mode at the correct
+ *    PC while the DCF restarts from BP1 behind it, hiding the BP1/
+ *    BP2/FAQ pipeline depth. Resynchronization uses the instruction
+ *    counts of Section IV-B/Figure 5 (Fetch Coupled Count, Decode
+ *    Coupled Count, Decoupled Count); U-ELF additionally runs the
+ *    bitvector/target-queue divergence tracking of Section IV-C.
+ */
+
+#ifndef ELFSIM_CORE_ELF_CONTROLLER_HH
+#define ELFSIM_CORE_ELF_CONTROLLER_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/coupled_predictors.hh"
+#include "core/divergence.hh"
+#include "core/variant.hh"
+#include "frontend/coupled.hh"
+#include "frontend/dcf.hh"
+#include "frontend/decode.hh"
+#include "frontend/fetch.hh"
+
+namespace elfsim {
+
+/** Controller parameters. */
+struct ElfControllerParams
+{
+    FrontendVariant variant = FrontendVariant::Dcf;
+    FetchParams fetch{};
+    Cycle bp1ToFe = 3;           ///< BP1 -> FE pipeline depth
+    unsigned maxInstPrefetch = 4;///< in-flight FAQ-directed prefetches
+    DivergenceParams divergence{};
+    CoupledPredictorParams coupledPreds{};
+    PayloadPolicy payloadPolicy = PayloadPolicy::FaqFill;
+    /** COND/U-ELF: require the bimodal counter to be saturated before
+     *  speculating past a conditional (the paper's filter). */
+    bool condRequireSaturation = true;
+};
+
+/** A prediction patch the core must apply to an in-flight inst. */
+struct PredPatch
+{
+    SeqNum seq = 0;
+    bool taken = false;
+    Addr target = invalidAddr;
+    bool clearStall = false;
+    /** The DCF covered this branch with a BTB slot and pushed its
+     *  speculative-history bit; commit must push the architectural
+     *  bit to keep the two streams identical. */
+    bool historyPushed = false;
+    /** The covering FAQ block was a BTB-miss sequential guess: the
+     *  core should run decode-style misfetch recovery instead of
+     *  accepting the implicit fall-through. */
+    bool fromBtbMiss = false;
+    TagePrediction tage{};
+    IttagePrediction ittage{};
+};
+
+/** ELF statistics (drives Figure 8's coupled-instruction counts). */
+struct ElfStats
+{
+    std::uint64_t coupledCycles = 0;
+    std::uint64_t decoupledCycles = 0;
+    std::uint64_t coupledPeriods = 0;
+    std::uint64_t coupledInsts = 0;    ///< fetched in coupled mode
+    std::uint64_t switches = 0;        ///< coupled -> decoupled
+    std::uint64_t divergenceFlushes = 0;
+    std::uint64_t trustFetcherFlushes = 0;
+    std::uint64_t instPrefetches = 0;
+
+    double
+    avgCoupledInstsPerPeriod() const
+    {
+        return coupledPeriods
+                   ? double(coupledInsts) / double(coupledPeriods)
+                   : 0.0;
+    }
+};
+
+/** The front-end orchestrator. */
+class ElfController : public DecodeObserver
+{
+  public:
+    ElfController(const ElfControllerParams &params, MemHierarchy &mem,
+                  InstSupply &supply, Faq &faq, CheckpointQueue &ckpts,
+                  PredictorBank &bank, MultiBtb &btb);
+
+    /** BP1 address-generation cycle (no-op for NoDCF). */
+    void dcfTick(Cycle now);
+
+    /**
+     * Fetch cycle: produce instructions, run the resynchronization
+     * count rules, and run divergence detection. A divergence flush
+     * request is merged into @a redirect.
+     * @return instructions fetched.
+     */
+    unsigned fetchTick(Cycle now, std::vector<DynInst> &out,
+                       Redirect &redirect, bool can_fetch = true);
+
+    /** DecodeObserver: decode-side counts/records. */
+    void onDecoded(const DynInst &di) override;
+
+    /**
+     * The core applied a front-end redirect (flush, decode resteer,
+     * or divergence): restart the engines at @a target_pc. Must be
+     * called after the FAQ has been cleared and the predictor bank's
+     * speculative state restored.
+     */
+    void applyRedirect(Cycle now, Addr target_pc);
+
+    /** FAQ-directed instruction prefetch on idle L0I cycles. */
+    void prefetchTick(Cycle now, bool fetch_was_idle);
+
+    /** Drain prediction patches for the core to apply. */
+    std::vector<PredPatch> takePatches();
+
+    /**
+     * Drain history-visibility fixes: (seq, covered) pairs telling
+     * the core whether the catching-up DCF actually saw each
+     * coupled-fetched branch in a BTB slot. The speculative and
+     * architectural history streams must record exactly the same
+     * per-instance bits, and only the FAQ knows the truth.
+     */
+    std::vector<std::pair<SeqNum, bool>> takeVisibilityFixes();
+
+    FetchMode mode() const { return curMode; }
+    FrontendVariant variant() const { return params.variant; }
+
+    // --- resynchronization counts (Figure 5), for traces/tests -------
+    std::uint64_t fetchCoupled() const { return fetchCoupledCount; }
+    std::uint64_t decodeCoupled() const { return decodeCoupledCount; }
+    std::uint64_t decoupled() const { return decoupledCount; }
+    bool drainingCoupled() const { return draining; }
+
+    CoupledPredictors &coupledPredictors() { return coupledPreds; }
+    DecoupledFetcher &dcf() { return *dcfEngine; }
+    const DecoupledFetcher &dcf() const { return *dcfEngine; }
+    const DecoupledFetchEngine &decoupledEngine() const { return *decEng; }
+    const CoupledFetchEngine &coupledEngine() const { return *cplEng; }
+    const DivergenceTracker &divergence() const { return divTracker; }
+    const ElfStats &stats() const { return st; }
+
+  private:
+    void processFaqWhileCoupled(Cycle now);
+    void switchToDecoupled(Cycle now);
+    void expandDecoupledRecords(const FaqEntry &e, unsigned first,
+                                unsigned count);
+    void patchFromFaq(const FaqEntry &e, unsigned offset, SeqNum seq);
+    void endPeriodTracking();
+
+    ElfControllerParams params;
+    MemHierarchy &mem;
+    InstSupply &supply;
+    Faq &faq;
+    CheckpointQueue &ckpts;
+    PredictorBank &bank;
+
+    CoupledPredictors coupledPreds;
+    std::unique_ptr<CoupledPolicy> policy;
+    std::unique_ptr<DecoupledFetcher> dcfEngine;
+    std::unique_ptr<DecoupledFetchEngine> decEng;
+    std::unique_ptr<CoupledFetchEngine> cplEng;
+    DivergenceTracker divTracker;
+
+    FetchMode curMode;
+
+    // --- resynchronization state (Figure 5) -------------------------
+    std::uint64_t fetchCoupledCount = 0;   ///< speculative
+    std::uint64_t decodeCoupledCount = 0;  ///< non-speculative
+    std::uint64_t decoupledCount = 0;      ///< FAQ coverage
+    std::uint64_t coupledFetched = 0;      ///< total this period
+    SeqNum periodStartSeq = 1;
+    bool draining = false;
+    bool drainComplete = false;
+
+    /** Stalled-branch bookkeeping: seq, pc and period position. */
+    SeqNum stalledSeq = 0;
+    Addr stalledPC = invalidAddr;
+    std::uint64_t stalledPos = 0;
+
+    std::vector<PredPatch> patches;
+    std::vector<std::pair<SeqNum, bool>> visFixes;
+
+    /** In-flight FAQ-directed prefetch completion times. */
+    std::deque<Cycle> prefetchInflight;
+
+    ElfStats st;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_CORE_ELF_CONTROLLER_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Front-end variants evaluated in the paper: the coupled baseline
+ * (NoDCF), the decoupled baseline (DCF), and the ELF family.
+ */
+
+#ifndef ELFSIM_CORE_VARIANT_HH
+#define ELFSIM_CORE_VARIANT_HH
+
+#include <cstdint>
+
+namespace elfsim {
+
+/** Front-end organization. */
+enum class FrontendVariant : std::uint8_t {
+    NoDcf,   ///< coupled fetch only (no decoupled fetcher)
+    Dcf,     ///< baseline decoupled fetcher (Table II)
+    LElf,    ///< Limited ELF: sequential-only coupled mode
+    RetElf,  ///< coupled RAS only (speculate past returns)
+    IndElf,  ///< coupled BTC only (speculate past indirects)
+    CondElf, ///< coupled bimodal only (speculate past conditionals)
+    UElf,    ///< all coupled predictors
+};
+
+/** @return the variant's display name. */
+const char *variantName(FrontendVariant v);
+
+/** @return true iff the variant uses the ELF coupled/decoupled
+ *  mode machinery. */
+constexpr bool
+isElf(FrontendVariant v)
+{
+    return v != FrontendVariant::NoDcf && v != FrontendVariant::Dcf;
+}
+
+/** @return true iff coupled mode may predict returns. */
+constexpr bool
+hasCoupledRas(FrontendVariant v)
+{
+    return v == FrontendVariant::RetElf || v == FrontendVariant::UElf;
+}
+
+/** @return true iff coupled mode may predict non-return indirects. */
+constexpr bool
+hasCoupledBtc(FrontendVariant v)
+{
+    return v == FrontendVariant::IndElf || v == FrontendVariant::UElf;
+}
+
+/** @return true iff coupled mode may predict conditionals. */
+constexpr bool
+hasCoupledBimodal(FrontendVariant v)
+{
+    return v == FrontendVariant::CondElf || v == FrontendVariant::UElf;
+}
+
+/**
+ * How flushes triggered by coupled-fetched instructions are allowed
+ * to proceed (paper Section IV-D1's design discussion).
+ */
+enum class PayloadPolicy : std::uint8_t {
+    /** Checkpoint payloads are populated from FAQ information as the
+     *  DCF catches up; flushes wait only until then (the paper's
+     *  proposed mechanism; default). */
+    FaqFill,
+    /** Payloads never fill early: a coupled instruction's flush waits
+     *  until it reaches the ROB head (the paper's simple baseline). */
+    RobHead,
+    /** No gating at all: flushes apply immediately (idealized bound,
+     *  as if checkpoints were free). */
+    Ideal,
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_CORE_VARIANT_HH

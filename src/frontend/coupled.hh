@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Coupled fetch engine: the fetcher generates its own PCs, as in a
+ * non-decoupled design. Used permanently by the NoDCF configuration
+ * and transiently by ELF right after pipeline flushes and misfetch
+ * recoveries.
+ *
+ * Control-flow capability is delegated to a CoupledPolicy:
+ *  - NoDCF: the full decoupled predictor bank (TAGE/BTC+ITTAGE/RAS);
+ *  - L-ELF: nothing — follows unconditional directs, stalls at any
+ *    conditional/indirect decision;
+ *  - RET/IND/COND/U-ELF: the small coupled predictors with the
+ *    paper's filters (saturated bimodal counter, BTC hit, RAS).
+ *
+ * A predicted/followed taken branch inserts one bubble (the coupled
+ * taken-branch penalty of Section III-B1); policies may add extra
+ * bubbles (e.g. the multi-cycle ITTAGE in NoDCF).
+ */
+
+#ifndef ELFSIM_FRONTEND_COUPLED_HH
+#define ELFSIM_FRONTEND_COUPLED_HH
+
+#include <vector>
+
+#include "bpred/checkpoint.hh"
+#include "cache/hierarchy.hh"
+#include "frontend/fetch.hh"
+#include "frontend/pipeline_types.hh"
+#include "frontend/supply.hh"
+
+namespace elfsim {
+
+/** Control-flow capability of the coupled fetcher. */
+class CoupledPolicy
+{
+  public:
+    virtual ~CoupledPolicy() = default;
+
+    /**
+     * Predict the conditional branch @a di (fill hasPrediction,
+     * predTaken, predTarget and optionally tagePred).
+     * @return false if the policy cannot speculate past it (stall).
+     */
+    virtual bool predictCond(DynInst &di) = 0;
+
+    /** Predict a non-return indirect branch; false = stall. */
+    virtual bool predictIndirect(DynInst &di) = 0;
+
+    /** Predict a return; false = stall. */
+    virtual bool predictReturn(DynInst &di) = 0;
+
+    /** Observe a call fetched (push the policy's RAS, if any). */
+    virtual void onCall(Addr ret_addr) = 0;
+
+    /** Observe a followed plain unconditional direct jump. */
+    virtual void onUncond(Addr pc) { (void)pc; }
+
+    /** @return true iff this policy pushes the speculative global
+     *  history itself (NoDCF); ELF policies leave history to the
+     *  catching-up DCF. */
+    virtual bool pushesHistory() const { return false; }
+
+    /** Extra bubbles beyond the 1-cycle taken penalty for @a di. */
+    virtual unsigned extraBubbles(const DynInst &di) const
+    {
+        (void)di;
+        return 0;
+    }
+};
+
+/** Coupled-fetch statistics. */
+struct CoupledStats
+{
+    std::uint64_t insts = 0;
+    std::uint64_t wrongPathInsts = 0;
+    std::uint64_t controlStalls = 0;   ///< stalled-at-decision events
+    std::uint64_t stallsCond = 0;      ///< ... at conditionals
+    std::uint64_t stallsReturn = 0;    ///< ... at returns
+    std::uint64_t stallsIndirect = 0;  ///< ... at other indirects
+    std::uint64_t takenBubbleCycles = 0;
+    std::uint64_t icacheStallCycles = 0;
+};
+
+/** The coupled fetch engine. */
+class CoupledFetchEngine
+{
+  public:
+    CoupledFetchEngine(const FetchParams &params, MemHierarchy &mem,
+                       InstSupply &supply, CheckpointQueue &ckpts,
+                       CoupledPolicy &policy);
+
+    /** Begin coupled fetching at @a pc. */
+    void start(Addr pc, Cycle now);
+
+    /** Leave coupled mode (switch to decoupled). */
+    void stop() { fetchPC = invalidAddr; stalledControl = false; }
+
+    /** @return true iff the engine is driving fetch. */
+    bool active() const { return fetchPC != invalidAddr; }
+
+    /** @return true iff stalled at an unpredictable decision. */
+    bool stalledOnControl() const { return stalledControl; }
+
+    /** Next PC the engine will fetch (invalidAddr when stalled). */
+    Addr nextPC() const { return fetchPC; }
+
+    /** Unstall after an execute resteer (resume at @a pc). */
+    void resumeAt(Addr pc, Cycle now);
+
+    /**
+     * Fetch up to width instructions into @a out.
+     * @return instructions fetched (0 when stalled/inactive).
+     */
+    unsigned tick(Cycle now, std::vector<DynInst> &out);
+
+    const CoupledStats &stats() const { return st; }
+
+  private:
+    FetchParams params;
+    MemHierarchy &mem;
+    InstSupply &supply;
+    CheckpointQueue &ckpts;
+    CoupledPolicy &policy;
+
+    Addr fetchPC = invalidAddr;
+    bool stalledControl = false;
+    Cycle busyUntil = 0;
+    CoupledStats st;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_FRONTEND_COUPLED_HH

@@ -1,0 +1,59 @@
+#include "isa/static_inst.hh"
+
+#include <sstream>
+
+namespace elfsim {
+
+const char *
+instClassName(InstClass c)
+{
+    switch (c) {
+      case InstClass::IntAlu: return "alu";
+      case InstClass::IntMul: return "mul";
+      case InstClass::IntDiv: return "div";
+      case InstClass::FloatOp: return "fp";
+      case InstClass::Load: return "ld";
+      case InstClass::Store: return "st";
+      case InstClass::Branch: return "br";
+      case InstClass::Nop: return "nop";
+    }
+    return "?";
+}
+
+const char *
+branchKindName(BranchKind k)
+{
+    switch (k) {
+      case BranchKind::None: return "none";
+      case BranchKind::CondDirect: return "b.cond";
+      case BranchKind::UncondDirect: return "b";
+      case BranchKind::DirectCall: return "bl";
+      case BranchKind::IndirectJump: return "br-reg";
+      case BranchKind::IndirectCall: return "blr";
+      case BranchKind::Return: return "ret";
+    }
+    return "?";
+}
+
+std::string
+StaticInst::disasm() const
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << pc << std::dec << ": ";
+    if (isBranchInst()) {
+        os << branchKindName(branch);
+        if (isDirect(branch))
+            os << " -> 0x" << std::hex << directTarget << std::dec;
+    } else {
+        os << instClassName(cls);
+        if (destReg != numArchRegs)
+            os << " r" << destReg;
+        for (auto s : srcRegs) {
+            if (s != numArchRegs)
+                os << ", r" << s;
+        }
+    }
+    return os.str();
+}
+
+} // namespace elfsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Static instruction model for the abstract fixed-length ISA.
+ *
+ * The simulator models an ARMv8-like fixed-length ISA at the level of
+ * detail the front-end cares about: instruction class, branch kind,
+ * direct target, register operands, and (for memory operations) a
+ * reference to an address-behaviour generator owned by the workload.
+ */
+
+#ifndef ELFSIM_ISA_STATIC_INST_HH
+#define ELFSIM_ISA_STATIC_INST_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace elfsim {
+
+/** Execution resource class of an instruction. */
+enum class InstClass : std::uint8_t {
+    IntAlu,   ///< single-cycle integer op
+    IntMul,   ///< integer multiply
+    IntDiv,   ///< integer divide
+    FloatOp,  ///< scalar FP / SIMD arithmetic
+    Load,     ///< memory read
+    Store,    ///< memory write
+    Branch,   ///< any control transfer
+    Nop,      ///< no-operation filler
+};
+
+/** Control-transfer kind (BranchKind::None for non-branches). */
+enum class BranchKind : std::uint8_t {
+    None,
+    CondDirect,    ///< conditional, PC-relative target
+    UncondDirect,  ///< unconditional jump, PC-relative target
+    DirectCall,    ///< call with PC-relative target (pushes return addr)
+    IndirectJump,  ///< unconditional register-indirect jump
+    IndirectCall,  ///< register-indirect call (pushes return addr)
+    Return,        ///< function return (target from link/stack)
+};
+
+/** @return true iff the kind is any branch. */
+constexpr bool
+isBranch(BranchKind k)
+{
+    return k != BranchKind::None;
+}
+
+/** @return true iff the branch is conditional. */
+constexpr bool
+isConditional(BranchKind k)
+{
+    return k == BranchKind::CondDirect;
+}
+
+/** @return true iff the branch is unconditional (incl. calls/returns). */
+constexpr bool
+isUnconditional(BranchKind k)
+{
+    return isBranch(k) && !isConditional(k);
+}
+
+/** @return true iff the target comes from the instruction word. */
+constexpr bool
+isDirect(BranchKind k)
+{
+    return k == BranchKind::CondDirect || k == BranchKind::UncondDirect ||
+           k == BranchKind::DirectCall;
+}
+
+/** @return true iff the target is register-indirect (incl. returns). */
+constexpr bool
+isIndirect(BranchKind k)
+{
+    return k == BranchKind::IndirectJump || k == BranchKind::IndirectCall ||
+           k == BranchKind::Return;
+}
+
+/** @return true iff the instruction pushes a return address. */
+constexpr bool
+isCall(BranchKind k)
+{
+    return k == BranchKind::DirectCall || k == BranchKind::IndirectCall;
+}
+
+/** @return true iff the instruction pops the return address stack. */
+constexpr bool
+isReturn(BranchKind k)
+{
+    return k == BranchKind::Return;
+}
+
+/** Sentinel for "no behaviour generator attached". */
+constexpr std::uint32_t noBehavior = 0xffffffffu;
+
+/**
+ * One static instruction in the synthetic program image.
+ *
+ * Static instructions are immutable after program construction and are
+ * referenced by pointer from dynamic instructions; they are stored
+ * contiguously per basic block.
+ */
+struct StaticInst
+{
+    /** Instruction address (4-byte aligned). */
+    Addr pc = invalidAddr;
+
+    /** Resource class. */
+    InstClass cls = InstClass::IntAlu;
+
+    /** Branch kind; None unless cls == Branch. */
+    BranchKind branch = BranchKind::None;
+
+    /**
+     * Direct branch target (valid iff isDirect(branch)). For
+     * conditional branches this is the taken target; fall-through is
+     * pc + instBytes.
+     */
+    Addr directTarget = invalidAddr;
+
+    /** Destination register (numArchRegs == none). */
+    RegIndex destReg = numArchRegs;
+
+    /** Source registers (numArchRegs == unused slot). */
+    std::array<RegIndex, 2> srcRegs = {numArchRegs, numArchRegs};
+
+    /**
+     * Behaviour generator id: for Load/Store an address-behaviour id,
+     * for CondDirect a condition-behaviour id, for indirect branches a
+     * target-behaviour id. noBehavior when not applicable.
+     */
+    std::uint32_t behavior = noBehavior;
+
+    /** Owning basic block's index in the program (for CFG walking). */
+    std::uint32_t blockIndex = 0;
+
+    bool isBranchInst() const { return isBranch(branch); }
+    bool isMemInst() const
+    {
+        return cls == InstClass::Load || cls == InstClass::Store;
+    }
+    bool isLoad() const { return cls == InstClass::Load; }
+    bool isStore() const { return cls == InstClass::Store; }
+
+    /** Sequential successor address. */
+    Addr nextPC() const { return pc + instBytes; }
+
+    /** Human-readable one-line disassembly (for traces/debug). */
+    std::string disasm() const;
+};
+
+/** Name of an instruction class (for traces and stats). */
+const char *instClassName(InstClass c);
+
+/** Name of a branch kind. */
+const char *branchKindName(BranchKind k);
+
+} // namespace elfsim
+
+#endif // ELFSIM_ISA_STATIC_INST_HH

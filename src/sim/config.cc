@@ -1,0 +1,99 @@
+#include "sim/config.hh"
+
+#include <iomanip>
+
+namespace elfsim {
+
+SimConfig
+makeConfig(FrontendVariant variant)
+{
+    SimConfig cfg;
+    cfg.variant = variant;
+    return cfg;
+}
+
+void
+printConfig(std::ostream &os, const SimConfig &cfg)
+{
+    auto row = [&](const char *k, const std::string &v) {
+        os << "  " << std::left << std::setw(26) << k << v << "\n";
+    };
+    auto kb = [](double bytes) {
+        return std::to_string(bytes / 1024.0).substr(0, 5) + "KB";
+    };
+
+    os << "Pipeline configuration (" << variantName(cfg.variant)
+       << ")\n";
+    row("Front-end", std::string(variantName(cfg.variant)));
+    row("BTB L0",
+        std::to_string(cfg.btb.l0.entries) + "-entry fully-assoc, " +
+            std::to_string(cfg.btb.l0.latency) + " cycle");
+    row("BTB L1",
+        std::to_string(cfg.btb.l1.entries) + "-entry " +
+            std::to_string(cfg.btb.l1.assoc) + "-way, " +
+            std::to_string(cfg.btb.l1.latency) + " cycle");
+    row("BTB L2",
+        std::to_string(cfg.btb.l2.entries) + "-entry " +
+            std::to_string(cfg.btb.l2.assoc) + "-way, " +
+            std::to_string(cfg.btb.l2.latency) + " cycle");
+    row("BTB entry",
+        std::to_string(btbMaxInsts) + " insts, up to " +
+            std::to_string(btbMaxBranches) + " taken branches");
+
+    {
+        Tage t(cfg.preds.tage);
+        Ittage it(cfg.preds.ittage);
+        row("Cond. pred", std::to_string(cfg.preds.tage.numTables) +
+                              "-table TAGE, " + kb(t.storageBytes()));
+        row("Ind. pred",
+            "64-entry L0 BTC + " +
+                std::to_string(cfg.preds.ittage.numTables) +
+                "-table ITTAGE, " + kb(it.storageBytes()));
+    }
+    row("RAS", std::to_string(cfg.preds.rasEntries) + " entries");
+    row("FAQ", std::to_string(cfg.faqEntries) + "-entry FIFO");
+    row("BP1 to FE", std::to_string(cfg.bp1ToFe) + " cycles");
+    row("Fetch width", std::to_string(cfg.fetch.width) + " insts");
+    row("Issue width",
+        std::to_string(cfg.backend.issueWidth) + " insts");
+    row("Commit width",
+        std::to_string(cfg.backend.commitWidth) + " insts");
+    row("ROB/IQ/LSQ",
+        std::to_string(cfg.backend.robEntries) + "/" +
+            std::to_string(cfg.backend.iqEntries) + "/" +
+            std::to_string(cfg.backend.lsqEntries));
+    row("L0I", kb(cfg.mem.l0i.sizeBytes) + " " +
+                   std::to_string(cfg.mem.l0i.assoc) + "-way, " +
+                   std::to_string(cfg.mem.l0i.hitLatency) +
+                   "c, 2-way intlv");
+    row("L1I", kb(cfg.mem.l1i.sizeBytes) + " " +
+                   std::to_string(cfg.mem.l1i.assoc) + "-way, " +
+                   std::to_string(cfg.mem.l1i.hitLatency) + "c");
+    row("L1D", kb(cfg.mem.l1d.sizeBytes) + " " +
+                   std::to_string(cfg.mem.l1d.assoc) + "-way, " +
+                   std::to_string(cfg.mem.l1d.hitLatency) + "c");
+    row("L2", kb(cfg.mem.l2.sizeBytes) + " unified, " +
+                  std::to_string(cfg.mem.l2.hitLatency) + "c");
+    row("L3", kb(cfg.mem.l3.sizeBytes) + " unified, " +
+                  std::to_string(cfg.mem.l3.hitLatency) + "c");
+    row("Memory", std::to_string(cfg.mem.memLatency) + " cycles");
+
+    if (isElf(cfg.variant)) {
+        CoupledPredictors cp(cfg.coupledPreds);
+        row("Coupled bimodal",
+            std::to_string(cfg.coupledPreds.bimodal.entries) +
+                " x 3-bit");
+        row("Coupled BTC",
+            std::to_string(cfg.coupledPreds.btc.entries) + " entries");
+        row("Coupled RAS",
+            std::to_string(cfg.coupledPreds.rasEntries) + " entries");
+        row("Divergence vectors",
+            std::to_string(cfg.divergence.vecEntries) +
+                " x 2-bit x 2 + " +
+                std::to_string(cfg.divergence.targetEntries) +
+                "-entry target queues x 2");
+        row("ELF total storage", kb(cp.storageBytes()));
+    }
+}
+
+} // namespace elfsim

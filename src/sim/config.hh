@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Whole-core configuration (defaults reproduce the paper's Table II
+ * baseline) and its report printer.
+ */
+
+#ifndef ELFSIM_SIM_CONFIG_HH
+#define ELFSIM_SIM_CONFIG_HH
+
+#include <ostream>
+
+#include "backend/backend.hh"
+#include "bpred/predictor_bank.hh"
+#include "btb/btb.hh"
+#include "cache/hierarchy.hh"
+#include "core/elf_controller.hh"
+
+namespace elfsim {
+
+/** Full simulator configuration. */
+struct SimConfig
+{
+    FrontendVariant variant = FrontendVariant::Dcf;
+
+    FetchParams fetch{};             ///< 8-wide, FE->DEC = 1
+    Cycle bp1ToFe = 3;               ///< BP1/BP2/FAQ depth
+    unsigned faqEntries = 32;
+    unsigned checkpointEntries = 512;
+    unsigned fetchBufferEntries = 24;
+    unsigned maxInstPrefetch = 4;
+
+    MemHierarchyParams mem{};
+    PredictorBankParams preds{};
+    MultiBtbParams btb{};
+    BackendParams backend{};
+    DivergenceParams divergence{};
+    CoupledPredictorParams coupledPreds{};
+    PayloadPolicy payloadPolicy = PayloadPolicy::FaqFill;
+    bool condElfRequireSaturation = true;
+
+    /**
+     * Extension (paper Section VI-C points at Boomerang): on a
+     * decode-time misfetch recovery, pre-fill the BTB for the
+     * resteer target from pre-decoded instruction bytes, shortening
+     * the next BTB-miss feedback loop. Off by default (not part of
+     * the paper's baseline).
+     */
+    bool decodeBtbFill = false;
+
+    /** Derive the front-end controller parameters. */
+    ElfControllerParams
+    elfParams() const
+    {
+        ElfControllerParams p;
+        p.variant = variant;
+        p.fetch = fetch;
+        p.bp1ToFe = bp1ToFe;
+        p.maxInstPrefetch = maxInstPrefetch;
+        p.divergence = divergence;
+        p.coupledPreds = coupledPreds;
+        p.payloadPolicy = payloadPolicy;
+        p.condRequireSaturation = condElfRequireSaturation;
+        return p;
+    }
+};
+
+/** Build a config for a given front-end variant (Table II elsewhere). */
+SimConfig makeConfig(FrontendVariant variant);
+
+/** Print the Table II-style configuration report. */
+void printConfig(std::ostream &os, const SimConfig &cfg);
+
+} // namespace elfsim
+
+#endif // ELFSIM_SIM_CONFIG_HH

@@ -1,0 +1,402 @@
+#include "sim/core.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace elfsim {
+
+Core::Core(const SimConfig &cfg, const Program &prog)
+    : cfg(cfg), prog(prog)
+{
+    oracle = std::make_unique<OracleStream>(prog);
+    walker = std::make_unique<WrongPathWalker>(prog);
+    instSupply = std::make_unique<InstSupply>(*oracle, *walker);
+    mem = std::make_unique<MemHierarchy>(cfg.mem);
+    bank = std::make_unique<PredictorBank>(cfg.preds);
+    btbHier = std::make_unique<MultiBtb>(cfg.btb);
+    builder = std::make_unique<BtbBuilder>(prog, *btbHier);
+    ckpts = std::make_unique<CheckpointQueue>(cfg.checkpointEntries);
+    faq = std::make_unique<Faq>(cfg.faqEntries);
+    controller = std::make_unique<ElfController>(
+        cfg.elfParams(), *mem, *instSupply, *faq, *ckpts, *bank,
+        *btbHier);
+    decodeStage = std::make_unique<DecodeStage>(cfg.fetch.width, *bank);
+    memDep = std::make_unique<MemDepPredictor>();
+    backendUnit = std::make_unique<Backend>(cfg.backend, *mem, *memDep);
+    fetchToDecode = std::make_unique<BoundedQueue<DynInst>>(
+        cfg.fetchBufferEntries);
+
+    decodeStage->setObserver(controller.get());
+    backendUnit->setCommitHook(
+        [this](const DynInst &di) { onCommit(di); });
+
+    // Startup behaves like a flush into the entry point.
+    controller->applyRedirect(0, prog.entryPC());
+}
+
+bool
+Core::historyVisible(const StaticInst &si) const
+{
+    // The NoDCF front-end sees every branch at fetch (pre-decode
+    // bits); decoupled front-ends only see BTB-tracked branches, i.e.
+    // unconditionals and observed-taken conditionals.
+    if (cfg.variant == FrontendVariant::NoDcf)
+        return true;
+    return isUnconditional(si.branch) || builder->observedTaken(si.pc);
+}
+
+void
+Core::onCommit(const DynInst &di)
+{
+    if (di.isBranch()) {
+        bank->commitBranch(di.pc(), di.si->branch, di.taken,
+                           di.actualNext, di.tagePred, di.ittagePred,
+                           di.historyPushed);
+        controller->coupledPredictors().trainCommit(
+            di.pc(), di.si->branch, di.taken, di.actualNext, di.mode);
+    }
+    builder->retire(*di.si, di.taken, di.actualNext);
+    oracle->retireUpTo(di.oracleIdx);
+    ckpts->retireUpTo(di.seq);
+    if (commitObserver)
+        commitObserver(di);
+}
+
+DynInst *
+Core::findInFlight(SeqNum seq)
+{
+    return backendUnit->findInFlightMutable(seq);
+}
+
+void
+Core::applyPatches(Redirect &redirect, Cycle now)
+{
+    // History-visibility corrections first: the prediction patches
+    // below carry their own (consistent) coverage flag.
+    for (const auto &[seq, covered] : controller->takeVisibilityFixes()) {
+        DynInst *di = findInFlight(seq);
+        if (!di) {
+            for (std::size_t i = 0; i < fetchToDecode->size(); ++i) {
+                if (fetchToDecode->at(i).seq == seq) {
+                    di = &fetchToDecode->at(i);
+                    break;
+                }
+            }
+        }
+        if (di && di->isBranch() && di->mode == FetchMode::Coupled)
+            di->historyPushed = covered;
+    }
+
+    for (const PredPatch &p : controller->takePatches()) {
+        DynInst *di = findInFlight(p.seq);
+        if (!di) {
+            // Still in the fetch-to-decode buffer?
+            for (std::size_t i = 0; i < fetchToDecode->size(); ++i) {
+                if (fetchToDecode->at(i).seq == p.seq) {
+                    di = &fetchToDecode->at(i);
+                    break;
+                }
+            }
+        }
+        if (!di)
+            continue; // squashed meanwhile
+#ifdef ELFSIM_TRACE_SEQ
+        if (p.seq >= ELFSIM_TRACE_SEQ && p.seq <= ELFSIM_TRACE_SEQ + 200)
+            std::fprintf(stderr, "[%llu] patch seq=%llu taken=%d "
+                         "completed=%d\n",
+                         (unsigned long long)now,
+                         (unsigned long long)p.seq, int(p.taken),
+                         int(di->completed));
+#endif
+        di->hasPrediction = true;
+        di->predTaken = p.taken;
+        di->predTarget = p.target;
+        if (p.tage.valid)
+            di->tagePred = p.tage;
+        if (p.ittage.valid)
+            di->ittagePred = p.ittage;
+        if (p.clearStall)
+            di->fetchStalled = false;
+        if (p.historyPushed)
+            di->historyPushed = true;
+        if (di->wrongPath) {
+            di->taken = di->predTaken;
+            di->actualNext = di->predTarget;
+            di->mispredict = false;
+        } else {
+            di->mispredict =
+                (di->taken != di->predTaken) ||
+                (di->taken && di->actualNext != di->predTarget);
+        }
+        if (p.fromBtbMiss && di->isBranch() && !di->completed) {
+            // The resynchronization covered this stalled branch with
+            // a BTB-miss guess block: the baseline front-end would
+            // have recovered it at decode with the decoupled
+            // predictors — do the same, late.
+            di->hasPrediction = false;
+            Redirect resteer;
+            if (decodeStage->recoverMisfetch(now, *di, resteer))
+                mergeRedirect(redirect, resteer);
+        }
+        if (di->completed && di->mispredict && !di->wrongPath) {
+            // The branch already executed under its old prediction
+            // and found it correct; under the adopted (DCF)
+            // prediction it is a misprediction and must flush now.
+            Redirect req;
+            req.kind = RedirectKind::ExecMispredict;
+            req.survivorSeq = di->seq;
+            req.targetPC = di->actualNext;
+            req.oracleCursor = di->oracleIdx + 1;
+            req.atCycle = now;
+            mergeRedirect(redirect, req);
+        }
+    }
+}
+
+void
+Core::replayHistory(const Redirect &r)
+{
+    bank->resetSpecToArch();
+    backendUnit->forEachInFlight([&](const DynInst &di) {
+        if (di.seq > r.survivorSeq || !di.isBranch())
+            return;
+        if (di.historyPushed) {
+            bool bit;
+            if (di.seq == r.survivorSeq &&
+                r.kind == RedirectKind::ExecMispredict) {
+                // The resolving branch: push the resolved outcome.
+                bit = di.taken;
+            } else {
+                bit = di.hasPrediction ? di.predTaken : false;
+            }
+            bank->specBranch(di.pc(), di.si->branch, bit);
+        } else if (isCall(di.si->branch)) {
+            // RAS maintenance is decode-driven even for branches the
+            // DCF never saw; every in-flight instruction here has
+            // passed decode.
+            bank->specRas().push(di.pc() + instBytes);
+        } else if (isReturn(di.si->branch)) {
+            bank->specRas().pop();
+        }
+    });
+}
+
+void
+Core::applyRedirect(Redirect r)
+{
+    if (!r.pending())
+        return;
+
+    if (r.kind == RedirectKind::ExecMispredict) {
+        // ELF: a branch fetched in coupled mode may not flush until
+        // its checkpoint payload is populated from FAQ information —
+        // unless it reached the ROB head (Section IV-D1). The
+        // idealized policy skips the gate entirely.
+        DynInst *br = findInFlight(r.survivorSeq);
+        if (cfg.payloadPolicy != PayloadPolicy::Ideal && br &&
+            br->mode == FetchMode::Coupled &&
+            br->checkpointId != noCheckpoint &&
+            ckpts->has(br->checkpointId) &&
+            !ckpts->payloadReady(br->checkpointId) &&
+            !backendUnit->atRobHead(br->seq)) {
+            br->flushPending = true;
+            heldRedirect = r;
+            ++coreStats.pendingFlushWaits;
+            return;
+        }
+        if (br)
+            br->flushPending = false;
+        if (br && br->seq == r.survivorSeq) {
+            // Correct the branch's prediction to its resolution:
+            // later flushes replay in-flight history bits from the
+            // prediction fields, and this branch's wrong bit must not
+            // be re-injected after its own recovery.
+            //
+            // A branch the coupled fetcher *stalled* on never had a
+            // prediction: resolving it at execute is a (costly)
+            // resynchronization event, not a misprediction.
+            if (br->mispredict && !br->fetchStalled)
+                br->wasMispredicted = true;
+            if (br->fetchStalled)
+                ++coreStats.stallResteers;
+            br->hasPrediction = true;
+            br->predTaken = br->taken;
+            br->predTarget = br->actualNext;
+            br->mispredict = false;
+            br->fetchStalled = false;
+        }
+    }
+
+#ifdef ELFSIM_TRACE_REDIRECTS
+    std::fprintf(stderr,
+                 "[%llu] redirect kind=%d survivor=%llu target=0x%llx "
+                 "cursor=%llu mode=%d\n",
+                 (unsigned long long)coreStats.cycles, int(r.kind),
+                 (unsigned long long)r.survivorSeq,
+                 (unsigned long long)r.targetPC,
+                 (unsigned long long)r.oracleCursor,
+                 int(controller->mode()));
+#endif
+    switch (r.kind) {
+      case RedirectKind::ExecMispredict:
+        ++coreStats.execFlushes;
+        measureRedirectCycle = coreStats.cycles;
+        break;
+      case RedirectKind::MemOrder:
+        ++coreStats.memOrderFlushes;
+        break;
+      case RedirectKind::DecodeResteer:
+        ++coreStats.decodeResteers;
+        // Boomerang-style extension: the bytes of the region that
+        // missed the BTB are in the I-cache; pre-decode them into a
+        // BTB entry so the next pass through this region does not
+        // sequentially guess (and misfetch) again. Also prefill the
+        // resteer target for the restarting DCF.
+        if (cfg.decodeBtbFill) {
+            if (DynInst *br = findInFlight(r.survivorSeq)) {
+                if (br->fetchBlockPC != invalidAddr &&
+                    !btbHier->present(br->fetchBlockPC))
+                    btbHier->insert(
+                        builder->buildEntry(br->fetchBlockPC));
+            }
+            if (!btbHier->present(r.targetPC))
+                btbHier->insert(builder->buildEntry(r.targetPC));
+        }
+        break;
+      case RedirectKind::Divergence:
+        ++coreStats.divergenceFlushes;
+        break;
+      default:
+        break;
+    }
+
+    backendUnit->squashYoungerThan(r.survivorSeq);
+    while (!fetchToDecode->empty() &&
+           fetchToDecode->back().seq > r.survivorSeq)
+        fetchToDecode->popBack(1);
+    ckpts->squashYoungerThan(r.survivorSeq);
+
+    replayHistory(r);
+    if (r.oracleCursor != 0)
+        instSupply->redirect(r.oracleCursor);
+
+    faq->clear();
+    controller->applyRedirect(r.atCycle, r.targetPC);
+}
+
+void
+Core::tick()
+{
+    ++coreStats.cycles;
+    const Cycle now = coreStats.cycles;
+
+    Redirect redirect = heldRedirect;
+    heldRedirect = Redirect{};
+
+    backendUnit->tick(now, redirect);
+
+    // Decode (gated by back-end capacity).
+    if (backendUnit->canAccept(cfg.fetch.width)) {
+        std::vector<DynInst> decoded;
+        Redirect resteer;
+        decodeStage->tick(now, *fetchToDecode, decoded, resteer);
+        for (DynInst &di : decoded)
+            backendUnit->accept(std::move(di), now);
+        mergeRedirect(redirect, resteer);
+    }
+
+    // Fetch. The controller always ticks (resynchronization and
+    // divergence detection must run every cycle); the engines only
+    // produce instructions when the buffer has room.
+    unsigned fetched = 0;
+    {
+        const bool canFetch =
+            fetchToDecode->freeSlots() >= cfg.fetch.width;
+        std::vector<DynInst> fresh;
+        fetched = controller->fetchTick(now, fresh, redirect, canFetch);
+        for (DynInst &di : fresh) {
+            // ELF coupled-mode instances: the catching-up DCF will
+            // push history bits for the branches its BTB tracks.
+            if (isElf(cfg.variant) && di.mode == FetchMode::Coupled &&
+                di.isBranch() && !di.fetchStalled)
+                di.historyPushed = historyVisible(*di.si);
+            di.readyAt = now + cfg.fetch.fetchToDecode;
+            fetchToDecode->push(std::move(di));
+        }
+    }
+
+    if (fetched > 0 && measureRedirectCycle != 0) {
+        coreStats.redirectToFetchTotal += now - measureRedirectCycle;
+        ++coreStats.redirectToFetchCount;
+        measureRedirectCycle = 0;
+    }
+
+    controller->dcfTick(now);
+    controller->prefetchTick(now, fetched == 0);
+    applyPatches(redirect, now);
+    applyRedirect(redirect);
+}
+
+void
+Core::debugDump() const
+{
+    std::fprintf(stderr,
+                 "core state @%llu: committed=%llu mode=%d faq=%zu "
+                 "f2d=%zu rename=%zu rob=%zu iq=%zu lsq=%zu ckpts=%zu "
+                 "wrongPath=%d cursor=%llu held=%d\n",
+                 (unsigned long long)coreStats.cycles,
+                 (unsigned long long)committed(),
+                 int(controller->mode()), faq->size(),
+                 fetchToDecode->size(), backendUnit->renamePipeSize(),
+                 backendUnit->robSize(), backendUnit->iqSize(),
+                 backendUnit->lsqSize(), ckpts->size(),
+                 int(instSupply->onWrongPath()),
+                 (unsigned long long)instSupply->cursor(),
+                 int(heldRedirect.pending()));
+    if (const DynInst *h = backendUnit->robHead()) {
+        std::fprintf(stderr,
+                     "  rob head: seq=%llu %s wp=%d issued=%d "
+                     "completed=%d flushPending=%d mispred=%d "
+                     "stalled=%d mode=%d src=(%llu,%llu) wait=%llu\n",
+                     (unsigned long long)h->seq,
+                     h->si->disasm().c_str(), int(h->wrongPath),
+                     int(h->issued), int(h->completed),
+                     int(h->flushPending), int(h->mispredict),
+                     int(h->fetchStalled), int(h->mode),
+                     (unsigned long long)h->srcProducer0,
+                     (unsigned long long)h->srcProducer1,
+                     (unsigned long long)h->waitStore);
+    }
+    if (cplEngineActiveForDump())
+        std::fprintf(stderr, "  coupled engine active\n");
+}
+
+bool
+Core::cplEngineActiveForDump() const
+{
+    return controller->coupledEngine().active();
+}
+
+void
+Core::run(InstCount max_insts)
+{
+    const InstCount target = committed() + max_insts;
+    InstCount lastCommitted = committed();
+    Cycle lastProgress = coreStats.cycles;
+    while (committed() < target) {
+        tick();
+        if (committed() != lastCommitted) {
+            lastCommitted = committed();
+            lastProgress = coreStats.cycles;
+        } else if (coreStats.cycles - lastProgress > 100000) {
+            debugDump();
+            ELFSIM_PANIC("no forward progress for 100k cycles "
+                         "(workload %s, variant %s)",
+                         prog.name().c_str(),
+                         variantName(cfg.variant));
+        }
+    }
+}
+
+} // namespace elfsim

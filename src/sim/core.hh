@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The simulated core: owns every component, wires the pipeline, runs
+ * the per-cycle loop, and centralizes flush/redirect handling.
+ */
+
+#ifndef ELFSIM_SIM_CORE_HH
+#define ELFSIM_SIM_CORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "backend/backend.hh"
+#include "bpred/checkpoint.hh"
+#include "bpred/predictor_bank.hh"
+#include "btb/btb.hh"
+#include "btb/btb_builder.hh"
+#include "cache/hierarchy.hh"
+#include "core/elf_controller.hh"
+#include "frontend/decode.hh"
+#include "frontend/supply.hh"
+#include "sim/config.hh"
+#include "workload/oracle_stream.hh"
+#include "workload/program.hh"
+#include "workload/wrong_path.hh"
+
+namespace elfsim {
+
+/** Core-level counters (per-kind flush accounting). */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::uint64_t execFlushes = 0;
+    std::uint64_t memOrderFlushes = 0;
+    std::uint64_t decodeResteers = 0;
+    std::uint64_t divergenceFlushes = 0;
+    std::uint64_t pendingFlushWaits = 0; ///< cycles a flush waited on
+                                         ///< a checkpoint payload
+    std::uint64_t stallResteers = 0;     ///< exec resolutions of
+                                         ///< coupled-stalled branches
+
+    /** Sum/count of (first fetch after redirect - redirect cycle) for
+     *  branch-misprediction flushes: the measured restart latency
+     *  (Figure 3's quantity). */
+    std::uint64_t redirectToFetchTotal = 0;
+    std::uint64_t redirectToFetchCount = 0;
+
+    double
+    avgRedirectToFetch() const
+    {
+        return redirectToFetchCount
+                   ? double(redirectToFetchTotal) /
+                         double(redirectToFetchCount)
+                   : 0.0;
+    }
+};
+
+/** The simulated core. */
+class Core
+{
+  public:
+    Core(const SimConfig &cfg, const Program &prog);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /**
+     * Run until @a max_insts instructions have committed (or panic
+     * after a generous cycle bound — a deadlock diagnostic).
+     */
+    void run(InstCount max_insts);
+
+    Cycle cycles() const { return coreStats.cycles; }
+    InstCount committed() const { return backendUnit->stats().committed; }
+
+    // --- component access for reporting ------------------------------
+    const Backend &backend() const { return *backendUnit; }
+    const ElfController &elf() const { return *controller; }
+    const MemHierarchy &memory() const { return *mem; }
+    const MultiBtb &btb() const { return *btbHier; }
+    const BtbBuilder &btbBuilder() const { return *builder; }
+    const DecodeStage &decode() const { return *decodeStage; }
+    const InstSupply &supply() const { return *instSupply; }
+    const PredictorBank &predictors() const { return *bank; }
+    const CoreStats &stats() const { return coreStats; }
+    const SimConfig &config() const { return cfg; }
+
+    /** Dump pipeline state to stderr (deadlock diagnostics). */
+    void debugDump() const;
+
+    /**
+     * Install an observer invoked for every committed instruction in
+     * program order (tracing, custom metrics in examples/benches).
+     */
+    void
+    setCommitObserver(std::function<void(const DynInst &)> obs)
+    {
+        commitObserver = std::move(obs);
+    }
+
+  private:
+    bool cplEngineActiveForDump() const;
+
+  public:
+
+  private:
+    void applyRedirect(Redirect r);
+    void applyPatches(Redirect &redirect, Cycle now);
+    bool historyVisible(const StaticInst &si) const;
+    DynInst *findInFlight(SeqNum seq);
+    void replayHistory(const Redirect &r);
+    void onCommit(const DynInst &di);
+
+    SimConfig cfg;
+    const Program &prog;
+
+    std::unique_ptr<OracleStream> oracle;
+    std::unique_ptr<WrongPathWalker> walker;
+    std::unique_ptr<InstSupply> instSupply;
+    std::unique_ptr<MemHierarchy> mem;
+    std::unique_ptr<PredictorBank> bank;
+    std::unique_ptr<MultiBtb> btbHier;
+    std::unique_ptr<BtbBuilder> builder;
+    std::unique_ptr<CheckpointQueue> ckpts;
+    std::unique_ptr<Faq> faq;
+    std::unique_ptr<ElfController> controller;
+    std::unique_ptr<DecodeStage> decodeStage;
+    std::unique_ptr<MemDepPredictor> memDep;
+    std::unique_ptr<Backend> backendUnit;
+
+    std::unique_ptr<BoundedQueue<DynInst>> fetchToDecode;
+
+    /** A flush waiting for its checkpoint payload (ELF). */
+    Redirect heldRedirect;
+
+    /** Cycle of the last applied mispredict flush (restart-latency
+     *  measurement); 0 = not measuring. */
+    Cycle measureRedirectCycle = 0;
+
+    std::function<void(const DynInst &)> commitObserver;
+
+    CoreStats coreStats;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_SIM_CORE_HH

@@ -1,0 +1,131 @@
+#include "sim/report.hh"
+
+#include <iomanip>
+
+namespace elfsim {
+
+namespace {
+
+void
+row(std::ostream &os, const char *name, double value,
+    const char *unit = "")
+{
+    os << "  " << std::left << std::setw(34) << name << std::right
+       << std::setw(14) << std::fixed << std::setprecision(3) << value
+       << " " << unit << "\n";
+}
+
+void
+rowu(std::ostream &os, const char *name, std::uint64_t value,
+     const char *unit = "")
+{
+    os << "  " << std::left << std::setw(34) << name << std::right
+       << std::setw(14) << value << " " << unit << "\n";
+}
+
+} // namespace
+
+void
+printSummary(std::ostream &os, const Core &core)
+{
+    const auto &be = core.backend().stats();
+    const double insts = double(be.committed);
+    const double kilo = insts / 1000.0;
+
+    os << "=== run summary (" << variantName(core.config().variant)
+       << ") ===\n";
+    rowu(os, "cycles", core.cycles());
+    rowu(os, "instructions", be.committed);
+    row(os, "IPC", core.cycles() ? insts / double(core.cycles()) : 0);
+    row(os, "branch MPKI",
+        kilo > 0 ? (be.condMispredicts + be.targetMispredicts) / kilo
+                 : 0);
+    rowu(os, "mispredict flushes", core.stats().execFlushes);
+    rowu(os, "memory-order flushes", core.stats().memOrderFlushes);
+    rowu(os, "decode resteers", core.stats().decodeResteers);
+    row(os, "redirect->fetch latency",
+        core.stats().avgRedirectToFetch(), "cycles");
+
+    if (isElf(core.config().variant)) {
+        const ElfStats &elf = core.elf().stats();
+        rowu(os, "coupled periods", elf.coupledPeriods);
+        row(os, "insts/coupled period",
+            elf.avgCoupledInstsPerPeriod());
+        rowu(os, "divergence flushes", elf.divergenceFlushes);
+        rowu(os, "payload-held flushes",
+             core.stats().pendingFlushWaits);
+        rowu(os, "stall resteers", core.stats().stallResteers);
+    }
+}
+
+void
+printFullReport(std::ostream &os, const Core &core)
+{
+    printSummary(os, core);
+
+    os << "\n=== front end ===\n";
+    if (core.config().variant != FrontendVariant::NoDcf) {
+        const DcfStats &d = core.elf().dcf().stats();
+        rowu(os, "dcf blocks generated", d.blocks);
+        rowu(os, "dcf btb-miss blocks", d.btbMissBlocks);
+        rowu(os, "dcf taken blocks", d.takenBlocks);
+        rowu(os, "dcf bubble cycles", d.bubbleCycles);
+        rowu(os, "  .. bimodal overrides", d.bubblesBimodalOverride);
+        rowu(os, "  .. bp2 taken resteers", d.bubblesBp2Taken);
+        rowu(os, "  .. short-entry proxies", d.bubblesShortEntry);
+        rowu(os, "  .. ittage accesses", d.bubblesIndirectL1);
+        rowu(os, "  .. l2-btb access", d.bubblesAccess);
+        rowu(os, "dcf restarts", d.restarts);
+        const FetchStats &f = core.elf().decoupledEngine().stats();
+        rowu(os, "fetched (decoupled)", f.insts);
+        rowu(os, "  .. wrong path", f.wrongPathInsts);
+        rowu(os, "faq-empty cycles", f.faqEmptyCycles);
+        rowu(os, "icache-stall cycles", f.icacheStallCycles);
+        rowu(os, "taken cross-fetches", f.takenCrossFetches);
+    }
+    {
+        const CoupledStats &c = core.elf().coupledEngine().stats();
+        if (c.insts) {
+            rowu(os, "fetched (coupled)", c.insts);
+            rowu(os, "  .. wrong path", c.wrongPathInsts);
+            rowu(os, "coupled control stalls", c.controlStalls);
+            rowu(os, "  .. at conditionals", c.stallsCond);
+            rowu(os, "  .. at returns", c.stallsReturn);
+            rowu(os, "  .. at indirects", c.stallsIndirect);
+            rowu(os, "coupled taken bubbles", c.takenBubbleCycles);
+        }
+    }
+    {
+        const DecodeStats &d = core.decode().stats();
+        rowu(os, "decoded", d.insts);
+        rowu(os, "misfetch recoveries", d.resteers);
+        rowu(os, "  .. unconditional", d.resteerUncond);
+        rowu(os, "  .. conditional", d.resteerCond);
+        rowu(os, "  .. return", d.resteerReturn);
+        rowu(os, "  .. indirect", d.resteerIndirect);
+    }
+
+    os << "\n=== btb ===\n";
+    rowu(os, "lookups", core.btb().lookups());
+    row(os, "cumulative hit L0", 100 * core.btb().cumulativeHitRate(0),
+        "%");
+    row(os, "cumulative hit L1", 100 * core.btb().cumulativeHitRate(1),
+        "%");
+    row(os, "cumulative hit L2", 100 * core.btb().cumulativeHitRate(2),
+        "%");
+    rowu(os, "entries established", core.btbBuilder().establishments());
+    rowu(os, "amendments (splits)", core.btbBuilder().amendments());
+
+    os << "\n=== memory hierarchy ===\n";
+    core.memory().dumpStats(os);
+
+    os << "\n=== back end ===\n";
+    const auto &b = core.backend().stats();
+    rowu(os, "committed branches", b.committedBranches);
+    rowu(os, "cond mispredicts", b.condMispredicts);
+    rowu(os, "target mispredicts", b.targetMispredicts);
+    rowu(os, "coupled-mode committed", b.coupledCommitted);
+    rowu(os, "rob-full cycles", b.robFullCycles);
+}
+
+} // namespace elfsim

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Human-readable end-of-run report: headline metrics plus every
+ * component's counters, in one place. Used by the examples and handy
+ * for ad-hoc investigations.
+ */
+
+#ifndef ELFSIM_SIM_REPORT_HH
+#define ELFSIM_SIM_REPORT_HH
+
+#include <ostream>
+
+#include "sim/core.hh"
+
+namespace elfsim {
+
+/** Print the headline metrics (IPC, MPKI, flush counts, ELF state). */
+void printSummary(std::ostream &os, const Core &core);
+
+/** Print the full per-component statistics dump. */
+void printFullReport(std::ostream &os, const Core &core);
+
+} // namespace elfsim
+
+#endif // ELFSIM_SIM_REPORT_HH

@@ -1,0 +1,99 @@
+#include "sim/runner.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace elfsim {
+
+RunResult
+runSimulation(const Program &prog, const SimConfig &cfg,
+              const RunOptions &opts)
+{
+    Core core(cfg, prog);
+
+    // Warmup: predictors, BTB, and caches train; stats that matter
+    // are measured as deltas across the measurement window.
+    core.run(opts.warmupInsts);
+
+    const Cycle cycles0 = core.cycles();
+    const InstCount insts0 = core.committed();
+    const std::uint64_t cond0 = core.backend().stats().condMispredicts;
+    const std::uint64_t tgt0 = core.backend().stats().targetMispredicts;
+    const std::uint64_t exec0 = core.stats().execFlushes;
+    const std::uint64_t mem0 = core.stats().memOrderFlushes;
+    const std::uint64_t dec0 = core.stats().decodeResteers;
+    const std::uint64_t div0 = core.stats().divergenceFlushes;
+    const std::uint64_t cpl0 = core.backend().stats().coupledCommitted;
+    const std::uint64_t l1dMiss0 = core.memory().l1d().misses();
+
+    core.run(opts.measureInsts);
+
+    RunResult r;
+    r.workload = prog.name();
+    r.variant = variantName(cfg.variant);
+    r.cycles = core.cycles() - cycles0;
+    r.insts = core.committed() - insts0;
+    r.ipc = r.cycles ? double(r.insts) / double(r.cycles) : 0.0;
+
+    const double kilo = double(r.insts) / 1000.0;
+    const std::uint64_t cond =
+        core.backend().stats().condMispredicts - cond0;
+    const std::uint64_t tgt =
+        core.backend().stats().targetMispredicts - tgt0;
+    r.condMpki = kilo > 0 ? double(cond) / kilo : 0;
+    r.branchMpki = kilo > 0 ? double(cond + tgt) / kilo : 0;
+
+    r.execFlushes = core.stats().execFlushes - exec0;
+    r.memOrderFlushes = core.stats().memOrderFlushes - mem0;
+    r.decodeResteers = core.stats().decodeResteers - dec0;
+    r.divergenceFlushes = core.stats().divergenceFlushes - div0;
+    r.pendingFlushWaits = core.stats().pendingFlushWaits;
+
+    r.btbHitL0 = core.btb().cumulativeHitRate(0);
+    r.btbHitL1 = core.btb().cumulativeHitRate(1);
+    r.btbHitL2 = core.btb().cumulativeHitRate(2);
+
+    const auto &l0i = core.memory().l0i();
+    r.l0iMissRate = l0i.accesses()
+                        ? double(l0i.misses()) / double(l0i.accesses())
+                        : 0;
+    r.l1dMpki = kilo > 0 ? double(core.memory().l1d().misses() -
+                                  l1dMiss0) /
+                               kilo
+                         : 0;
+
+    r.wrongPathInsts = core.supply().wrongPathInsts();
+    r.instPrefetches = core.elf().stats().instPrefetches;
+
+    r.avgCoupledInsts = core.elf().stats().avgCoupledInstsPerPeriod();
+    r.coupledPeriods = core.elf().stats().coupledPeriods;
+    const std::uint64_t cpl =
+        core.backend().stats().coupledCommitted - cpl0;
+    r.coupledCommittedFrac =
+        r.insts ? double(cpl) / double(r.insts) : 0;
+
+    return r;
+}
+
+RunResult
+runVariant(const Program &prog, FrontendVariant variant,
+           const RunOptions &opts)
+{
+    return runSimulation(prog, makeConfig(variant), opts);
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs) {
+        ELFSIM_ASSERT(x > 0, "geomean of non-positive value");
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / double(xs.size()));
+}
+
+} // namespace elfsim

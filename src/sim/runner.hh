@@ -1,0 +1,71 @@
+/**
+ * @file
+ * One-shot simulation driver: builds a core for a (workload, variant)
+ * pair, runs warmup + measurement, and collects the metrics every
+ * experiment consumes.
+ */
+
+#ifndef ELFSIM_SIM_RUNNER_HH
+#define ELFSIM_SIM_RUNNER_HH
+
+#include <string>
+
+#include "sim/core.hh"
+
+namespace elfsim {
+
+/** Aggregated results of one simulation run (measurement window). */
+struct RunResult
+{
+    std::string workload;
+    std::string variant;
+
+    Cycle cycles = 0;
+    InstCount insts = 0;
+    double ipc = 0;
+
+    double branchMpki = 0;       ///< direction + target, per kilo-inst
+    double condMpki = 0;
+    std::uint64_t execFlushes = 0;
+    std::uint64_t memOrderFlushes = 0;
+    std::uint64_t decodeResteers = 0;
+    std::uint64_t divergenceFlushes = 0;
+
+    double btbHitL0 = 0;         ///< cumulative per-level hit rates
+    double btbHitL1 = 0;
+    double btbHitL2 = 0;
+
+    double l0iMissRate = 0;
+    double l1dMpki = 0;
+
+    std::uint64_t wrongPathInsts = 0;
+    std::uint64_t instPrefetches = 0;
+
+    // ELF-specific
+    double avgCoupledInsts = 0;  ///< per coupled period (Figure 8)
+    std::uint64_t coupledPeriods = 0;
+    double coupledCommittedFrac = 0;
+    std::uint64_t pendingFlushWaits = 0;
+};
+
+/** Options for a run. */
+struct RunOptions
+{
+    InstCount warmupInsts = 100000;
+    InstCount measureInsts = 500000;
+};
+
+/** Build the program's core and run warmup + measurement. */
+RunResult runSimulation(const Program &prog, const SimConfig &cfg,
+                        const RunOptions &opts = {});
+
+/** Convenience: run a named variant on a program. */
+RunResult runVariant(const Program &prog, FrontendVariant variant,
+                     const RunOptions &opts = {});
+
+/** Geometric mean of relative IPCs (paper Figure 9). */
+double geomean(const std::vector<double> &xs);
+
+} // namespace elfsim
+
+#endif // ELFSIM_SIM_RUNNER_HH

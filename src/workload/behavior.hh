@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Dynamic-behaviour specifications for synthetic programs.
+ *
+ * A behaviour spec is an immutable description of how a static
+ * instruction behaves dynamically: the outcome sequence of a
+ * conditional branch, the target sequence of an indirect branch, or
+ * the address sequence of a memory instruction. Specs are evaluated
+ * as pure functions of an execution-instance counter, so the
+ * architectural stream is fully deterministic and replayable, and
+ * wrong-path accesses can sample addresses without perturbing
+ * architectural state.
+ */
+
+#ifndef ELFSIM_WORKLOAD_BEHAVIOR_HH
+#define ELFSIM_WORKLOAD_BEHAVIOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace elfsim {
+
+/** How a conditional branch's outcome sequence is produced. */
+enum class CondKind : std::uint8_t {
+    /**
+     * Outcome is a deterministic pseudo-random draw with fixed taken
+     * probability. History predictors cannot learn it beyond the
+     * bias; models data-dependent branches.
+     */
+    TakenProb,
+    /**
+     * Loop-style: taken (backward) for period-1 instances, then not
+     * taken once. Highly predictable by history predictors when the
+     * period fits in history.
+     */
+    LoopPeriod,
+    /**
+     * Fixed repeating taken/not-taken pattern of a given length
+     * derived from the seed. Learnable by TAGE when the length is
+     * modest; a bimodal only captures the bias.
+     */
+    Pattern,
+};
+
+/** Conditional-branch behaviour spec. */
+struct CondSpec
+{
+    CondKind kind = CondKind::TakenProb;
+    double takenProb = 0.5;       ///< for TakenProb
+    std::uint32_t period = 16;    ///< for LoopPeriod / Pattern length
+    std::uint64_t seed = 1;       ///< draw/pattern seed
+    /**
+     * Fraction of taken positions in a Pattern (real conditionals are
+     * usually heavily biased; 0.5 gives an unbiased pattern).
+     */
+    double patternBias = 0.7;
+
+    /** Outcome for the n-th architectural execution (n is 0-based). */
+    bool
+    outcome(std::uint64_t n) const
+    {
+        switch (kind) {
+          case CondKind::TakenProb: {
+            const std::uint64_t h = mix64(seed, n);
+            return static_cast<double>(h >> 11) *
+                       (1.0 / 9007199254740992.0) < takenProb;
+          }
+          case CondKind::LoopPeriod:
+            return period <= 1 ? false : (n % period) != (period - 1);
+          case CondKind::Pattern: {
+            const std::uint32_t p = period ? period : 1;
+            const std::uint64_t h = mix64(seed, n % p);
+            return static_cast<double>(h >> 11) *
+                       (1.0 / 9007199254740992.0) < patternBias;
+          }
+        }
+        return false;
+    }
+};
+
+/** How an indirect branch selects among its candidate targets. */
+enum class IndirectKind : std::uint8_t {
+    RoundRobin,  ///< cycles through targets; monomorphic if 1 target
+    Random,      ///< deterministic pseudo-random pick per instance
+    Phased,      ///< sticks to one target for 'period' instances
+};
+
+/** Indirect-branch behaviour spec. Targets filled in at finalize. */
+struct IndirectSpec
+{
+    IndirectKind kind = IndirectKind::RoundRobin;
+    std::uint32_t period = 64;    ///< for Phased
+    std::uint64_t seed = 1;
+    std::vector<Addr> targets;
+
+    /** Target for the n-th architectural execution. */
+    Addr
+    target(std::uint64_t n) const
+    {
+        if (targets.empty())
+            return invalidAddr;
+        switch (kind) {
+          case IndirectKind::RoundRobin:
+            return targets[n % targets.size()];
+          case IndirectKind::Random:
+            return targets[mix64(seed, n) % targets.size()];
+          case IndirectKind::Phased: {
+            const std::uint32_t p = period ? period : 1;
+            return targets[(n / p) % targets.size()];
+          }
+        }
+        return targets[0];
+    }
+};
+
+/** Memory address sequence shape. */
+enum class MemKind : std::uint8_t {
+    Stride,       ///< base + (n * stride) % size
+    Random,       ///< deterministic pseudo-random within the region
+    PointerChase, ///< pseudo-random permutation walk (cache-hostile)
+};
+
+/** Memory-instruction behaviour spec. */
+struct MemSpec
+{
+    MemKind kind = MemKind::Stride;
+    Addr regionBase = 0;
+    Addr regionSize = 4096;      ///< bytes; addresses stay inside
+    Addr stride = 64;            ///< for Stride
+    std::uint64_t seed = 1;
+
+    /** Byte address accessed by the n-th architectural execution. */
+    Addr
+    address(std::uint64_t n) const
+    {
+        const Addr span = regionSize ? regionSize : 64;
+        switch (kind) {
+          case MemKind::Stride:
+            return regionBase + (n * stride) % span;
+          case MemKind::Random:
+            return regionBase + (mix64(seed, n) % span) / 8 * 8;
+          case MemKind::PointerChase: {
+            // Walk a pseudo-random permutation: the address depends on
+            // the previous index through a hash chain, reconstructed
+            // from n via iterated mixing of a compressed state. One
+            // mix per access keeps it O(1) while remaining
+            // deterministic and cache-hostile.
+            const std::uint64_t idx = mix64(seed ^ 0xc4ceb9fe1a85ec53ull,
+                                            mix64(seed, n));
+            return regionBase + (idx % span) / 64 * 64;
+          }
+        }
+        return regionBase;
+    }
+
+    /**
+     * Address sampled by a wrong-path execution: a distinct
+     * deterministic draw so speculative pollution is repeatable but
+     * does not advance (or match) architectural instances.
+     */
+    Addr
+    wrongPathAddress(std::uint64_t salt) const
+    {
+        const Addr span = regionSize ? regionSize : 64;
+        return regionBase +
+               (mix64(seed ^ 0x5851f42d4c957f2dull, salt) % span) / 8 * 8;
+    }
+};
+
+/**
+ * All behaviour specs of a program, indexed by the ids stored in
+ * StaticInst::behavior. Immutable after program construction.
+ */
+class BehaviorSet
+{
+  public:
+    std::uint32_t
+    addCond(const CondSpec &s)
+    {
+        conds.push_back(s);
+        return static_cast<std::uint32_t>(conds.size() - 1);
+    }
+    std::uint32_t
+    addIndirect(const IndirectSpec &s)
+    {
+        indirects.push_back(s);
+        return static_cast<std::uint32_t>(indirects.size() - 1);
+    }
+    std::uint32_t
+    addMem(const MemSpec &s)
+    {
+        mems.push_back(s);
+        return static_cast<std::uint32_t>(mems.size() - 1);
+    }
+
+    const CondSpec &cond(std::uint32_t id) const { return conds[id]; }
+    const IndirectSpec &
+    indirect(std::uint32_t id) const
+    {
+        return indirects[id];
+    }
+    const MemSpec &mem(std::uint32_t id) const { return mems[id]; }
+
+    IndirectSpec &indirectMutable(std::uint32_t id) { return indirects[id]; }
+
+    std::size_t numConds() const { return conds.size(); }
+    std::size_t numIndirects() const { return indirects.size(); }
+    std::size_t numMems() const { return mems.size(); }
+
+  private:
+    std::vector<CondSpec> conds;
+    std::vector<IndirectSpec> indirects;
+    std::vector<MemSpec> mems;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_WORKLOAD_BEHAVIOR_HH

@@ -1,0 +1,417 @@
+#include "workload/builders.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workload/program_builder.hh"
+
+namespace elfsim {
+
+namespace {
+
+/** Pick an instruction class for a body instruction. */
+InstClass
+pickBodyClass(Rng &rng, const CfgParams &p)
+{
+    const double u = rng.uniform();
+    double acc = p.loadFrac;
+    if (u < acc)
+        return InstClass::Load;
+    acc += p.storeFrac;
+    if (u < acc)
+        return InstClass::Store;
+    acc += p.fpFrac;
+    if (u < acc)
+        return InstClass::FloatOp;
+    acc += p.mulFrac;
+    if (u < acc)
+        return InstClass::IntMul;
+    acc += p.divFrac;
+    if (u < acc)
+        return InstClass::IntDiv;
+    return InstClass::IntAlu;
+}
+
+/** Build a MemSpec for a load/store per the workload's memory mix. */
+MemSpec
+pickMemSpec(Rng &rng, const CfgParams &p, bool is_load)
+{
+    MemSpec m;
+    m.regionBase = defaultDataBase;
+    m.regionSize = std::max<std::uint64_t>(p.dataFootprint, 64);
+    m.seed = rng.next();
+
+    const double u = rng.uniform();
+    if (is_load && u < p.chaseFrac) {
+        m.kind = MemKind::PointerChase;
+    } else if (u < p.chaseFrac + p.streamFrac) {
+        m.kind = MemKind::Stride;
+        static const Addr strides[] = {8, 16, 32, 64};
+        m.stride = strides[rng.below(4)];
+    } else {
+        m.kind = MemKind::Random;
+    }
+    return m;
+}
+
+/** Emit a block body of n random instructions. */
+void
+emitBody(ProgramBuilder &b, Rng &rng, const CfgParams &p, unsigned n)
+{
+    // Dependency chains: with probability depChainFrac an instruction
+    // reads the most recent destination, which bounds the extractable
+    // ILP like real dataflow does.
+    RegIndex lastDst = static_cast<RegIndex>(rng.below(32));
+    for (unsigned i = 0; i < n; ++i) {
+        const InstClass cls = pickBodyClass(rng, p);
+        const RegIndex dst = static_cast<RegIndex>(rng.below(32));
+        const RegIndex s0 =
+            rng.chance(p.depChainFrac)
+                ? lastDst
+                : static_cast<RegIndex>(rng.below(32));
+        const RegIndex s1 = static_cast<RegIndex>(rng.below(32));
+        switch (cls) {
+          case InstClass::Load:
+            b.addLoad(pickMemSpec(rng, p, true), dst, s0);
+            break;
+          case InstClass::Store:
+            b.addStore(pickMemSpec(rng, p, false), s0, s1);
+            break;
+          default:
+            b.addOp(cls, dst, s0, s1);
+            break;
+        }
+        lastDst = dst;
+    }
+}
+
+/** Skewed callee pick: low indices are hot; skew 0 is uniform. */
+unsigned
+pickCallee(Rng &rng, unsigned num_funcs, unsigned self, double skew)
+{
+    if (num_funcs <= 2)
+        return num_funcs - 1; // only one possible non-main callee
+    const double u = rng.uniform();
+    const double k = 1.0 + 4.0 * std::clamp(skew, 0.0, 1.0);
+    // Callable functions are 1..num_funcs-1 (0 is the main loop).
+    unsigned idx = 1 + static_cast<unsigned>(
+        std::pow(u, k) * static_cast<double>(num_funcs - 1));
+    if (idx >= num_funcs)
+        idx = num_funcs - 1;
+    if (idx == self)
+        idx = 1 + idx % (num_funcs - 1);
+    return idx;
+}
+
+} // namespace
+
+Program
+generateCfg(const CfgParams &p, std::uint64_t seed, std::string name)
+{
+    ELFSIM_ASSERT(p.numFuncs >= 1, "need at least one function");
+    ELFSIM_ASSERT(p.blocksPerFunc >= 2, "need at least two blocks/func");
+    ELFSIM_ASSERT(p.instsPerBlockMax >= p.instsPerBlockMin,
+                  "bad block size range");
+
+    Rng rng(seed);
+    ProgramBuilder b;
+
+    // Each function is a chain of loop segments:
+    //
+    //   H:  header               (fall-through)
+    //   B1: body + cond skip     (pattern/random, taken = skip B2)
+    //   B2: skippable body       (fall-through)
+    //   B3: body + optional call (call returns to L)
+    //   L:  latch + loop cond    (LoopPeriod, taken = back to H)
+    //
+    // The latch provides the predictable taken back-edge of a real
+    // loop; the body conditional provides the pattern/data-dependent
+    // behaviour that sets the workload's MPKI; loops always terminate
+    // so execution sweeps the whole function. Recursive functions
+    // prepend a guard + self-call pair. Function 0 is the main loop,
+    // calling the others forever with a configurable hot/cold skew.
+    constexpr unsigned blocksPerSegment = 5;
+    const unsigned segments =
+        std::max(1u, p.blocksPerFunc / blocksPerSegment);
+
+    std::vector<bool> recursive(p.numFuncs, false);
+    for (unsigned f = 1; f < p.numFuncs; ++f)
+        recursive[f] = rng.chance(p.recursionFrac);
+
+    // Block budget per function (for forward references).
+    std::vector<std::uint32_t> funcFirstBlock(p.numFuncs);
+    std::vector<unsigned> funcNumBlocks(p.numFuncs);
+    std::uint32_t next = 0;
+    const unsigned mainBlocks =
+        std::max(2u, 1 + p.numFuncs / 2); // call sites + loop-back
+    for (unsigned f = 0; f < p.numFuncs; ++f) {
+        funcFirstBlock[f] = next;
+        funcNumBlocks[f] =
+            f == 0 ? mainBlocks
+                   : segments * blocksPerSegment +
+                         (recursive[f] ? 2 : 0) + 1; // + return blk
+        next += funcNumBlocks[f];
+    }
+
+    const unsigned bodyRange =
+        p.instsPerBlockMax - p.instsPerBlockMin + 1;
+    auto bodyLen = [&]() {
+        return p.instsPerBlockMin +
+               static_cast<unsigned>(rng.below(bodyRange));
+    };
+
+    auto bodyCond = [&]() {
+        CondSpec c;
+        c.seed = rng.next();
+        const double patFrac =
+            p.fracPatternBranches /
+            std::max(0.0001,
+                     p.fracPatternBranches +
+                         (1.0 - p.fracLoopBranches -
+                          p.fracPatternBranches));
+        if (rng.chance(patFrac)) {
+            c.kind = CondKind::Pattern;
+            c.period = p.patternLenMin +
+                       static_cast<unsigned>(rng.below(
+                           p.patternLenMax - p.patternLenMin + 1));
+            // Body conditionals skip forward: mostly not taken, with
+            // a patterned taken minority.
+            c.patternBias = 1.0 - p.patternBias;
+        } else {
+            c.kind = CondKind::TakenProb;
+            c.takenProb = p.randomTakenProb;
+        }
+        return c;
+    };
+
+    auto emitCall = [&](unsigned f) {
+        // Terminate the current block with a (possibly indirect) call.
+        if (rng.chance(p.indirectCallFrac) && p.numFuncs > 2) {
+            IndirectSpec spec;
+            spec.seed = rng.next();
+            const double v = rng.uniform();
+            spec.kind = v < 0.4   ? IndirectKind::Phased
+                        : v < 0.8 ? IndirectKind::RoundRobin
+                                  : IndirectKind::Random;
+            spec.period = 16;
+            std::vector<std::uint32_t> cands;
+            for (unsigned t = 0; t < p.indirectFanout; ++t) {
+                cands.push_back(funcFirstBlock[pickCallee(
+                    rng, p.numFuncs, f, p.callSkew)]);
+            }
+            b.endIndirectCall(spec, std::move(cands));
+        } else {
+            b.endCall(funcFirstBlock[pickCallee(rng, p.numFuncs, f,
+                                                p.callSkew)]);
+        }
+    };
+
+    for (unsigned f = 0; f < p.numFuncs; ++f) {
+        const std::uint32_t first = funcFirstBlock[f];
+
+        if (f == 0) {
+            // Main: a ring of call blocks.
+            for (unsigned i = 0; i + 1 < funcNumBlocks[0]; ++i) {
+                b.beginBlock();
+                b.addFiller(2 + unsigned(rng.below(4)));
+                if (p.numFuncs > 1)
+                    emitCall(0);
+                else
+                    b.endFallthrough();
+            }
+            b.beginBlock();
+            b.endJump(first);
+            continue;
+        }
+
+        std::uint32_t blk = first;
+
+        for (unsigned s = 0; s < segments; ++s) {
+            const std::uint32_t header = b.beginBlock();
+            ELFSIM_ASSERT(header == blk, "layout drift");
+            emitBody(b, rng, p, bodyLen());
+            b.endFallthrough();
+
+            b.beginBlock(); // B1: body conditional, taken skips B2
+            emitBody(b, rng, p, bodyLen());
+            b.endCond(bodyCond(), blk + 3);
+
+            b.beginBlock(); // B2: skippable
+            emitBody(b, rng, p, bodyLen());
+            b.endFallthrough();
+
+            b.beginBlock(); // B3: optional call site
+            emitBody(b, rng, p, bodyLen());
+            if (rng.chance(p.callBlockProb) && p.numFuncs > 2)
+                emitCall(f);
+            else
+                b.endFallthrough();
+
+            b.beginBlock(); // L: loop latch
+            b.addFiller(1 + unsigned(rng.below(3)));
+            CondSpec latch;
+            latch.kind = CondKind::LoopPeriod;
+            latch.period =
+                p.loopPeriodMin +
+                static_cast<unsigned>(rng.below(
+                    p.loopPeriodMax - p.loopPeriodMin + 1));
+            latch.seed = rng.next();
+            b.endCond(latch, header);
+            blk += blocksPerSegment;
+        }
+
+        if (recursive[f]) {
+            // Body first, recursion last: the base case (guard taken)
+            // jumps straight to the epilogue, and the self-call's
+            // return address IS the epilogue — so base cases trigger
+            // chains of consecutive returns (the unwind), the shape
+            // that makes RET-ELF shine.
+            const std::uint32_t guard = b.beginBlock();
+            ELFSIM_ASSERT(guard == blk, "layout drift");
+            emitBody(b, rng, p, bodyLen());
+            CondSpec c;
+            c.kind = CondKind::TakenProb;
+            c.takenProb = 1.0 / std::max(1u, p.recursionDepthPeriod);
+            c.seed = rng.next();
+            b.endCond(c, blk + 2); // taken = base case -> epilogue
+            b.beginBlock();        // self-call; returns to epilogue
+            b.addFiller(2);
+            b.endCall(first);
+            blk += 2;
+        }
+
+        b.beginBlock(); // epilogue
+        b.addFiller(2);
+        b.endReturn();
+    }
+
+    return b.finalize(std::move(name));
+}
+
+Program
+microSequentialLoop(unsigned body_insts, unsigned period)
+{
+    ProgramBuilder b;
+    const std::uint32_t loop = b.beginBlock();
+    b.addFiller(body_insts);
+    CondSpec c;
+    c.kind = CondKind::LoopPeriod;
+    c.period = period;
+    b.endCond(c, loop);
+    b.beginBlock();
+    b.endJump(loop);
+    return b.finalize("micro_sequential_loop");
+}
+
+Program
+microTakenChain(unsigned n_blocks, unsigned block_len)
+{
+    ELFSIM_ASSERT(n_blocks >= 1, "need at least one block");
+    ProgramBuilder b;
+    for (unsigned i = 0; i < n_blocks; ++i) {
+        b.beginBlock();
+        b.addFiller(block_len);
+        b.endJump((i + 1) % n_blocks);
+    }
+    return b.finalize("micro_taken_chain");
+}
+
+Program
+microRandomBranchLoop(unsigned block_len, double taken_prob)
+{
+    ProgramBuilder b;
+    const std::uint32_t head = b.beginBlock();
+    b.addFiller(block_len);
+    CondSpec c;
+    c.kind = CondKind::TakenProb;
+    c.takenProb = taken_prob;
+    c.seed = 0x1234;
+    b.endCond(c, 2);
+    b.beginBlock(); // fall-through path
+    b.addFiller(block_len);
+    b.endJump(head);
+    b.beginBlock(); // taken path
+    b.addFiller(block_len);
+    b.endJump(head);
+    return b.finalize("micro_random_branch_loop");
+}
+
+Program
+microRecursion(unsigned depth, unsigned leaf_len)
+{
+    ProgramBuilder b;
+    const std::uint32_t main_blk = b.beginBlock(); // 0
+    b.addFiller(4);
+    b.endCall(2);
+    b.beginBlock(); // 1: after the call returns, loop forever
+    b.endJump(main_blk);
+    b.beginBlock(); // 2: recursive function entry (guard)
+    b.addFiller(leaf_len);
+    CondSpec c;
+    c.kind = CondKind::TakenProb;
+    c.takenProb = 1.0 / std::max(1u, depth);
+    c.seed = 0xbeef;
+    b.endCond(c, 4); // taken = base case, skip the self-call
+    b.beginBlock(); // 3: self-call
+    b.endCall(2);
+    b.beginBlock(); // 4: epilogue
+    b.addFiller(2);
+    b.endReturn();
+    return b.finalize("micro_recursion");
+}
+
+Program
+microIndirect(unsigned fanout, IndirectKind kind, unsigned block_len)
+{
+    ELFSIM_ASSERT(fanout >= 1, "need at least one target");
+    ProgramBuilder b;
+    const std::uint32_t head = b.beginBlock();
+    b.addFiller(block_len);
+    IndirectSpec spec;
+    spec.kind = kind;
+    spec.seed = 0x5151;
+    spec.period = 32;
+    std::vector<std::uint32_t> targets;
+    for (unsigned i = 0; i < fanout; ++i)
+        targets.push_back(1 + i);
+    b.endIndirectJump(spec, std::move(targets));
+    for (unsigned i = 0; i < fanout; ++i) {
+        b.beginBlock();
+        b.addFiller(block_len);
+        b.endJump(head);
+    }
+    return b.finalize("micro_indirect");
+}
+
+Program
+microBtbMissChain(unsigned n_blocks, unsigned block_len)
+{
+    Program p = microTakenChain(n_blocks, block_len);
+    return p;
+}
+
+Program
+microMemoryStream(std::uint64_t footprint, MemKind kind,
+                  unsigned block_len)
+{
+    ProgramBuilder b;
+    const std::uint32_t loop = b.beginBlock();
+    for (unsigned i = 0; i < block_len; ++i) {
+        MemSpec m;
+        m.kind = kind;
+        m.regionBase = defaultDataBase;
+        m.regionSize = std::max<std::uint64_t>(footprint, 64);
+        m.stride = 64;
+        m.seed = 0x77 + i;
+        if (i % 3 == 2)
+            b.addStore(m, static_cast<RegIndex>(i % 16));
+        else
+            b.addLoad(m, static_cast<RegIndex>(i % 16));
+    }
+    b.endJump(loop);
+    return b.finalize("micro_memory_stream");
+}
+
+} // namespace elfsim

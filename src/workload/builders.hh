@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Program generators: a parameterized random control-flow-graph
+ * generator used by the workload catalog, and small directed
+ * micro-programs used by unit tests and the timing microbenchmarks
+ * (Figures 2 and 3).
+ */
+
+#ifndef ELFSIM_WORKLOAD_BUILDERS_HH
+#define ELFSIM_WORKLOAD_BUILDERS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workload/program.hh"
+
+namespace elfsim {
+
+/**
+ * Knobs of the random CFG generator. Defaults give a small, fairly
+ * predictable integer-code-like program.
+ */
+struct CfgParams
+{
+    // --- code shape -----------------------------------------------------
+    unsigned numFuncs = 16;          ///< functions in the program
+    unsigned blocksPerFunc = 8;      ///< basic blocks per function
+    unsigned instsPerBlockMin = 4;   ///< body length lower bound
+    unsigned instsPerBlockMax = 12;  ///< body length upper bound
+
+    // --- conditional branch behaviour ------------------------------------
+    double fracLoopBranches = 0.4;   ///< LoopPeriod conditionals
+    double fracPatternBranches = 0.4;///< Pattern conditionals
+    /// remainder are TakenProb (data-dependent, hard to predict)
+    double randomTakenProb = 0.5;    ///< bias of TakenProb branches
+    unsigned loopPeriodMin = 4;
+    unsigned loopPeriodMax = 64;
+    unsigned patternLenMin = 4;
+    unsigned patternLenMax = 32;
+    double patternBias = 0.75;       ///< taken fraction of patterns
+    double backEdgeProb = 0.35;      ///< conditional targets earlier block
+
+    // --- calls ------------------------------------------------------------
+    double callBlockProb = 0.25;     ///< block ends in a call
+    double indirectCallFrac = 0.1;   ///< of calls, fraction indirect
+    unsigned indirectFanout = 4;     ///< candidate targets per indirect
+    double callSkew = 0.5;           ///< 0 = uniform callees, 1 = very hot
+    double recursionFrac = 0.0;      ///< fraction of recursive functions
+    unsigned recursionDepthPeriod = 8; ///< mean recursion depth
+
+    // --- memory ------------------------------------------------------------
+    double loadFrac = 0.20;          ///< per body instruction
+    double storeFrac = 0.10;
+    std::uint64_t dataFootprint = 1ull << 20; ///< bytes
+    double chaseFrac = 0.0;          ///< of loads, pointer-chasing fraction
+    double streamFrac = 0.7;         ///< of loads, striding fraction
+
+    // --- non-memory instruction mix ----------------------------------------
+    double fpFrac = 0.0;
+    double mulFrac = 0.05;
+    double divFrac = 0.005;
+
+    /** Probability a body instruction reads the previous writer's
+     *  destination (controls ILP: higher = chainier = lower IPC). */
+    double depChainFrac = 0.35;
+};
+
+/** Generate a random CFG program from @a params with @a seed. */
+Program generateCfg(const CfgParams &params, std::uint64_t seed,
+                    std::string name);
+
+// --- Directed micro-programs -------------------------------------------
+
+/**
+ * A single long block of @a body_insts ALU ops ending in a loop-back
+ * conditional with the given period (mostly sequential code).
+ */
+Program microSequentialLoop(unsigned body_insts, unsigned period);
+
+/**
+ * A ring of @a n_blocks blocks of @a block_len body instructions, each
+ * ending in an unconditional jump to the next: every block ends in a
+ * taken branch (exercises taken-branch bubbles / FAQ queueing).
+ */
+Program microTakenChain(unsigned n_blocks, unsigned block_len);
+
+/**
+ * A loop whose body contains a data-dependent conditional with taken
+ * probability @a taken_prob (drives branch mispredictions).
+ */
+Program microRandomBranchLoop(unsigned block_len, double taken_prob);
+
+/**
+ * Self-recursive function with mean depth @a depth, called from an
+ * infinite loop (drives RAS usage; RET-ELF's favourite shape).
+ */
+Program microRecursion(unsigned depth, unsigned leaf_len);
+
+/**
+ * A loop around an indirect jump over @a fanout equal-sized targets
+ * selected per @a kind.
+ */
+Program microIndirect(unsigned fanout, IndirectKind kind,
+                      unsigned block_len);
+
+/**
+ * A giant ring of jump-terminated blocks whose static footprint
+ * greatly exceeds BTB/I-cache reach (drives BTB and I-cache misses;
+ * the server-1 shape).
+ */
+Program microBtbMissChain(unsigned n_blocks, unsigned block_len);
+
+/**
+ * A loop of back-to-back memory instructions over @a footprint bytes
+ * (drives the D-side; used to check wrong-path pollution effects).
+ */
+Program microMemoryStream(std::uint64_t footprint, MemKind kind,
+                          unsigned block_len);
+
+} // namespace elfsim
+
+#endif // ELFSIM_WORKLOAD_BUILDERS_HH

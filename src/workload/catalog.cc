@@ -1,0 +1,417 @@
+#include "workload/catalog.hh"
+
+#include <algorithm>
+
+namespace elfsim {
+
+namespace {
+
+/**
+ * Baseline integer-code parameter set; entries tweak from here.
+ *
+ * Calibration notes: ELF targets front-end-bound behaviour, so the
+ * INT proxies keep their data mostly cache-resident (the branch
+ * misprediction penalty is then exposed rather than hidden behind
+ * memory stalls). Branch MPKI is set by the fraction and bias of
+ * data-dependent (TakenProb) conditionals plus the patterned minority
+ * rate; patterns are biased ~75-85% taken like real conditionals.
+ */
+CfgParams
+intBase()
+{
+    CfgParams p;
+    p.numFuncs = 24;
+    p.blocksPerFunc = 10;
+    p.instsPerBlockMin = 4;
+    p.instsPerBlockMax = 12;
+    p.fracLoopBranches = 0.45;
+    p.fracPatternBranches = 0.40;
+    p.patternBias = 0.80;
+    p.randomTakenProb = 0.30;
+    p.callBlockProb = 0.15;
+    p.indirectCallFrac = 0.05;
+    p.callSkew = 0.6;
+    p.loadFrac = 0.22;
+    p.storeFrac = 0.10;
+    p.dataFootprint = 192ull << 10; // mostly L2-resident
+    p.streamFrac = 0.6;
+    return p;
+}
+
+/** Baseline FP-code parameter set: loopy, predictable, few calls. */
+CfgParams
+fpBase()
+{
+    CfgParams p;
+    p.numFuncs = 12;
+    p.blocksPerFunc = 6;
+    p.instsPerBlockMin = 10;
+    p.instsPerBlockMax = 24;
+    p.fracLoopBranches = 0.8;
+    p.fracPatternBranches = 0.15;
+    p.patternBias = 0.85;
+    p.loopPeriodMin = 16;
+    p.loopPeriodMax = 128;
+    p.callBlockProb = 0.06;
+    p.indirectCallFrac = 0.0;
+    p.loadFrac = 0.28;
+    p.storeFrac = 0.12;
+    p.fpFrac = 0.30;
+    p.dataFootprint = 8ull << 20; // streaming through L3
+    p.streamFrac = 0.9;
+    return p;
+}
+
+std::vector<WorkloadSpec>
+makeCatalog()
+{
+    std::vector<WorkloadSpec> cat;
+    auto add = [&](std::string name, std::string suite, std::string notes,
+                   CfgParams p, std::uint64_t seed) {
+        cat.push_back({std::move(name), std::move(suite),
+                       std::move(notes), p, seed});
+    };
+
+    // ---- SPEC2K17 INT speed (ELF-relevant subset of Figures 6-8) ----
+    {
+        CfgParams p = intBase();
+        p.numFuncs = 64;
+        p.blocksPerFunc = 12;
+        p.fracLoopBranches = 0.45;
+        p.fracPatternBranches = 0.42;
+        p.patternLenMax = 48;
+        p.dataFootprint = 512ull << 10;
+        add("602.gcc", "2K17 INT",
+            "compiler: larger footprint, moderate MPKI", p, 0x602);
+    }
+    {
+        CfgParams p = intBase();
+        p.numFuncs = 12;
+        p.loadFrac = 0.30;
+        p.dataFootprint = 256ull << 20;
+        p.chaseFrac = 0.5;
+        p.streamFrac = 0.2;
+        p.fracLoopBranches = 0.40;
+        p.fracPatternBranches = 0.30;
+        p.randomTakenProb = 0.32;
+        add("605.mcf", "2K17 INT",
+            "memory-bound pointer chasing, high-ish MPKI", p, 0x605);
+    }
+    {
+        CfgParams p = intBase();
+        p.numFuncs = 32;
+        p.fracLoopBranches = 0.25;
+        p.fracPatternBranches = 0.85;
+        // Biased enough that the coupled bimodal saturates and
+        // speculates, yet wrong on the patterned minority TAGE
+        // learns: COND-ELF pays divergences and wrong-path cache
+        // pollution (the paper's omnetpp case).
+        p.patternBias = 0.75;
+        p.patternLenMin = 8;
+        p.patternLenMax = 16;
+        p.indirectCallFrac = 0.15;
+        p.indirectFanout = 6;
+        p.loadFrac = 0.26;
+        p.dataFootprint = 30ull << 10; // L1D-resident: pollution hurts
+        add("620.omnetpp", "2K17 INT",
+            "discrete-event sim: weakly-biased patterned branches "
+            "TAGE learns but a bimodal cannot (COND-ELF-hostile)",
+            p, 0x620);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.32;
+        p.fracPatternBranches = 0.38;
+        p.randomTakenProb = 0.34;
+        p.recursionFrac = 0.3;
+        p.recursionDepthPeriod = 12;
+        p.dataFootprint = 96ull << 10;
+        add("631.deepsjeng", "2K17 INT",
+            "game tree search: high MPKI, recursion", p, 0x631);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.26;
+        p.fracPatternBranches = 0.36;
+        p.randomTakenProb = 0.38;
+        p.recursionFrac = 0.25;
+        p.recursionDepthPeriod = 10;
+        p.dataFootprint = 48ull << 10;
+        add("641.leela", "2K17 INT",
+            "MCTS: highest MPKI of the INT set; ELF's best case",
+            p, 0x641);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.70;
+        p.fracPatternBranches = 0.25;
+        p.loopPeriodMin = 6;
+        p.loopPeriodMax = 24;
+        p.dataFootprint = 64ull << 10;
+        add("648.exchange2", "2K17 INT",
+            "puzzle generator: predictable loopy code", p, 0x648);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.55;
+        p.fracPatternBranches = 0.30;
+        p.randomTakenProb = 0.25;
+        p.dataFootprint = 16ull << 20;
+        p.streamFrac = 0.85;
+        add("657.xz_s", "2K17 INT",
+            "compression: moderate MPKI, streaming data", p, 0x657);
+    }
+
+    // ---- SPEC2K6 INT (ELF-relevant subset) ----
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.40;
+        p.fracPatternBranches = 0.45;
+        p.dataFootprint = 2ull << 20;
+        p.streamFrac = 0.85;
+        add("401.bzip2", "2K6 INT", "compression, patterned branches",
+            p, 0x401);
+    }
+    {
+        CfgParams p = intBase();
+        p.numFuncs = 72;
+        p.blocksPerFunc = 12;
+        p.fracLoopBranches = 0.42;
+        p.fracPatternBranches = 0.42;
+        p.dataFootprint = 512ull << 10;
+        add("403.gcc", "2K6 INT", "compiler, larger footprint", p,
+            0x403);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.30;
+        p.fracPatternBranches = 0.36;
+        p.randomTakenProb = 0.36;
+        p.recursionFrac = 0.2;
+        p.dataFootprint = 96ull << 10;
+        add("445.gobmk", "2K6 INT", "go engine: high MPKI", p, 0x445);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.32;
+        p.fracPatternBranches = 0.36;
+        p.randomTakenProb = 0.34;
+        p.recursionFrac = 0.3;
+        p.recursionDepthPeriod = 14;
+        p.dataFootprint = 64ull << 10;
+        add("458.sjeng", "2K6 INT",
+            "chess: high MPKI, recursion, some indirection", p, 0x458);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.35;
+        p.fracPatternBranches = 0.38;
+        p.randomTakenProb = 0.35;
+        p.dataFootprint = 96ull << 20;
+        p.chaseFrac = 0.25;
+        add("473.astar", "2K6 INT",
+            "path-finding: high MPKI + big data side", p, 0x473);
+    }
+
+    // ---- SPEC2K6 FP (ELF-relevant subset) ----
+    {
+        CfgParams p = fpBase();
+        p.callBlockProb = 0.20;
+        p.recursionFrac = 0.25;
+        p.recursionDepthPeriod = 6;
+        p.loadFrac = 0.26;
+        p.storeFrac = 0.16;
+        p.dataFootprint = 28ull << 10; // L1D-resident: wrong-path
+                                       // pollution visible
+        p.streamFrac = 0.5;
+        add("433.milc", "2K6 FP",
+            "lattice QCD proxy: short calls/returns + store traffic "
+            "(mem-dep-flush sensitive with RET-ELF)", p, 0x433);
+    }
+    {
+        CfgParams p = fpBase();
+        p.fracLoopBranches = 0.85;
+        p.loopPeriodMin = 32;
+        p.loopPeriodMax = 256;
+        p.dataFootprint = 24ull << 20;
+        add("437.leslie3d", "2K6 FP", "stencil: predictable, streaming",
+            p, 0x437);
+    }
+
+    // ---- Server 1: large instruction footprint (proprietary proxy) ----
+    for (int s = 1; s <= 3; ++s) {
+        CfgParams p = intBase();
+        p.numFuncs = 1100 + 100 * s;
+        p.blocksPerFunc = 5;        // short functions
+        p.instsPerBlockMin = 5;
+        p.instsPerBlockMax = 12;
+        p.loopPeriodMin = 2;
+        p.loopPeriodMax = 6;        // brief loops: sweep the footprint
+        // Main is the dispatcher (one call site per two functions);
+        // nested calls are rare so the walk keeps returning to main
+        // and sweeps the whole image instead of descending into a
+        // static call cycle.
+        p.callBlockProb = 0.08;
+        p.indirectCallFrac = 0.15;
+        p.indirectFanout = 6;
+        p.callSkew = 0.05;          // flat profile: touches everything
+        p.fracLoopBranches = 0.42;
+        p.fracPatternBranches = 0.40;
+        p.dataFootprint = 512ull << 10;
+        add("srv1.subtest_" + std::to_string(s), "Server 1",
+            "transaction server proxy: code footprint far beyond "
+            "L1I/BTB reach", p, 0x1000 + s);
+    }
+
+    // ---- Server 2: branchy computation kernels (proprietary proxy) ----
+    {
+        CfgParams p = intBase();
+        p.numFuncs = 20;
+        p.fracLoopBranches = 0.28;
+        p.fracPatternBranches = 0.32;
+        p.randomTakenProb = 0.34;
+        p.storeFrac = 0.16;
+        p.dataFootprint = 320ull << 10;
+        add("srv2.subtest_1", "Server 2",
+            "branchy kernel with store pressure", p, 0x2001);
+    }
+    {
+        CfgParams p = intBase();
+        p.numFuncs = 16;
+        p.blocksPerFunc = 6;
+        p.recursionFrac = 0.9;
+        p.recursionDepthPeriod = 14;
+        p.callBlockProb = 0.25;
+        p.fracLoopBranches = 0.25;
+        p.fracPatternBranches = 0.35;
+        p.patternBias = 0.70;
+        p.randomTakenProb = 0.35;
+        p.loadFrac = 0.26;
+        p.storeFrac = 0.14;
+        p.dataFootprint = 24ull << 10; // L1D-resident: wrong-path
+                                       // D-pollution hurts COND/U-ELF
+        p.streamFrac = 0.3;
+        add("srv2.subtest_2", "Server 2",
+            "recursion-dominated kernel (RET-ELF's best case; "
+            "wrong-path D-pollution sensitive)", p, 0x2002);
+    }
+    {
+        CfgParams p = intBase();
+        p.numFuncs = 10;
+        p.fracLoopBranches = 0.20;
+        p.fracPatternBranches = 0.15;
+        p.randomTakenProb = 0.45;
+        p.loadFrac = 0.34;
+        p.chaseFrac = 0.7;
+        p.streamFrac = 0.1;
+        p.dataFootprint = 768ull << 20;
+        add("srv2.subtest_3", "Server 2",
+            "graph processing proxy: extreme MPKI but memory-bound",
+            p, 0x2003);
+    }
+
+    // ---- Fill out the suites for the Figure 9 geomeans ----
+    {
+        CfgParams p = fpBase();
+        add("bwaves_like", "2K17 FP", "dense FP loops", p, 0x2101);
+        p.dataFootprint = 64ull << 20;
+        add("lbm_like", "2K17 FP", "streaming FP, big data", p, 0x2102);
+        p.fracLoopBranches = 0.7;
+        p.fracPatternBranches = 0.2;
+        p.dataFootprint = 4ull << 20;
+        add("cam4_like", "2K17 FP", "FP with some branchiness", p,
+            0x2103);
+        p.instsPerBlockMin = 16;
+        p.instsPerBlockMax = 40;
+        add("nab_like", "2K17 FP", "long FP blocks", p, 0x2104);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.55;
+        p.dataFootprint = 256ull << 10;
+        add("perlbench_like", "2K17 INT", "interpreter-ish", p, 0x2201);
+        p.indirectCallFrac = 0.2;
+        p.indirectFanout = 8;
+        add("x264_like", "2K17 INT", "media with indirect calls", p,
+            0x2202);
+    }
+    {
+        CfgParams p = intBase();
+        p.fracLoopBranches = 0.55;
+        p.randomTakenProb = 0.2;
+        p.dataFootprint = 128ull << 10;
+        add("hmmer_like", "2K6 INT", "predictable scoring loops", p,
+            0x2301);
+        p.fracPatternBranches = 0.5;
+        p.fracLoopBranches = 0.35;
+        add("h264ref_like", "2K6 INT", "media, patterned", p, 0x2302);
+    }
+    {
+        CfgParams p = fpBase();
+        add("gromacs_like", "2K6 FP", "MD loops", p, 0x2401);
+        p.instsPerBlockMin = 14;
+        p.instsPerBlockMax = 32;
+        add("zeusmp_like", "2K6 FP", "long vector-ish blocks", p,
+            0x2402);
+    }
+
+    return cat;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+workloadCatalog()
+{
+    static const std::vector<WorkloadSpec> cat = makeCatalog();
+    return cat;
+}
+
+const WorkloadSpec *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+Program
+buildWorkload(const WorkloadSpec &spec)
+{
+    return generateCfg(spec.params, spec.seed, spec.name);
+}
+
+std::vector<std::string>
+elfRelevantWorkloads()
+{
+    return {
+        "602.gcc",      "605.mcf",      "620.omnetpp",
+        "631.deepsjeng", "641.leela",    "648.exchange2",
+        "657.xz_s",     "srv1.subtest_1", "srv2.subtest_1",
+        "srv2.subtest_2", "srv2.subtest_3", "433.milc",
+        "437.leslie3d", "401.bzip2",    "403.gcc",
+        "445.gobmk",    "458.sjeng",    "473.astar",
+    };
+}
+
+std::vector<std::string>
+catalogSuites()
+{
+    return {"2K17 FP", "2K17 INT", "2K6 FP", "2K6 INT",
+            "Server 1", "Server 2"};
+}
+
+std::vector<std::string>
+suiteWorkloads(const std::string &suite)
+{
+    std::vector<std::string> names;
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        if (w.suite == suite)
+            names.push_back(w.name);
+    }
+    return names;
+}
+
+} // namespace elfsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Named workload catalog — the Table I equivalent.
+ *
+ * Each entry pairs a benchmark-like name with CFG-generator parameters
+ * tuned so the *front-end profile* (branch MPKI class, I-footprint
+ * class, BTB pressure, recursion/indirection usage, D-side pressure)
+ * matches what the paper reports for that workload. Absolute IPC is
+ * not expected to match; the response to DCF/ELF should.
+ */
+
+#ifndef ELFSIM_WORKLOAD_CATALOG_HH
+#define ELFSIM_WORKLOAD_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/builders.hh"
+#include "workload/program.hh"
+
+namespace elfsim {
+
+/** One catalog entry. */
+struct WorkloadSpec
+{
+    std::string name;   ///< benchmark-like name (e.g. "641.leela")
+    std::string suite;  ///< "2K17 INT", "2K6 INT", "2K6 FP", ...
+    std::string notes;  ///< behavioural intent, one line
+    CfgParams params;
+    std::uint64_t seed = 1;
+};
+
+/** The full catalog (all suites). */
+const std::vector<WorkloadSpec> &workloadCatalog();
+
+/** Find an entry by name; nullptr if absent. */
+const WorkloadSpec *findWorkload(const std::string &name);
+
+/** Build the program for a catalog entry. */
+Program buildWorkload(const WorkloadSpec &spec);
+
+/**
+ * Names of the ELF-relevant subset shown per-workload in Figures 6-8
+ * (the paper plots only workloads that respond to ELF).
+ */
+std::vector<std::string> elfRelevantWorkloads();
+
+/** Distinct suite names, in report order. */
+std::vector<std::string> catalogSuites();
+
+/** Names of all workloads in a given suite. */
+std::vector<std::string> suiteWorkloads(const std::string &suite);
+
+} // namespace elfsim
+
+#endif // ELFSIM_WORKLOAD_CATALOG_HH

@@ -1,0 +1,108 @@
+#include "workload/oracle_stream.hh"
+
+namespace elfsim {
+
+OracleStream::OracleStream(const Program &prog, std::size_t window_cap)
+    : prog(prog), windowCap(window_cap), pc(prog.entryPC()),
+      condCount(prog.behaviors().numConds(), 0),
+      indCount(prog.behaviors().numIndirects(), 0),
+      memCount(prog.behaviors().numMems(), 0)
+{
+}
+
+const OracleInst &
+OracleStream::at(SeqNum idx)
+{
+    ELFSIM_ASSERT(idx >= baseIdx,
+                  "oracle index %llu older than window base %llu",
+                  (unsigned long long)idx, (unsigned long long)baseIdx);
+    while (idx >= baseIdx + window.size())
+        generateOne();
+    return window[idx - baseIdx];
+}
+
+void
+OracleStream::retireUpTo(SeqNum idx)
+{
+    while (!window.empty() && baseIdx <= idx) {
+        window.pop_front();
+        ++baseIdx;
+    }
+    if (window.empty() && baseIdx <= idx)
+        baseIdx = idx + 1;
+}
+
+void
+OracleStream::generateOne()
+{
+    ELFSIM_ASSERT(window.size() < windowCap,
+                  "oracle window overflow (%zu insts unretired)",
+                  window.size());
+
+    const StaticInst *si = prog.instAt(pc);
+    ELFSIM_ASSERT(si != nullptr,
+                  "architectural path left the program image at 0x%llx",
+                  (unsigned long long)pc);
+
+    OracleInst oi;
+    oi.si = si;
+    Addr next = si->nextPC();
+
+    if (si->isMemInst()) {
+        const MemSpec &m = prog.behaviors().mem(si->behavior);
+        oi.memAddr = m.address(memCount[si->behavior]++);
+    }
+
+    switch (si->branch) {
+      case BranchKind::None:
+        break;
+      case BranchKind::CondDirect: {
+        const CondSpec &c = prog.behaviors().cond(si->behavior);
+        oi.taken = c.outcome(condCount[si->behavior]++);
+        if (oi.taken)
+            next = si->directTarget;
+        break;
+      }
+      case BranchKind::UncondDirect:
+        oi.taken = true;
+        next = si->directTarget;
+        break;
+      case BranchKind::DirectCall:
+        oi.taken = true;
+        if (callStack.size() >= maxCallDepth)
+            callStack.erase(callStack.begin());
+        callStack.push_back(si->nextPC());
+        next = si->directTarget;
+        break;
+      case BranchKind::IndirectJump: {
+        const IndirectSpec &t = prog.behaviors().indirect(si->behavior);
+        oi.taken = true;
+        next = t.target(indCount[si->behavior]++);
+        break;
+      }
+      case BranchKind::IndirectCall: {
+        const IndirectSpec &t = prog.behaviors().indirect(si->behavior);
+        oi.taken = true;
+        if (callStack.size() >= maxCallDepth)
+            callStack.erase(callStack.begin());
+        callStack.push_back(si->nextPC());
+        next = t.target(indCount[si->behavior]++);
+        break;
+      }
+      case BranchKind::Return:
+        oi.taken = true;
+        if (callStack.empty()) {
+            next = prog.entryPC();
+        } else {
+            next = callStack.back();
+            callStack.pop_back();
+        }
+        break;
+    }
+
+    oi.nextPC = next;
+    window.push_back(oi);
+    pc = next;
+}
+
+} // namespace elfsim

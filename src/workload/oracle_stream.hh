@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Architectural (committed-path) instruction stream generator.
+ *
+ * The OracleStream lazily produces the dynamic instruction stream the
+ * program will actually commit, in program order, binding branch
+ * outcomes, branch targets, and memory addresses from the behaviour
+ * specs. It keeps a window from the oldest uncommitted instruction to
+ * the newest generated one so that pipeline flushes can *replay*
+ * already-generated instructions deterministically — the generator
+ * state never needs to rewind.
+ *
+ * The front-end walks this stream while on the correct path; when a
+ * prediction disagrees with the oracle outcome the front-end keeps
+ * fetching real wrong-path instructions from the static image (see
+ * WrongPathWalker) until the branch resolves in the back-end.
+ */
+
+#ifndef ELFSIM_WORKLOAD_ORACLE_STREAM_HH
+#define ELFSIM_WORKLOAD_ORACLE_STREAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "workload/program.hh"
+
+namespace elfsim {
+
+/** One architectural dynamic instruction. */
+struct OracleInst
+{
+    const StaticInst *si = nullptr;
+    /** Branch outcome (true for all taken control transfers). */
+    bool taken = false;
+    /** Architectural next PC (fall-through or actual target). */
+    Addr nextPC = invalidAddr;
+    /** Bound memory address (invalidAddr for non-memory ops). */
+    Addr memAddr = invalidAddr;
+};
+
+/** Lazily generated, replayable architectural instruction window. */
+class OracleStream
+{
+  public:
+    /**
+     * @param prog Program to execute.
+     * @param window_cap Maximum in-flight (uncommitted) window; a
+     *        guard against callers forgetting to retire.
+     */
+    explicit OracleStream(const Program &prog,
+                          std::size_t window_cap = 1u << 16);
+
+    /**
+     * Architectural instruction at 1-based index @a idx. Generates
+     * forward as needed. @a idx must not be older than the oldest
+     * unretired instruction.
+     */
+    const OracleInst &at(SeqNum idx);
+
+    /** PC of the instruction at @a idx. */
+    Addr
+    pcAt(SeqNum idx)
+    {
+        return at(idx).si->pc;
+    }
+
+    /** Oldest unretired architectural index. */
+    SeqNum oldest() const { return baseIdx; }
+
+    /** Newest generated architectural index (0 if none yet). */
+    SeqNum newest() const { return baseIdx + window.size() - 1; }
+
+    /** Retire (drop) all instructions with index <= @a idx. */
+    void retireUpTo(SeqNum idx);
+
+    /** The program being executed. */
+    const Program &program() const { return prog; }
+
+  private:
+    void generateOne();
+
+    const Program &prog;
+    std::size_t windowCap;
+    std::deque<OracleInst> window;
+    SeqNum baseIdx = 1;
+
+    Addr pc;
+    std::vector<Addr> callStack;
+    std::vector<std::uint64_t> condCount;
+    std::vector<std::uint64_t> indCount;
+    std::vector<std::uint64_t> memCount;
+
+    static constexpr std::size_t maxCallDepth = 4096;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_WORKLOAD_ORACLE_STREAM_HH

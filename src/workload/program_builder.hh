@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Symbolic builder for synthetic programs.
+ *
+ * Blocks are created in layout order and referenced by index;
+ * terminator targets may forward-reference blocks that are created
+ * later. finalize() lays the image out contiguously from the code
+ * base, resolves block indices to addresses, and registers behaviour
+ * specs.
+ */
+
+#ifndef ELFSIM_WORKLOAD_PROGRAM_BUILDER_HH
+#define ELFSIM_WORKLOAD_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/behavior.hh"
+#include "workload/program.hh"
+
+namespace elfsim {
+
+/** Builds a Program from symbolic blocks. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(Addr code_base = defaultCodeBase)
+        : base(code_base)
+    {}
+
+    /** Start a new block (becomes "current"); returns its index. */
+    std::uint32_t beginBlock();
+
+    /** @return the index the next beginBlock() call will return. */
+    std::uint32_t nextBlockIndex() const
+    {
+        return static_cast<std::uint32_t>(blocks.size());
+    }
+
+    /** Append a non-memory, non-branch instruction to current block. */
+    void addOp(InstClass cls, RegIndex dst = numArchRegs,
+               RegIndex src0 = numArchRegs, RegIndex src1 = numArchRegs);
+
+    /** Append a load with the given address behaviour. */
+    void addLoad(const MemSpec &spec, RegIndex dst = numArchRegs,
+                 RegIndex addr_src = numArchRegs);
+
+    /** Append a store with the given address behaviour. */
+    void addStore(const MemSpec &spec, RegIndex data_src = numArchRegs,
+                  RegIndex addr_src = numArchRegs);
+
+    /** Append @a n single-cycle ALU filler instructions. */
+    void addFiller(unsigned n);
+
+    /** End current block with a conditional branch to @a target_block. */
+    void endCond(const CondSpec &spec, std::uint32_t target_block);
+
+    /** End current block with an unconditional direct jump. */
+    void endJump(std::uint32_t target_block);
+
+    /** End current block with a direct call. */
+    void endCall(std::uint32_t target_block);
+
+    /** End current block with an indirect jump over candidate blocks. */
+    void endIndirectJump(const IndirectSpec &proto,
+                         std::vector<std::uint32_t> target_blocks);
+
+    /** End current block with an indirect call over candidate blocks. */
+    void endIndirectCall(const IndirectSpec &proto,
+                         std::vector<std::uint32_t> target_blocks);
+
+    /** End current block with a return. */
+    void endReturn();
+
+    /** End current block with no branch (falls into the next block). */
+    void endFallthrough();
+
+    /** Number of instructions added so far (including terminators). */
+    InstCount instCount() const;
+
+    /**
+     * Lay out and produce the program.
+     *
+     * @param name Program name (for reports).
+     * @param entry_block Block index where execution starts.
+     */
+    Program finalize(std::string name, std::uint32_t entry_block = 0);
+
+  private:
+    enum class TermKind : std::uint8_t {
+        Open,         ///< block still accepting instructions
+        Fallthrough,
+        Cond,
+        Jump,
+        Call,
+        IndJump,
+        IndCall,
+        Return,
+    };
+
+    struct SymInst
+    {
+        InstClass cls;
+        RegIndex dst;
+        RegIndex src0;
+        RegIndex src1;
+        bool hasMem = false;
+        MemSpec mem{};
+    };
+
+    struct SymBlock
+    {
+        std::vector<SymInst> body;
+        TermKind term = TermKind::Open;
+        CondSpec cond{};
+        IndirectSpec indirect{};
+        std::vector<std::uint32_t> targets;
+    };
+
+    SymBlock &current();
+    void endBlock(TermKind kind);
+
+    Addr base;
+    std::vector<SymBlock> blocks;
+    bool blockOpen = false;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_WORKLOAD_PROGRAM_BUILDER_HH

@@ -1,0 +1,30 @@
+#include "workload/wrong_path.hh"
+
+namespace elfsim {
+
+const StaticInst *
+WrongPathWalker::instAt(Addr pc)
+{
+    if (pc % instBytes != 0)
+        return nullptr;
+    if (const StaticInst *si = prog.instAt(pc))
+        return si;
+    auto it = fabricated.find(pc);
+    if (it == fabricated.end()) {
+        StaticInst nop;
+        nop.pc = pc;
+        nop.cls = InstClass::Nop;
+        it = fabricated.emplace(pc, nop).first;
+    }
+    return &it->second;
+}
+
+Addr
+WrongPathWalker::wrongPathMemAddr(const StaticInst &si, SeqNum salt) const
+{
+    if (!si.isMemInst() || si.behavior == noBehavior)
+        return invalidAddr;
+    return prog.behaviors().mem(si.behavior).wrongPathAddress(salt);
+}
+
+} // namespace elfsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Wrong-path instruction supply.
+ *
+ * When the front-end runs down a mispredicted path it still fetches
+ * real instruction bytes. This walker serves StaticInsts for any PC:
+ * mapped addresses return the real static instruction; unmapped
+ * addresses (e.g. sequential over-fetch past the image) return a
+ * fabricated NOP so the fetch path and its I-cache accesses still
+ * happen. Wrong-path memory instructions sample deterministic
+ * addresses via MemSpec::wrongPathAddress so D-side pollution is
+ * modeled without perturbing architectural behaviour state.
+ */
+
+#ifndef ELFSIM_WORKLOAD_WRONG_PATH_HH
+#define ELFSIM_WORKLOAD_WRONG_PATH_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "workload/program.hh"
+
+namespace elfsim {
+
+/** Serves static instructions for arbitrary (possibly unmapped) PCs. */
+class WrongPathWalker
+{
+  public:
+    explicit WrongPathWalker(const Program &prog) : prog(prog) {}
+
+    /**
+     * @return the static instruction at @a pc; a cached fabricated
+     * NOP if the address is not part of the program image. Never
+     * nullptr for aligned addresses; nullptr for misaligned ones.
+     */
+    const StaticInst *instAt(Addr pc);
+
+    /** @return true iff @a pc maps to a real program instruction. */
+    bool isMapped(Addr pc) const { return prog.contains(pc); }
+
+    /**
+     * Address sampled by a wrong-path execution of memory
+     * instruction @a si, salted by the dynamic sequence number.
+     */
+    Addr wrongPathMemAddr(const StaticInst &si, SeqNum salt) const;
+
+  private:
+    const Program &prog;
+    std::unordered_map<Addr, StaticInst> fabricated;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_WORKLOAD_WRONG_PATH_HH

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "bpred/gshare.hh"
+
+using namespace elfsim;
+
+TEST(Gshare, LearnsBiasedBranch)
+{
+    Gshare g;
+    const Addr pc = 0x400100;
+    for (int i = 0; i < 32; ++i)
+        g.update(pc, true);
+    EXPECT_TRUE(g.predict(pc));
+}
+
+TEST(Gshare, HistoryDisambiguatesAlternation)
+{
+    // A strictly alternating branch: the commit-history gshare can
+    // learn it (two history contexts), a bimodal cannot.
+    Gshare g;
+    const Addr pc = 0x400200;
+    for (int i = 0; i < 400; ++i)
+        g.update(pc, i % 2 == 0);
+    unsigned wrong = 0;
+    for (int i = 400; i < 600; ++i) {
+        if (g.predict(pc) != (i % 2 == 0))
+            ++wrong;
+        g.update(pc, i % 2 == 0);
+    }
+    EXPECT_LT(wrong, 20u);
+}
+
+TEST(Gshare, SaturationFilterWorks)
+{
+    Gshare g;
+    const Addr pc = 0x400300;
+    g.update(pc, true);
+    // After a single update in one history context the counter is not
+    // saturated yet.
+    EXPECT_FALSE(g.saturated(pc) && g.predict(pc));
+    for (int i = 0; i < 64; ++i)
+        g.update(pc, true);
+    EXPECT_TRUE(g.saturated(pc));
+}
+
+TEST(Gshare, ResetClears)
+{
+    Gshare g;
+    for (int i = 0; i < 32; ++i)
+        g.update(0x400400, true);
+    g.reset();
+    EXPECT_FALSE(g.saturated(0x400400));
+}
+
+TEST(Gshare, StorageMatchesConfig)
+{
+    GshareParams p;
+    p.entries = 2048;
+    p.counterBits = 3;
+    Gshare g(p);
+    EXPECT_DOUBLE_EQ(g.storageBytes(), 768.0);
+}

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "bpred/ittage.hh"
+
+using namespace elfsim;
+
+TEST(Ittage, ColdMiss)
+{
+    Ittage it;
+    const IttagePrediction p = it.predict(0x400100);
+    EXPECT_EQ(p.target, invalidAddr);
+    EXPECT_EQ(p.provider, -1);
+    EXPECT_FALSE(p.baseHit);
+}
+
+TEST(Ittage, LearnsMonomorphicTarget)
+{
+    Ittage it;
+    const Addr pc = 0x400200, target = 0x500000;
+    for (int i = 0; i < 10; ++i) {
+        const IttagePrediction p = it.predict(pc);
+        it.update(pc, p, target);
+        it.pushSpec(pc, true);
+        it.pushArch(pc, true);
+    }
+    EXPECT_EQ(it.predict(pc).target, target);
+}
+
+TEST(Ittage, LearnsHistoryCorrelatedTargets)
+{
+    // Target alternates with a preceding conditional's direction: a
+    // round-robin over 2 targets where history disambiguates.
+    Ittage it;
+    const Addr condPc = 0x400300, indPc = 0x400310;
+    const Addr t0 = 0x500000, t1 = 0x600000;
+    unsigned wrong = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool dir = (i % 2) == 0;
+        it.pushSpec(condPc, dir);
+        it.pushArch(condPc, dir);
+        const Addr target = dir ? t0 : t1;
+        const IttagePrediction p = it.predict(indPc);
+        if (i > 2000 && p.target != target)
+            ++wrong;
+        it.update(indPc, p, target);
+        it.pushSpec(indPc, true);
+        it.pushArch(indPc, true);
+    }
+    EXPECT_LT(wrong, 200u);
+}
+
+TEST(Ittage, SpecRecoveryMatchesArch)
+{
+    Ittage it;
+    const Addr pc = 0x400400;
+    for (int i = 0; i < 40; ++i) {
+        it.pushSpec(pc, i % 2 == 0);
+        it.pushArch(pc, i % 2 == 0);
+    }
+    const IttagePrediction clean = it.predict(pc);
+    for (int i = 0; i < 10; ++i)
+        it.pushSpec(pc + 4, true); // wrong path
+    it.resetSpecToArch();
+    const IttagePrediction rec = it.predict(pc);
+    EXPECT_EQ(rec.indices[0], clean.indices[0]);
+    EXPECT_EQ(rec.tags[0], clean.tags[0]);
+}
+
+TEST(Ittage, RecoverFromSingleTargetGlitch)
+{
+    // A dominant target with one glitch observation: the predictor
+    // must re-converge to the dominant target quickly.
+    Ittage it;
+    const Addr pc = 0x400500;
+    for (int i = 0; i < 6; ++i) {
+        const IttagePrediction p = it.predict(pc);
+        it.update(pc, p, 0xaaa0);
+        it.pushSpec(pc, true);
+        it.pushArch(pc, true);
+    }
+    const IttagePrediction glitch = it.predict(pc);
+    it.update(pc, glitch, 0xbbb0); // single wrong observation
+    it.pushSpec(pc, true);
+    it.pushArch(pc, true);
+    unsigned wrong = 0;
+    for (int i = 0; i < 8; ++i) {
+        const IttagePrediction p = it.predict(pc);
+        if (p.target != 0xaaa0)
+            ++wrong;
+        it.update(pc, p, 0xaaa0);
+        it.pushSpec(pc, true);
+        it.pushArch(pc, true);
+    }
+    EXPECT_LE(wrong, 2u);
+}
+
+TEST(Ittage, StorageReported)
+{
+    Ittage it;
+    EXPECT_GT(it.storageBytes(), 8.0 * 1024);
+    EXPECT_LT(it.storageBytes(), 64.0 * 1024);
+}

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/history.hh"
+#include "common/random.hh"
+
+using namespace elfsim;
+
+TEST(GlobalHistory, PushAndRead)
+{
+    GlobalHistory h(16);
+    h.push(true);
+    h.push(false);
+    h.push(true);
+    EXPECT_TRUE(h.bitAt(0));  // youngest
+    EXPECT_FALSE(h.bitAt(1));
+    EXPECT_TRUE(h.bitAt(2));
+}
+
+TEST(GlobalHistory, RestoreRewindsSpeculation)
+{
+    GlobalHistory h(32);
+    h.push(true);
+    h.push(true);
+    const unsigned ckpt = h.pointer();
+    h.push(false);
+    h.push(false);
+    h.restore(ckpt);
+    EXPECT_TRUE(h.bitAt(0));
+    EXPECT_TRUE(h.bitAt(1));
+    // Pushing after restore overwrites the abandoned bits.
+    h.push(false);
+    EXPECT_FALSE(h.bitAt(0));
+    EXPECT_TRUE(h.bitAt(1));
+}
+
+TEST(FoldedHistory, MatchesDirectFold)
+{
+    // Maintain a reference 12-bit history and check the folded value
+    // equals XOR-folding it directly.
+    const unsigned histLen = 12, foldLen = 5;
+    FoldedHistory f(histLen, foldLen);
+    std::vector<bool> ref;
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i) {
+        const bool nb = rng.chance(0.5);
+        const bool ob =
+            ref.size() >= histLen ? ref[ref.size() - histLen] : false;
+        f.update(nb, ob);
+        ref.push_back(nb);
+
+        std::uint32_t expect = 0;
+        // Fold the last histLen bits: bit j of history goes to
+        // position (j % foldLen) where j counts from youngest.
+        // Equivalent reference: replay the incremental algorithm.
+        FoldedHistory g(histLen, foldLen);
+        for (std::size_t k = 0; k < ref.size(); ++k) {
+            const bool nk = ref[k];
+            const bool ok = k >= histLen ? ref[k - histLen] : false;
+            g.update(nk, ok);
+        }
+        expect = g.value();
+        EXPECT_EQ(f.value(), expect);
+    }
+}
+
+TEST(FoldedHistory, DifferentHistoriesDiffer)
+{
+    FoldedHistory a(20, 8), b(20, 8);
+    for (int i = 0; i < 20; ++i) {
+        a.update(i % 2 == 0, false);
+        b.update(i % 3 == 0, false);
+    }
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(FoldedHistory, RestoreRoundTrip)
+{
+    FoldedHistory f(16, 6);
+    for (int i = 0; i < 10; ++i)
+        f.update(i % 2 == 0, false);
+    const std::uint32_t saved = f.value();
+    f.update(true, false);
+    f.restore(saved);
+    EXPECT_EQ(f.value(), saved);
+}

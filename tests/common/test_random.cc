@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "common/random.hh"
+
+using namespace elfsim;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; loose bound.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs)
+{
+    // Sanity: no collisions among a small grid.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t a = 0; a < 50; ++a) {
+        for (std::uint64_t b = 0; b < 50; ++b)
+            seen.insert(mix64(a, b));
+    }
+    EXPECT_EQ(seen.size(), 2500u);
+}

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+using namespace elfsim;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.raw(), 3u);
+    EXPECT_TRUE(c.isTaken());
+    EXPECT_TRUE(c.isSaturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.raw(), 0u);
+    EXPECT_FALSE(c.isTaken());
+    EXPECT_TRUE(c.isSaturated());
+}
+
+TEST(SatCounter, TakenThreshold)
+{
+    // 3-bit counter: values 0..7; taken iff > 3.
+    SatCounter c(3, 3);
+    EXPECT_FALSE(c.isTaken());
+    c.increment();
+    EXPECT_TRUE(c.isTaken());
+}
+
+TEST(SatCounter, UpdateDirection)
+{
+    SatCounter c(2, 2);
+    c.update(true);
+    EXPECT_EQ(c.raw(), 3u);
+    c.update(false);
+    c.update(false);
+    EXPECT_EQ(c.raw(), 1u);
+}
+
+TEST(SatCounter, WeakDetection)
+{
+    SatCounter c(2, 1);
+    EXPECT_TRUE(c.isWeak());
+    c.increment();
+    EXPECT_TRUE(c.isWeak());
+    c.increment();
+    EXPECT_FALSE(c.isWeak());
+}
+
+TEST(SatCounter, ResetWeak)
+{
+    SatCounter c(3, 7);
+    c.resetWeak();
+    EXPECT_EQ(c.raw(), 3u);
+    EXPECT_FALSE(c.isTaken());
+}
+
+TEST(SatCounter, SetClamped)
+{
+    SatCounter c(2, 0);
+    c.set(100);
+    EXPECT_EQ(c.raw(), 3u);
+}
+
+class SatCounterWidth : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SatCounterWidth, MaxMatchesWidth)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    EXPECT_EQ(c.max(), (1u << bits) - 1);
+    for (unsigned i = 0; i < c.max() + 5; ++i)
+        c.increment();
+    EXPECT_EQ(c.raw(), c.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 12u));

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace elfsim::stats;
+
+TEST(Stats, CounterAccumulates)
+{
+    StatGroup g("test");
+    Counter &c = g.addCounter("events", "event count");
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.raw(), 6u);
+    EXPECT_DOUBLE_EQ(c.value(), 6.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    StatGroup g("test");
+    Distribution &d = g.addDistribution("lat", "latency");
+    d.sample(1);
+    d.sample(3);
+    d.sample(8);
+    EXPECT_EQ(d.samples(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.minimum(), 1.0);
+    EXPECT_DOUBLE_EQ(d.maximum(), 8.0);
+    EXPECT_DOUBLE_EQ(d.total(), 12.0);
+}
+
+TEST(Stats, FormulaTracksInputs)
+{
+    StatGroup g("test");
+    Counter &n = g.addCounter("n", "numerator");
+    Counter &d = g.addCounter("d", "denominator");
+    Formula &f = g.addFormula("ratio", "n/d", [&] {
+        return d.raw() ? n.value() / d.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+    n += 10;
+    d += 4;
+    EXPECT_DOUBLE_EQ(f.value(), 2.5);
+}
+
+TEST(Stats, ReferencesStableAcrossGrowth)
+{
+    StatGroup g("test");
+    Counter &first = g.addCounter("c0", "first");
+    first += 7;
+    // Force the pool to grow well past typical small-buffer sizes.
+    for (int i = 1; i < 200; ++i)
+        g.addCounter("c" + std::to_string(i), "filler");
+    EXPECT_EQ(first.raw(), 7u);
+    ++first;
+    EXPECT_EQ(g.find("c0")->value(), 8.0);
+}
+
+TEST(Stats, ResetAll)
+{
+    StatGroup g("test");
+    Counter &c = g.addCounter("c", "counter");
+    Distribution &d = g.addDistribution("d", "dist");
+    c += 3;
+    d.sample(5);
+    g.resetAll();
+    EXPECT_EQ(c.raw(), 0u);
+    EXPECT_EQ(d.samples(), 0u);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatGroup g("grp");
+    Counter &c = g.addCounter("hits", "hit count");
+    c += 42;
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("grp.hits"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("hit count"), std::string::npos);
+}
+
+TEST(Stats, FindMissingReturnsNull)
+{
+    StatGroup g("grp");
+    EXPECT_EQ(g.find("nope"), nullptr);
+}

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/divergence.hh"
+#include "isa/static_inst.hh"
+
+using namespace elfsim;
+
+namespace {
+
+/** Build a static branch instruction for record construction. */
+StaticInst
+makeBranch(Addr pc, BranchKind kind, Addr target = 0x9000)
+{
+    StaticInst si;
+    si.pc = pc;
+    si.cls = kind == BranchKind::None ? InstClass::IntAlu
+                                      : InstClass::Branch;
+    si.branch = kind;
+    si.directTarget = target;
+    return si;
+}
+
+DynInst
+makeCoupled(const StaticInst *si, SeqNum seq, bool has_pred,
+            bool pred_taken, Addr target)
+{
+    DynInst di;
+    di.si = si;
+    di.seq = seq;
+    di.oracleIdx = seq;
+    di.mode = FetchMode::Coupled;
+    di.hasPrediction = has_pred;
+    di.predTaken = pred_taken;
+    di.predTarget = target;
+    return di;
+}
+
+} // namespace
+
+class DivergenceTest : public ::testing::Test
+{
+  protected:
+    DivergenceTracker t;
+    std::vector<Divergence> adoptions;
+    // Static insts must outlive the records.
+    StaticInst alu = makeBranch(0x1000, BranchKind::None);
+    StaticInst cond = makeBranch(0x1004, BranchKind::CondDirect, 0x2000);
+    StaticInst jump = makeBranch(0x1008, BranchKind::UncondDirect,
+                                 0x3000);
+    StaticInst ind = makeBranch(0x100c, BranchKind::IndirectJump);
+};
+
+TEST_F(DivergenceTest, MatchingStreamsConsume)
+{
+    t.recordCoupled(makeCoupled(&alu, 1, false, false, invalidAddr));
+    t.recordCoupled(makeCoupled(&cond, 2, true, true, 0x2000));
+    t.recordDecoupled(false, false, BranchKind::None, 0x1000, 0x1004);
+    t.recordDecoupled(true, true, BranchKind::CondDirect, 0x1004,
+                      0x2000);
+    EXPECT_FALSE(t.compare(adoptions).has_value());
+    EXPECT_TRUE(adoptions.empty());
+    EXPECT_EQ(t.coupledSpace(), 64u);
+}
+
+TEST_F(DivergenceTest, BranchBitOnlyMismatchIsNotDivergence)
+{
+    // Fetcher decoded a not-taken branch; the DCF saw a non-branch:
+    // both continue sequentially, no flush.
+    t.recordCoupled(makeCoupled(&cond, 1, true, false, 0x1008));
+    t.recordDecoupled(false, false, BranchKind::None, 0x1004, 0x1008);
+    EXPECT_FALSE(t.compare(adoptions).has_value());
+}
+
+TEST_F(DivergenceTest, UncondThroughBtbMissTrustsFetcher)
+{
+    // Paper IV-C2 case 1: the DCF sequentially guessed through an
+    // unconditional branch.
+    t.recordCoupled(makeCoupled(&jump, 5, true, true, 0x3000));
+    t.recordDecoupled(false, false, BranchKind::None, 0x1008, 0x100c);
+    const auto div = t.compare(adoptions);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(div->verdict, DivergenceVerdict::TrustFetcher);
+    EXPECT_EQ(div->continuation, 0x3000u);
+    EXPECT_EQ(div->survivorSeq, 5u);
+}
+
+TEST_F(DivergenceTest, ConditionalDisagreementTrustsDcf)
+{
+    // Coupled bimodal predicted taken, DCF (TAGE) predicted not.
+    t.recordCoupled(makeCoupled(&cond, 7, true, true, 0x2000));
+    TagePrediction tp;
+    tp.valid = true;
+    tp.taken = false;
+    t.recordDecoupled(true, false, BranchKind::CondDirect, 0x1004,
+                      0x1008, tp);
+    const auto div = t.compare(adoptions);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(div->verdict, DivergenceVerdict::TrustDcf);
+    EXPECT_EQ(div->continuation, 0x1008u);
+    EXPECT_TRUE(div->patchSurvivor);
+    EXPECT_FALSE(div->patchTaken);
+    EXPECT_TRUE(div->patchTage.valid);
+}
+
+TEST_F(DivergenceTest, DirectTargetMismatchTrustsFetcher)
+{
+    // Both taken, targets differ, direct branch: the decoded target
+    // wins (self-modifying-code rule).
+    t.recordCoupled(makeCoupled(&jump, 9, true, true, 0x3000));
+    t.recordDecoupled(true, true, BranchKind::UncondDirect, 0x1008,
+                      0x4000);
+    const auto div = t.compare(adoptions);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_TRUE(div->targetMismatch);
+    EXPECT_EQ(div->verdict, DivergenceVerdict::TrustFetcher);
+    EXPECT_EQ(div->continuation, 0x3000u);
+}
+
+TEST_F(DivergenceTest, IndirectTargetMismatchTrustsDcf)
+{
+    t.recordCoupled(makeCoupled(&ind, 11, true, true, 0x3000));
+    t.recordDecoupled(true, true, BranchKind::IndirectJump, 0x100c,
+                      0x5000);
+    const auto div = t.compare(adoptions);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_TRUE(div->targetMismatch);
+    EXPECT_EQ(div->verdict, DivergenceVerdict::TrustDcf);
+    EXPECT_EQ(div->continuation, 0x5000u);
+}
+
+TEST_F(DivergenceTest, StalledBranchAdoptsDcfPrediction)
+{
+    DynInst di = makeCoupled(&cond, 13, false, false, 0x1008);
+    di.fetchStalled = true;
+    t.recordCoupled(di);
+    TagePrediction tp;
+    tp.valid = true;
+    tp.taken = true;
+    t.recordDecoupled(true, true, BranchKind::CondDirect, 0x1004,
+                      0x2000, tp);
+    EXPECT_FALSE(t.compare(adoptions).has_value());
+    ASSERT_EQ(adoptions.size(), 1u);
+    EXPECT_EQ(adoptions[0].survivorSeq, 13u);
+    EXPECT_TRUE(adoptions[0].patchTaken);
+    EXPECT_EQ(adoptions[0].patchTarget, 0x2000u);
+    EXPECT_TRUE(adoptions[0].patchFromSlot);
+}
+
+TEST_F(DivergenceTest, StaleBtbBranchTrustsDecodedInstruction)
+{
+    // Self-modifying-code rule (paper IV-C2 case 2): the DCF predicts
+    // a taken branch where decode found a non-branch — the decoded
+    // instruction is authoritative.
+    t.recordCoupled(makeCoupled(&alu, 15, false, false, invalidAddr));
+    t.recordDecoupled(true, true, BranchKind::UncondDirect, 0x1000,
+                      0x7000);
+    const auto div = t.compare(adoptions);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(div->verdict, DivergenceVerdict::TrustFetcher);
+    EXPECT_EQ(div->continuation, 0x1004u); // sequential continuation
+}
+
+TEST_F(DivergenceTest, PositionalMisalignmentTrustsFetcher)
+{
+    // Records whose PCs differ mean the streams are misaligned (the
+    // DCF guessed through a taken branch): the fetcher's real
+    // instructions win and the DCF restarts.
+    t.recordCoupled(makeCoupled(&cond, 17, true, false, 0x1008));
+    t.recordDecoupled(false, false, BranchKind::None, 0x5550, 0x5554);
+    const auto div = t.compare(adoptions);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(div->verdict, DivergenceVerdict::TrustFetcher);
+    EXPECT_EQ(div->survivorSeq, 17u);
+}
+
+TEST_F(DivergenceTest, CoupledSpaceShrinksAndResets)
+{
+    for (int i = 0; i < 10; ++i)
+        t.recordCoupled(makeCoupled(&alu, 20 + i, false, false, 0));
+    EXPECT_EQ(t.coupledSpace(), 54u);
+    t.reset();
+    EXPECT_EQ(t.coupledSpace(), 64u);
+}
+
+TEST_F(DivergenceTest, TakenTargetQueueLimitGatesSpace)
+{
+    // 16 in-flight taken branches exhaust the target queues even if
+    // the bitvectors still have room.
+    for (int i = 0; i < 16; ++i)
+        t.recordCoupled(makeCoupled(&jump, 40 + i, true, true, 0x3000));
+    EXPECT_EQ(t.coupledSpace(), 0u);
+}

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/coupled_predictors.hh"
+#include "sim/core.hh"
+#include "workload/builders.hh"
+
+using namespace elfsim;
+
+TEST(Variant, Predicates)
+{
+    EXPECT_FALSE(isElf(FrontendVariant::NoDcf));
+    EXPECT_FALSE(isElf(FrontendVariant::Dcf));
+    EXPECT_TRUE(isElf(FrontendVariant::LElf));
+    EXPECT_TRUE(isElf(FrontendVariant::UElf));
+
+    EXPECT_TRUE(hasCoupledRas(FrontendVariant::RetElf));
+    EXPECT_TRUE(hasCoupledRas(FrontendVariant::UElf));
+    EXPECT_FALSE(hasCoupledRas(FrontendVariant::CondElf));
+    EXPECT_FALSE(hasCoupledRas(FrontendVariant::LElf));
+
+    EXPECT_TRUE(hasCoupledBtc(FrontendVariant::IndElf));
+    EXPECT_FALSE(hasCoupledBtc(FrontendVariant::RetElf));
+    EXPECT_TRUE(hasCoupledBimodal(FrontendVariant::CondElf));
+    EXPECT_FALSE(hasCoupledBimodal(FrontendVariant::IndElf));
+}
+
+TEST(CoupledPredictors, StorageUnderTwoKb)
+{
+    // Paper Table II: the total storage cost of U-ELF's coupled
+    // predictors is smaller than 2KB.
+    CoupledPredictors cp;
+    EXPECT_LT(cp.storageBytes(), 2048.0);
+}
+
+TEST(CoupledPredictors, TrainsOnlyCoupledModeBranches)
+{
+    CoupledPredictors cp;
+    const Addr pc = 0x400100;
+    for (int i = 0; i < 8; ++i) {
+        cp.trainCommit(pc, BranchKind::CondDirect, true, 0x500000,
+                       FetchMode::Decoupled);
+    }
+    EXPECT_FALSE(cp.bimodal().saturated(pc) && cp.bimodal().predict(pc))
+        << "decoupled-mode commits must not train the coupled bimodal";
+    for (int i = 0; i < 8; ++i) {
+        cp.trainCommit(pc, BranchKind::CondDirect, true, 0x500000,
+                       FetchMode::Coupled);
+    }
+    EXPECT_TRUE(cp.bimodal().predict(pc));
+}
+
+TEST(ElfCoupledPolicy, CondRequiresSaturation)
+{
+    CoupledPredictors cp;
+    ElfCoupledPolicy pol(FrontendVariant::CondElf, cp);
+    StaticInst si;
+    si.pc = 0x400200;
+    si.cls = InstClass::Branch;
+    si.branch = BranchKind::CondDirect;
+    si.directTarget = 0x500000;
+    DynInst di;
+    di.si = &si;
+
+    // Unsaturated counter: no speculation.
+    cp.bimodal().update(si.pc, true);
+    EXPECT_FALSE(pol.predictCond(di));
+
+    for (int i = 0; i < 8; ++i)
+        cp.bimodal().update(si.pc, true);
+    EXPECT_TRUE(pol.predictCond(di));
+    EXPECT_TRUE(di.predTaken);
+    EXPECT_EQ(di.predTarget, 0x500000u);
+}
+
+TEST(ElfCoupledPolicy, VariantGatesEachPredictor)
+{
+    CoupledPredictors cp;
+    cp.ras().push(0xabcd);
+    cp.btc().update(0x400300, 0x600000);
+    for (int i = 0; i < 8; ++i)
+        cp.bimodal().update(0x400400, true);
+
+    StaticInst ret;
+    ret.pc = 0x400310;
+    ret.cls = InstClass::Branch;
+    ret.branch = BranchKind::Return;
+    StaticInst ind;
+    ind.pc = 0x400300;
+    ind.cls = InstClass::Branch;
+    ind.branch = BranchKind::IndirectJump;
+
+    DynInst di;
+    di.si = &ret;
+    ElfCoupledPolicy retPol(FrontendVariant::RetElf, cp);
+    EXPECT_TRUE(retPol.predictReturn(di));
+    EXPECT_EQ(di.predTarget, 0xabcdu);
+    DynInst di2;
+    di2.si = &ind;
+    EXPECT_FALSE(retPol.predictIndirect(di2));
+
+    ElfCoupledPolicy indPol(FrontendVariant::IndElf, cp);
+    DynInst di3;
+    di3.si = &ind;
+    EXPECT_TRUE(indPol.predictIndirect(di3));
+    EXPECT_EQ(di3.predTarget, 0x600000u);
+    DynInst di4;
+    di4.si = &ret;
+    EXPECT_FALSE(indPol.predictReturn(di4));
+}
+
+TEST(ElfController, ModeResidencyAndResync)
+{
+    // A predictable loop: periods should be rare (few flushes) and
+    // short; decoupled mode dominates.
+    Program p = microSequentialLoop(30, 16);
+    SimConfig cfg = makeConfig(FrontendVariant::UElf);
+    Core core(cfg, p);
+    core.run(60000);
+    const ElfStats &st = core.elf().stats();
+    EXPECT_GT(st.decoupledCycles, 5 * st.coupledCycles);
+    // Every completed period ends with a resynchronization (the run
+    // may stop mid-period).
+    EXPECT_GE(st.coupledPeriods, st.switches);
+    EXPECT_LE(st.coupledPeriods, st.switches + 1);
+}
+
+TEST(ElfController, StallsWithoutPredictorsResyncViaFaq)
+{
+    // Random branches force flushes; L-ELF must stall at each cond
+    // and resynchronize through the FAQ counts.
+    Program p = microRandomBranchLoop(8, 0.4);
+    SimConfig cfg = makeConfig(FrontendVariant::LElf);
+    Core core(cfg, p);
+    core.run(60000);
+    const ElfStats &st = core.elf().stats();
+    EXPECT_GT(st.coupledPeriods, 100u);
+    EXPECT_GT(core.elf().coupledEngine().stats().controlStalls, 100u);
+    EXPECT_GT(st.switches, 100u);
+    // The measurement must match DCF's committed behaviour.
+    EXPECT_GT(core.committed(), 59999u);
+}
+
+TEST(ElfController, CheckpointPayloadsEventuallyFill)
+{
+    Program p = microRandomBranchLoop(8, 0.4);
+    SimConfig cfg = makeConfig(FrontendVariant::UElf);
+    Core core(cfg, p);
+    core.run(60000);
+    // Flushes held for pending payloads must be bounded (they fill at
+    // resync or the branch reaches the ROB head).
+    EXPECT_LT(core.stats().pendingFlushWaits, core.cycles() / 10);
+}

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "bpred/predictor_bank.hh"
+#include "btb/btb.hh"
+#include "btb/btb_builder.hh"
+#include "frontend/dcf.hh"
+#include "workload/builders.hh"
+#include "workload/oracle_stream.hh"
+
+using namespace elfsim;
+
+namespace {
+
+/** Train the BTB by retiring the architectural stream. */
+void
+warmBtb(const Program &p, MultiBtb &btb, SeqNum n)
+{
+    BtbBuilder builder(p, btb);
+    OracleStream os(p);
+    for (SeqNum i = 1; i <= n; ++i) {
+        const OracleInst &oi = os.at(i);
+        builder.retire(*oi.si, oi.taken, oi.nextPC);
+        os.retireUpTo(i);
+    }
+}
+
+} // namespace
+
+TEST(Dcf, SequentialGuessingOnColdBtb)
+{
+    Program p = microTakenChain(4, 6);
+    MultiBtb btb;
+    PredictorBank bank;
+    Faq faq(32);
+    DecoupledFetcher dcf(btb, bank, faq);
+
+    dcf.restart(p.entryPC(), 0);
+    for (Cycle c = 1; c <= 4; ++c)
+        dcf.tick(c);
+
+    ASSERT_EQ(faq.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_TRUE(faq.at(i).fromBtbMiss);
+        EXPECT_EQ(faq.at(i).numInsts, btbMaxInsts);
+        EXPECT_EQ(faq.at(i).startPC,
+                  p.entryPC() + instsToBytes(16 * i));
+    }
+}
+
+TEST(Dcf, FollowsTakenChainAfterWarmup)
+{
+    Program p = microTakenChain(4, 6); // blocks of 7 insts
+    MultiBtb btb;
+    warmBtb(p, btb, 200);
+    PredictorBank bank;
+    Faq faq(32);
+    DecoupledFetcher dcf(btb, bank, faq);
+
+    dcf.restart(p.entryPC(), 0);
+    Cycle c = 1;
+    while (faq.size() < 4 && c < 40) // bubbles allowed
+        dcf.tick(c++);
+
+    ASSERT_GE(faq.size(), 4u);
+    // Each block ends in a taken jump to the next block start.
+    for (unsigned i = 0; i < 4; ++i) {
+        const FaqEntry &e = faq.at(i);
+        EXPECT_FALSE(e.fromBtbMiss);
+        EXPECT_EQ(e.numInsts, 7);
+        EXPECT_EQ(e.endCause, FaqBlockEnd::TakenBranch);
+        EXPECT_TRUE(p.contains(e.nextPC));
+    }
+    // Consecutive blocks chain through targets.
+    EXPECT_EQ(faq.at(0).nextPC, faq.at(1).startPC);
+}
+
+TEST(Dcf, StopsWhenFaqFull)
+{
+    Program p = microTakenChain(4, 6);
+    MultiBtb btb;
+    PredictorBank bank;
+    Faq faq(4);
+    DecoupledFetcher dcf(btb, bank, faq);
+    dcf.restart(p.entryPC(), 0);
+    for (Cycle c = 1; c <= 20; ++c)
+        dcf.tick(c);
+    EXPECT_EQ(faq.size(), 4u);
+}
+
+TEST(Dcf, HaltStopsGeneration)
+{
+    Program p = microTakenChain(4, 6);
+    MultiBtb btb;
+    PredictorBank bank;
+    Faq faq(32);
+    DecoupledFetcher dcf(btb, bank, faq);
+    dcf.restart(p.entryPC(), 0);
+    dcf.tick(1);
+    dcf.halt();
+    dcf.tick(2);
+    EXPECT_EQ(faq.size(), 1u);
+    EXPECT_EQ(dcf.bpredPC(), invalidAddr);
+}
+
+TEST(Dcf, L0HitAvoidsTakenBubble)
+{
+    // After repeated lookups the ring promotes into the L0 BTB; taken
+    // blocks should then generate back-to-back (no stall cycles).
+    Program p = microTakenChain(2, 6);
+    MultiBtb btb;
+    warmBtb(p, btb, 100);
+    PredictorBank bank;
+    Faq faq(32);
+    DecoupledFetcher dcf(btb, bank, faq);
+
+    dcf.restart(p.entryPC(), 0);
+    // Warm the L0 by generating a few blocks first.
+    for (Cycle c = 1; c <= 10; ++c)
+        dcf.tick(c);
+    const auto blocksBefore = dcf.stats().blocks;
+    const auto bubblesBefore = dcf.stats().bubbleCycles;
+    for (Cycle c = 11; c <= 20; ++c)
+        dcf.tick(c);
+    // 10 cycles -> 10 blocks once the L0 BTB covers the ring.
+    EXPECT_EQ(dcf.stats().blocks - blocksBefore, 10u);
+    EXPECT_EQ(dcf.stats().bubbleCycles, bubblesBefore);
+}
+
+TEST(Dcf, ShortEntryFallthroughBubbleOnL1Hit)
+{
+    // A never-taken cond loop: single block of body+cond, entry spans
+    // < 16 insts, fall-through path. On an L1 hit (not L0), BP2 must
+    // resteer BP1 (1 bubble) because the proxy fall-through is wrong.
+    Program p = microSequentialLoop(40, 1000000); // rarely taken
+    MultiBtb btb;
+    warmBtb(p, btb, 300);
+    PredictorBank bank;
+    Faq faq(8);
+    DecoupledFetcher dcf(btb, bank, faq);
+    dcf.restart(p.entryPC(), 0);
+    for (Cycle c = 1; c <= 30; ++c) {
+        dcf.tick(c);
+        if (faq.full())
+            faq.pop();
+    }
+    // Entries of 16/16/10 insts; the 10-inst one is a short entry.
+    EXPECT_GT(dcf.stats().blocks, 8u);
+}

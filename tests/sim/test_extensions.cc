@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "workload/builders.hh"
+
+using namespace elfsim;
+
+namespace {
+
+Program
+branchy()
+{
+    CfgParams p;
+    p.numFuncs = 12;
+    p.randomTakenProb = 0.35;
+    p.dataFootprint = 64 << 10;
+    return generateCfg(p, 0xabc, "ext_branchy");
+}
+
+} // namespace
+
+TEST(Extensions, GshareCoupledPredictorRuns)
+{
+    Program p = branchy();
+    SimConfig cfg = makeConfig(FrontendVariant::UElf);
+    cfg.coupledPreds.condKind = CoupledCondKind::Gshare;
+    Core core(cfg, p);
+    core.run(40000);
+    EXPECT_GE(core.committed(), 40000u);
+    // Storage budget stays in the paper's < 2KB envelope.
+    EXPECT_LT(core.elf().stats().coupledPeriods, core.cycles());
+}
+
+TEST(Extensions, GshareKeepsArchitecturalStream)
+{
+    // The coupled predictor choice is timing-only.
+    Program p = branchy();
+    SimConfig a = makeConfig(FrontendVariant::UElf);
+    SimConfig b = a;
+    b.coupledPreds.condKind = CoupledCondKind::Gshare;
+
+    std::vector<Addr> sa, sb;
+    {
+        Core core(a, p);
+        core.setCommitObserver([&](const DynInst &di) {
+            if (sa.size() < 20000)
+                sa.push_back(di.pc());
+        });
+        core.run(20000);
+    }
+    {
+        Core core(b, p);
+        core.setCommitObserver([&](const DynInst &di) {
+            if (sb.size() < 20000)
+                sb.push_back(di.pc());
+        });
+        core.run(20000);
+    }
+    EXPECT_EQ(sa, sb);
+}
+
+TEST(Extensions, DecodeBtbFillReducesResteers)
+{
+    // A footprint far beyond the BTB forces misfetch recoveries; the
+    // Boomerang-style prefill must reduce repeat offenders.
+    CfgParams p;
+    p.numFuncs = 700;
+    p.blocksPerFunc = 10;
+    p.callBlockProb = 0.4;
+    p.callSkew = 0.05;
+    p.dataFootprint = 64 << 10;
+    Program prog = generateCfg(p, 0x600d, "ext_bigcode");
+
+    SimConfig base = makeConfig(FrontendVariant::Dcf);
+    SimConfig fill = base;
+    fill.decodeBtbFill = true;
+
+    Core a(base, prog);
+    a.run(120000);
+    Core b(fill, prog);
+    b.run(120000);
+    EXPECT_LT(b.stats().decodeResteers, a.stats().decodeResteers);
+    // And it must never hurt the architectural result.
+    EXPECT_GE(b.committed(), 120000u);
+}
+
+TEST(Extensions, DecodeBtbFillRunsUnderElf)
+{
+    Program p = branchy();
+    SimConfig cfg = makeConfig(FrontendVariant::UElf);
+    cfg.decodeBtbFill = true;
+    Core core(cfg, p);
+    core.run(30000);
+    EXPECT_GE(core.committed(), 30000u);
+}

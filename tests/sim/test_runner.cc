@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hh"
+#include "sim/runner.hh"
+#include "workload/builders.hh"
+
+using namespace elfsim;
+
+TEST(Runner, MeasurementWindowExcludesWarmup)
+{
+    Program p = microSequentialLoop(30, 16);
+    RunOptions o;
+    o.warmupInsts = 50000;
+    o.measureInsts = 50000;
+    const RunResult r = runVariant(p, FrontendVariant::Dcf, o);
+    EXPECT_GE(r.insts, 50000u);
+    EXPECT_LT(r.insts, 50020u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_NEAR(r.ipc, double(r.insts) / double(r.cycles), 1e-9);
+}
+
+TEST(Runner, ResultFieldsConsistent)
+{
+    Program p = microRandomBranchLoop(8, 0.4);
+    const RunResult r = runVariant(p, FrontendVariant::UElf);
+    EXPECT_EQ(r.variant, "U-ELF");
+    EXPECT_EQ(r.workload, "micro_random_branch_loop");
+    EXPECT_GT(r.branchMpki, 0.0);
+    EXPECT_GE(r.branchMpki, r.condMpki);
+    EXPECT_GT(r.execFlushes, 0u);
+    EXPECT_GT(r.coupledPeriods, 0u);
+    EXPECT_GT(r.avgCoupledInsts, 0.0);
+    EXPECT_GE(r.btbHitL2, r.btbHitL1);
+    EXPECT_GE(r.btbHitL1, r.btbHitL0);
+}
+
+TEST(Runner, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_NEAR(geomean({2.0, 0.5}), 1.0, 1e-12);
+    EXPECT_NEAR(geomean({4.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.1, 1.1, 1.1}), 1.1, 1e-12);
+}
+
+TEST(Config, MakeConfigSetsVariant)
+{
+    EXPECT_EQ(makeConfig(FrontendVariant::LElf).variant,
+              FrontendVariant::LElf);
+    EXPECT_EQ(makeConfig(FrontendVariant::NoDcf).variant,
+              FrontendVariant::NoDcf);
+}
+
+TEST(Config, PrintConfigMentionsKeyStructures)
+{
+    std::ostringstream os;
+    printConfig(os, makeConfig(FrontendVariant::UElf));
+    const std::string s = os.str();
+    EXPECT_NE(s.find("TAGE"), std::string::npos);
+    EXPECT_NE(s.find("FAQ"), std::string::npos);
+    EXPECT_NE(s.find("Coupled bimodal"), std::string::npos);
+    EXPECT_NE(s.find("Divergence vectors"), std::string::npos);
+    EXPECT_NE(s.find("250 cycles"), std::string::npos);
+}
+
+TEST(Config, ElfParamsCarryKnobs)
+{
+    SimConfig cfg = makeConfig(FrontendVariant::CondElf);
+    cfg.payloadPolicy = PayloadPolicy::RobHead;
+    cfg.condElfRequireSaturation = false;
+    cfg.bp1ToFe = 5;
+    const ElfControllerParams p = cfg.elfParams();
+    EXPECT_EQ(p.variant, FrontendVariant::CondElf);
+    EXPECT_EQ(p.payloadPolicy, PayloadPolicy::RobHead);
+    EXPECT_FALSE(p.condRequireSaturation);
+    EXPECT_EQ(p.bp1ToFe, 5u);
+}
+
+TEST(Isa, NamesAndDisasm)
+{
+    EXPECT_STREQ(instClassName(InstClass::Load), "ld");
+    EXPECT_STREQ(branchKindName(BranchKind::Return), "ret");
+    StaticInst si;
+    si.pc = 0x400010;
+    si.cls = InstClass::Branch;
+    si.branch = BranchKind::CondDirect;
+    si.directTarget = 0x400100;
+    const std::string d = si.disasm();
+    EXPECT_NE(d.find("400010"), std::string::npos);
+    EXPECT_NE(d.find("b.cond"), std::string::npos);
+    EXPECT_NE(d.find("400100"), std::string::npos);
+}

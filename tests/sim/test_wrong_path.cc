@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "sim/core.hh"
+#include "workload/builders.hh"
+#include "workload/program_builder.hh"
+
+using namespace elfsim;
+
+// Wrong-path behaviour at the whole-core level: the front-end really
+// fetches down mispredicted paths, and wrong-path loads really access
+// (and pollute) the data hierarchy before being squashed.
+
+TEST(WrongPath, MispredictionsFetchRealWrongPathInstructions)
+{
+    Program p = microRandomBranchLoop(8, 0.4);
+    Core core(makeConfig(FrontendVariant::Dcf), p);
+    core.run(60000);
+    EXPECT_GT(core.supply().wrongPathInsts(), 1000u);
+    EXPECT_GT(core.stats().execFlushes, 500u);
+}
+
+TEST(WrongPath, PredictableCodeFetchesAlmostNone)
+{
+    Program p = microSequentialLoop(30, 16);
+    Core core(makeConfig(FrontendVariant::Dcf), p);
+    core.run(60000);
+    EXPECT_LT(core.supply().wrongPathInsts(),
+              core.committed() / 20);
+}
+
+TEST(WrongPath, WrongPathLoadsAccessTheDataHierarchy)
+{
+    // A loop whose taken path has no loads but whose fall-through
+    // (wrong) path is load-dense: with a 50/50 branch, wrong-path
+    // fetches reach those loads and execute them speculatively.
+    ProgramBuilder b;
+    const auto head = b.beginBlock();
+    b.addFiller(6);
+    CondSpec c;
+    c.kind = CondKind::TakenProb;
+    c.takenProb = 1.0; // always taken: the fall-through never commits
+    c.seed = 7;
+    b.endCond(c, 2);
+    b.beginBlock(); // fall-through: wrong path only
+    for (int i = 0; i < 6; ++i) {
+        MemSpec m;
+        m.regionBase = 0x30000000;
+        m.regionSize = 1 << 16;
+        m.kind = MemKind::Random;
+        m.seed = 11 + i;
+        b.addLoad(m, RegIndex(i));
+    }
+    b.endJump(head);
+    b.beginBlock(); // taken path: no memory at all
+    b.addFiller(8);
+    b.endJump(head);
+    Program p = b.finalize("wrong_path_loads");
+
+    // Force mispredictions by making TAGE mispredict occasionally:
+    // an always-taken branch trains perfectly, so instead drop the
+    // BTB slot coverage by keeping the BTB tiny — fetch then runs
+    // sequentially (into the load block) until decode/execute
+    // recovers.
+    SimConfig cfg = makeConfig(FrontendVariant::Dcf);
+    cfg.btb.l0.entries = 1;
+    cfg.btb.l0.assoc = 0;
+    cfg.btb.l1.entries = 4;
+    cfg.btb.l1.assoc = 4;
+    cfg.btb.l2.entries = 8;
+    cfg.btb.l2.assoc = 8;
+    Core core(cfg, p);
+    core.run(40000);
+    // The committed path contains no memory instruction at all, so
+    // every single L1D access is wrong-path pollution.
+    EXPECT_GT(core.supply().wrongPathInsts(), 10u);
+    EXPECT_GT(core.memory().l1d().accesses(), 0u);
+}

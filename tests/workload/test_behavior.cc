@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "workload/behavior.hh"
+
+using namespace elfsim;
+
+TEST(CondSpec, LoopPeriodShape)
+{
+    CondSpec c;
+    c.kind = CondKind::LoopPeriod;
+    c.period = 4;
+    // taken, taken, taken, not-taken, repeat
+    EXPECT_TRUE(c.outcome(0));
+    EXPECT_TRUE(c.outcome(1));
+    EXPECT_TRUE(c.outcome(2));
+    EXPECT_FALSE(c.outcome(3));
+    EXPECT_TRUE(c.outcome(4));
+    EXPECT_FALSE(c.outcome(7));
+}
+
+TEST(CondSpec, LoopPeriodOneNeverTaken)
+{
+    CondSpec c;
+    c.kind = CondKind::LoopPeriod;
+    c.period = 1;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(c.outcome(i));
+}
+
+TEST(CondSpec, TakenProbMatchesBias)
+{
+    CondSpec c;
+    c.kind = CondKind::TakenProb;
+    c.takenProb = 0.25;
+    c.seed = 99;
+    int taken = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        taken += c.outcome(i) ? 1 : 0;
+    EXPECT_NEAR(taken / double(n), 0.25, 0.02);
+}
+
+TEST(CondSpec, TakenProbDeterministic)
+{
+    CondSpec c;
+    c.kind = CondKind::TakenProb;
+    c.seed = 5;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(c.outcome(i), c.outcome(i));
+}
+
+TEST(CondSpec, PatternRepeats)
+{
+    CondSpec c;
+    c.kind = CondKind::Pattern;
+    c.period = 7;
+    c.seed = 3;
+    for (int i = 0; i < 70; ++i)
+        EXPECT_EQ(c.outcome(i), c.outcome(i % 7));
+}
+
+TEST(IndirectSpec, RoundRobinCycles)
+{
+    IndirectSpec s;
+    s.kind = IndirectKind::RoundRobin;
+    s.targets = {100, 200, 300};
+    EXPECT_EQ(s.target(0), 100u);
+    EXPECT_EQ(s.target(1), 200u);
+    EXPECT_EQ(s.target(2), 300u);
+    EXPECT_EQ(s.target(3), 100u);
+}
+
+TEST(IndirectSpec, PhasedSticksForPeriod)
+{
+    IndirectSpec s;
+    s.kind = IndirectKind::Phased;
+    s.period = 5;
+    s.targets = {10, 20};
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(s.target(i), 10u);
+    for (int i = 5; i < 10; ++i)
+        EXPECT_EQ(s.target(i), 20u);
+}
+
+TEST(IndirectSpec, EmptyTargetsIsInvalid)
+{
+    IndirectSpec s;
+    EXPECT_EQ(s.target(0), invalidAddr);
+}
+
+TEST(MemSpec, StrideWalksRegion)
+{
+    MemSpec m;
+    m.kind = MemKind::Stride;
+    m.regionBase = 0x1000;
+    m.regionSize = 256;
+    m.stride = 64;
+    EXPECT_EQ(m.address(0), 0x1000u);
+    EXPECT_EQ(m.address(1), 0x1040u);
+    EXPECT_EQ(m.address(4), 0x1000u); // wrapped
+}
+
+TEST(MemSpec, AddressesStayInRegion)
+{
+    for (MemKind k :
+         {MemKind::Stride, MemKind::Random, MemKind::PointerChase}) {
+        MemSpec m;
+        m.kind = k;
+        m.regionBase = 0x4000;
+        m.regionSize = 4096;
+        m.seed = 17;
+        for (int i = 0; i < 1000; ++i) {
+            const Addr a = m.address(i);
+            ASSERT_GE(a, m.regionBase);
+            ASSERT_LT(a, m.regionBase + m.regionSize);
+        }
+    }
+}
+
+TEST(MemSpec, WrongPathAddressesInRegionAndDeterministic)
+{
+    MemSpec m;
+    m.kind = MemKind::Random;
+    m.regionBase = 0x8000;
+    m.regionSize = 8192;
+    m.seed = 23;
+    for (int i = 0; i < 500; ++i) {
+        const Addr a = m.wrongPathAddress(i);
+        ASSERT_GE(a, m.regionBase);
+        ASSERT_LT(a, m.regionBase + m.regionSize);
+        EXPECT_EQ(a, m.wrongPathAddress(i));
+    }
+}
+
+TEST(BehaviorSet, IdsIndexCorrectSpecs)
+{
+    BehaviorSet set;
+    CondSpec c;
+    c.period = 11;
+    c.kind = CondKind::LoopPeriod;
+    const auto cid = set.addCond(c);
+    MemSpec m;
+    m.regionBase = 0x42;
+    const auto mid = set.addMem(m);
+    IndirectSpec s;
+    s.targets = {7};
+    const auto iid = set.addIndirect(s);
+
+    EXPECT_EQ(set.cond(cid).period, 11u);
+    EXPECT_EQ(set.mem(mid).regionBase, 0x42u);
+    EXPECT_EQ(set.indirect(iid).targets[0], 7u);
+}

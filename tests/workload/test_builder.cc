@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "workload/builders.hh"
+#include "workload/program_builder.hh"
+
+using namespace elfsim;
+
+TEST(ProgramBuilder, ContiguousLayout)
+{
+    ProgramBuilder b;
+    const auto b0 = b.beginBlock();
+    b.addFiller(3);
+    b.endJump(b0);
+    Program p = b.finalize("t");
+    EXPECT_EQ(p.footprintInsts(), 4u);
+    EXPECT_EQ(p.codeBase(), defaultCodeBase);
+    for (InstCount i = 0; i < 4; ++i) {
+        const StaticInst *si = p.instAt(p.codeBase() + instsToBytes(i));
+        ASSERT_NE(si, nullptr);
+        EXPECT_EQ(si->pc, p.codeBase() + instsToBytes(i));
+    }
+}
+
+TEST(ProgramBuilder, TerminatorKindsAndTargets)
+{
+    ProgramBuilder b;
+    const auto b0 = b.beginBlock(); // cond -> b2
+    b.addFiller(1);
+    CondSpec c;
+    b.endCond(c, 2);
+    b.beginBlock(); // b1: jump -> b0
+    b.endJump(b0);
+    b.beginBlock(); // b2: call -> b3
+    b.endCall(3);
+    b.beginBlock(); // b3: return
+    b.endReturn();
+    Program p = b.finalize("t");
+
+    const auto &insts = p.instructions();
+    ASSERT_EQ(insts.size(), 5u);
+    EXPECT_EQ(insts[1].branch, BranchKind::CondDirect);
+    // b2 starts at instruction index 3.
+    EXPECT_EQ(insts[1].directTarget, p.codeBase() + instsToBytes(3));
+    EXPECT_EQ(insts[2].branch, BranchKind::UncondDirect);
+    EXPECT_EQ(insts[2].directTarget, p.codeBase());
+    EXPECT_EQ(insts[3].branch, BranchKind::DirectCall);
+    EXPECT_EQ(insts[3].directTarget, p.codeBase() + instsToBytes(4));
+    EXPECT_EQ(insts[4].branch, BranchKind::Return);
+}
+
+TEST(ProgramBuilder, IndirectTargetsResolved)
+{
+    ProgramBuilder b;
+    b.beginBlock();
+    IndirectSpec spec;
+    spec.kind = IndirectKind::RoundRobin;
+    b.endIndirectJump(spec, {1, 2});
+    b.beginBlock();
+    b.endJump(0);
+    b.beginBlock();
+    b.endJump(0);
+    Program p = b.finalize("t");
+
+    const StaticInst &ind = p.instructions()[0];
+    EXPECT_EQ(ind.branch, BranchKind::IndirectJump);
+    const IndirectSpec &s = p.behaviors().indirect(ind.behavior);
+    ASSERT_EQ(s.targets.size(), 2u);
+    EXPECT_EQ(s.targets[0], p.codeBase() + instsToBytes(1));
+    EXPECT_EQ(s.targets[1], p.codeBase() + instsToBytes(2));
+}
+
+TEST(ProgramBuilder, UnmappedLookupsReturnNull)
+{
+    ProgramBuilder b;
+    b.beginBlock();
+    b.endJump(0);
+    Program p = b.finalize("t");
+    EXPECT_EQ(p.instAt(p.codeBase() - instBytes), nullptr);
+    EXPECT_EQ(p.instAt(p.codeLimit()), nullptr);
+    EXPECT_EQ(p.instAt(p.codeBase() + 2), nullptr); // misaligned
+}
+
+TEST(ProgramBuilder, FallthroughBlocksEmitNoBranch)
+{
+    ProgramBuilder b;
+    b.beginBlock();
+    b.addFiller(2);
+    b.endFallthrough();
+    b.beginBlock();
+    b.endJump(0);
+    Program p = b.finalize("t");
+    ASSERT_EQ(p.footprintInsts(), 3u);
+    EXPECT_FALSE(p.instructions()[0].isBranchInst());
+    EXPECT_FALSE(p.instructions()[1].isBranchInst());
+    EXPECT_TRUE(p.instructions()[2].isBranchInst());
+}
+
+TEST(ProgramBuilder, BlockTableCoversImage)
+{
+    ProgramBuilder b;
+    b.beginBlock();
+    b.addFiller(5);
+    b.endFallthrough();
+    b.beginBlock();
+    b.addFiller(2);
+    b.endJump(0);
+    Program p = b.finalize("t");
+    ASSERT_EQ(p.blocks().size(), 2u);
+    EXPECT_EQ(p.blocks()[0].firstInst, 0u);
+    EXPECT_EQ(p.blocks()[0].numInsts, 5u);
+    EXPECT_EQ(p.blocks()[1].firstInst, 5u);
+    EXPECT_EQ(p.blocks()[1].numInsts, 3u);
+}
+
+TEST(GenerateCfg, ProducesConnectedNonTrivialProgram)
+{
+    CfgParams params;
+    Program p = generateCfg(params, 42, "gen");
+    EXPECT_GT(p.footprintInsts(), 200u);
+    // Every direct branch target must be inside the image.
+    for (const StaticInst &si : p.instructions()) {
+        if (si.isBranchInst() && isDirect(si.branch)) {
+            EXPECT_TRUE(p.contains(si.directTarget))
+                << si.disasm();
+        }
+        if (si.isBranchInst() && isIndirect(si.branch) &&
+            si.branch != BranchKind::Return) {
+            for (Addr t : p.behaviors().indirect(si.behavior).targets)
+                EXPECT_TRUE(p.contains(t));
+        }
+    }
+}
+
+TEST(GenerateCfg, DeterministicForSameSeed)
+{
+    CfgParams params;
+    Program a = generateCfg(params, 7, "a");
+    Program b = generateCfg(params, 7, "b");
+    ASSERT_EQ(a.footprintInsts(), b.footprintInsts());
+    for (std::size_t i = 0; i < a.instructions().size(); ++i) {
+        EXPECT_EQ(a.instructions()[i].cls, b.instructions()[i].cls);
+        EXPECT_EQ(a.instructions()[i].branch,
+                  b.instructions()[i].branch);
+    }
+}
+
+TEST(GenerateCfg, FootprintScalesWithFunctions)
+{
+    CfgParams small, big;
+    small.numFuncs = 8;
+    big.numFuncs = 128;
+    Program ps = generateCfg(small, 3, "s");
+    Program pb = generateCfg(big, 3, "b");
+    EXPECT_GT(pb.footprintInsts(), 4 * ps.footprintInsts());
+}
+
+TEST(MicroPrograms, ShapesAreAsAdvertised)
+{
+    Program chain = microTakenChain(8, 4);
+    unsigned jumps = 0;
+    for (const StaticInst &si : chain.instructions())
+        jumps += si.branch == BranchKind::UncondDirect ? 1 : 0;
+    EXPECT_EQ(jumps, 8u);
+
+    Program rec = microRecursion(8, 4);
+    unsigned calls = 0, rets = 0;
+    for (const StaticInst &si : rec.instructions()) {
+        calls += isCall(si.branch) ? 1 : 0;
+        rets += isReturn(si.branch) ? 1 : 0;
+    }
+    EXPECT_EQ(calls, 2u);
+    EXPECT_EQ(rets, 1u);
+
+    Program ind = microIndirect(4, IndirectKind::RoundRobin, 3);
+    unsigned indirects = 0;
+    for (const StaticInst &si : ind.instructions())
+        indirects += si.branch == BranchKind::IndirectJump ? 1 : 0;
+    EXPECT_EQ(indirects, 1u);
+}

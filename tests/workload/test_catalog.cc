@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/catalog.hh"
+#include "workload/oracle_stream.hh"
+
+using namespace elfsim;
+
+TEST(Catalog, NonEmptyAndUniqueNames)
+{
+    const auto &cat = workloadCatalog();
+    EXPECT_GE(cat.size(), 25u);
+    std::set<std::string> names;
+    for (const auto &w : cat)
+        names.insert(w.name);
+    EXPECT_EQ(names.size(), cat.size());
+}
+
+TEST(Catalog, FindByName)
+{
+    EXPECT_NE(findWorkload("641.leela"), nullptr);
+    EXPECT_NE(findWorkload("srv1.subtest_1"), nullptr);
+    EXPECT_EQ(findWorkload("nonexistent"), nullptr);
+}
+
+TEST(Catalog, ElfRelevantSubsetExists)
+{
+    for (const std::string &n : elfRelevantWorkloads())
+        EXPECT_NE(findWorkload(n), nullptr) << n;
+}
+
+TEST(Catalog, SuitesCoverCatalog)
+{
+    std::size_t total = 0;
+    for (const std::string &s : catalogSuites())
+        total += suiteWorkloads(s).size();
+    EXPECT_EQ(total, workloadCatalog().size());
+}
+
+TEST(Catalog, Server1HasLargeFootprint)
+{
+    const WorkloadSpec *srv = findWorkload("srv1.subtest_1");
+    ASSERT_NE(srv, nullptr);
+    Program p = buildWorkload(*srv);
+    // Server 1 must exceed the 64KB L1I reach by a wide margin.
+    EXPECT_GT(p.footprintBytes(), 3u * 64 * 1024);
+
+    const WorkloadSpec *leela = findWorkload("641.leela");
+    ASSERT_NE(leela, nullptr);
+    Program q = buildWorkload(*leela);
+    EXPECT_LT(q.footprintBytes(), p.footprintBytes());
+}
+
+class CatalogBuild : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CatalogBuild, BuildsAndRunsArchitecturally)
+{
+    const WorkloadSpec *spec = findWorkload(GetParam());
+    ASSERT_NE(spec, nullptr);
+    Program p = buildWorkload(*spec);
+    EXPECT_GT(p.footprintInsts(), 50u);
+
+    // The architectural stream must be able to run a while without
+    // leaving the image, and must contain branches.
+    OracleStream os(p);
+    unsigned branches = 0;
+    for (SeqNum i = 1; i <= 20000; ++i) {
+        const OracleInst &oi = os.at(i);
+        ASSERT_NE(oi.si, nullptr);
+        branches += oi.si->isBranchInst() ? 1 : 0;
+        os.retireUpTo(i);
+    }
+    EXPECT_GT(branches, 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllElfRelevant, CatalogBuild,
+    ::testing::ValuesIn(elfRelevantWorkloads()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });

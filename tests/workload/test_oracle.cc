@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "workload/builders.hh"
+#include "workload/oracle_stream.hh"
+#include "workload/program_builder.hh"
+#include "workload/wrong_path.hh"
+
+using namespace elfsim;
+
+TEST(OracleStream, FollowsTakenChain)
+{
+    Program p = microTakenChain(3, 2); // blocks of 3 insts (2 + jump)
+    OracleStream os(p);
+    // Walk 9 instructions: should visit blocks 0,1,2 in order.
+    for (SeqNum i = 1; i <= 9; ++i) {
+        const OracleInst &oi = os.at(i);
+        ASSERT_NE(oi.si, nullptr);
+        if (oi.si->isBranchInst()) {
+            EXPECT_TRUE(oi.taken);
+            EXPECT_EQ(oi.nextPC, oi.si->directTarget);
+        } else {
+            EXPECT_EQ(oi.nextPC, oi.si->nextPC());
+        }
+    }
+    // Instruction 10 wraps back to block 0.
+    EXPECT_EQ(os.at(10).si->pc, p.entryPC());
+}
+
+TEST(OracleStream, LoopConditionalOutcomes)
+{
+    // Loop body of 4 insts + cond (period 3): taken twice, then exit.
+    Program p = microSequentialLoop(4, 3);
+    OracleStream os(p);
+    int takenSeen = 0, notTakenSeen = 0;
+    for (SeqNum i = 1; i <= 40; ++i) {
+        const OracleInst &oi = os.at(i);
+        if (oi.si->branch == BranchKind::CondDirect) {
+            if (oi.taken) {
+                ++takenSeen;
+                EXPECT_EQ(oi.nextPC, oi.si->directTarget);
+            } else {
+                ++notTakenSeen;
+                EXPECT_EQ(oi.nextPC, oi.si->nextPC());
+            }
+        }
+    }
+    EXPECT_GT(takenSeen, 0);
+    EXPECT_GT(notTakenSeen, 0);
+    EXPECT_NEAR(takenSeen, 2 * notTakenSeen, 2);
+}
+
+TEST(OracleStream, CallsAndReturnsMatch)
+{
+    Program p = microRecursion(4, 3);
+    OracleStream os(p);
+    std::vector<Addr> shadowStack;
+    for (SeqNum i = 1; i <= 5000; ++i) {
+        const OracleInst &oi = os.at(i);
+        if (isCall(oi.si->branch))
+            shadowStack.push_back(oi.si->nextPC());
+        if (isReturn(oi.si->branch)) {
+            ASSERT_FALSE(shadowStack.empty());
+            EXPECT_EQ(oi.nextPC, shadowStack.back());
+            shadowStack.pop_back();
+        }
+        os.retireUpTo(i > 10 ? i - 10 : 0);
+    }
+}
+
+TEST(OracleStream, ReplayWindowIsStable)
+{
+    Program p = microRandomBranchLoop(6, 0.5);
+    OracleStream os(p);
+    // Generate forward, record, then re-read the same range: the
+    // window must return identical instructions (flush replay).
+    std::vector<std::pair<Addr, bool>> first;
+    for (SeqNum i = 1; i <= 200; ++i) {
+        const OracleInst &oi = os.at(i);
+        first.emplace_back(oi.si->pc, oi.taken);
+    }
+    for (SeqNum i = 1; i <= 200; ++i) {
+        const OracleInst &oi = os.at(i);
+        EXPECT_EQ(oi.si->pc, first[i - 1].first);
+        EXPECT_EQ(oi.taken, first[i - 1].second);
+    }
+}
+
+TEST(OracleStream, RetireShrinksWindow)
+{
+    Program p = microTakenChain(4, 3);
+    OracleStream os(p);
+    os.at(100);
+    EXPECT_EQ(os.oldest(), 1u);
+    os.retireUpTo(50);
+    EXPECT_EQ(os.oldest(), 51u);
+    // Still able to read unretired and newer entries.
+    EXPECT_NE(os.at(51).si, nullptr);
+    EXPECT_NE(os.at(150).si, nullptr);
+}
+
+TEST(OracleStream, MemAddressesBound)
+{
+    Program p = microMemoryStream(4096, MemKind::Stride, 6);
+    OracleStream os(p);
+    bool sawMem = false;
+    for (SeqNum i = 1; i <= 50; ++i) {
+        const OracleInst &oi = os.at(i);
+        if (oi.si->isMemInst()) {
+            sawMem = true;
+            EXPECT_NE(oi.memAddr, invalidAddr);
+            EXPECT_GE(oi.memAddr, defaultDataBase);
+            EXPECT_LT(oi.memAddr, defaultDataBase + 4096);
+        } else {
+            EXPECT_EQ(oi.memAddr, invalidAddr);
+        }
+    }
+    EXPECT_TRUE(sawMem);
+}
+
+TEST(OracleStream, TwoStreamsIndependent)
+{
+    Program p = microRandomBranchLoop(4, 0.3);
+    OracleStream a(p), b(p);
+    a.at(500); // advance a far ahead
+    for (SeqNum i = 1; i <= 100; ++i)
+        EXPECT_EQ(a.at(i).si->pc, b.at(i).si->pc);
+}
+
+TEST(WrongPathWalker, ServesRealAndFabricated)
+{
+    Program p = microTakenChain(2, 2);
+    WrongPathWalker w(p);
+    const StaticInst *real = w.instAt(p.entryPC());
+    ASSERT_NE(real, nullptr);
+    EXPECT_TRUE(w.isMapped(p.entryPC()));
+
+    const Addr off = p.codeLimit() + 0x100;
+    const StaticInst *fake = w.instAt(off);
+    ASSERT_NE(fake, nullptr);
+    EXPECT_EQ(fake->cls, InstClass::Nop);
+    EXPECT_EQ(fake->pc, off);
+    EXPECT_FALSE(w.isMapped(off));
+    // Cached: same pointer next time.
+    EXPECT_EQ(w.instAt(off), fake);
+}
+
+TEST(WrongPathWalker, MisalignedIsNull)
+{
+    Program p = microTakenChain(2, 2);
+    WrongPathWalker w(p);
+    EXPECT_EQ(w.instAt(p.entryPC() + 1), nullptr);
+}
+
+TEST(WrongPathWalker, WrongPathMemAddrInRegion)
+{
+    Program p = microMemoryStream(8192, MemKind::Random, 4);
+    WrongPathWalker w(p);
+    for (const StaticInst &si : p.instructions()) {
+        if (si.isMemInst()) {
+            const Addr a = w.wrongPathMemAddr(si, 12345);
+            EXPECT_GE(a, defaultDataBase);
+            EXPECT_LT(a, defaultDataBase + 8192);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/catalog.hh"
+#include "workload/oracle_stream.hh"
+
+using namespace elfsim;
+
+namespace {
+
+struct Traversal
+{
+    std::size_t distinctPCs = 0;
+    double topPcShare = 0;   ///< fraction of the hottest instruction
+    double takenFrac = 0;    ///< taken fraction among branches
+    double branchFrac = 0;   ///< branches per instruction
+};
+
+Traversal
+walk(const Program &p, SeqNum n)
+{
+    OracleStream os(p);
+    std::map<Addr, std::uint64_t> hot;
+    std::uint64_t branches = 0, taken = 0;
+    for (SeqNum i = 1; i <= n; ++i) {
+        const OracleInst &oi = os.at(i);
+        ++hot[oi.si->pc];
+        if (oi.si->isBranchInst()) {
+            ++branches;
+            taken += oi.taken;
+        }
+        os.retireUpTo(i);
+    }
+    Traversal t;
+    t.distinctPCs = hot.size();
+    std::uint64_t top = 0;
+    for (const auto &[pc, c] : hot)
+        top = std::max(top, c);
+    t.topPcShare = double(top) / double(n);
+    t.takenFrac = branches ? double(taken) / double(branches) : 0;
+    t.branchFrac = double(branches) / double(n);
+    return t;
+}
+
+} // namespace
+
+// Regression guards for generator pathologies found during
+// calibration: execution trapped in tiny loops (a handful of hot
+// PCs), static call-graph cycles (infinite descent touching a sliver
+// of the footprint), and implausible taken fractions.
+
+class CatalogTraversal : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CatalogTraversal, ExecutionIsWellSpread)
+{
+    const WorkloadSpec *spec = findWorkload(GetParam());
+    ASSERT_NE(spec, nullptr);
+    Program p = buildWorkload(*spec);
+    const Traversal t = walk(p, 150000);
+
+    EXPECT_GE(t.distinctPCs, 100u) << "trapped in a tiny loop";
+    EXPECT_LT(t.topPcShare, 0.10) << "one instruction dominates";
+    // Real code takes roughly half its branches; far outside that
+    // band means the control structure degenerated.
+    EXPECT_GT(t.takenFrac, 0.30);
+    EXPECT_LT(t.takenFrac, 0.85);
+    EXPECT_GT(t.branchFrac, 0.02);
+    EXPECT_LT(t.branchFrac, 0.40);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Relevant, CatalogTraversal,
+    ::testing::ValuesIn(elfRelevantWorkloads()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(CatalogTraversal, Server1SweepsItsFootprint)
+{
+    // The server-1 story requires the walk to keep touching new code
+    // (flat call profile over a footprint beyond BTB/L1I reach).
+    Program p = buildWorkload(*findWorkload("srv1.subtest_1"));
+    const Traversal t = walk(p, 200000);
+    EXPECT_GT(double(t.distinctPCs) / double(p.footprintInsts()), 0.25)
+        << "the dispatcher walk collapsed into a static call cycle";
+}
