@@ -16,65 +16,59 @@
  * proxy (footprint-sensitive).
  */
 
+#include <deque>
+#include <string>
+#include <vector>
+
 #include "bench_util.hh"
 
 using namespace elfsim;
 
 namespace {
 
-double
-ipc(const Program &p, const SimConfig &cfg, const RunOptions &o)
+struct Row
 {
-    return runSimulation(p, cfg, o).ipc;
-}
+    std::string label;
+    SimConfig cfg;
+};
 
-void
-study(const char *workload, const RunOptions &o)
+/** Baseline first; every other row prints relative to it. */
+std::vector<Row>
+studyRows()
 {
-    const WorkloadSpec *w = findWorkload(workload);
-    Program p = buildWorkload(*w);
     const SimConfig base = makeConfig(FrontendVariant::Dcf);
-    const double baseIpc = ipc(p, base, o);
-
-    std::printf("\n[%s]  baseline DCF IPC %.3f\n", workload, baseIpc);
-    std::printf("  %-42s %10s\n", "configuration", "rel. IPC");
-
+    std::vector<Row> rows;
+    rows.push_back({"baseline (Table II DCF)", base});
     for (Cycle depth : {Cycle(0), Cycle(1), Cycle(5), Cycle(8)}) {
         SimConfig c = base;
         c.bp1ToFe = depth;
-        std::printf("  %-42s %10.3f\n",
-                    ("BP1->FE depth = " + std::to_string(depth) +
-                     " cycles")
-                        .c_str(),
-                    ipc(p, c, o) / baseIpc);
+        rows.push_back({"BP1->FE depth = " + std::to_string(depth) +
+                            " cycles",
+                        c});
     }
     {
         SimConfig c = base;
         c.btb.l0.entries = 1; // effectively no L0 BTB
         c.btb.l0.assoc = 0;
-        std::printf("  %-42s %10.3f\n",
-                    "no L0 BTB (every taken pays BP2 bubble)",
-                    ipc(p, c, o) / baseIpc);
+        rows.push_back({"no L0 BTB (every taken pays BP2 bubble)", c});
     }
     {
         SimConfig c = base;
         c.btb.l0.entries = 96;
         c.btb.l0.assoc = 0;
-        std::printf("  %-42s %10.3f\n", "4x L0 BTB (96 entries)",
-                    ipc(p, c, o) / baseIpc);
+        rows.push_back({"4x L0 BTB (96 entries)", c});
     }
     {
         SimConfig c = base;
         c.maxInstPrefetch = 0; // FAQ-directed prefetch off
-        std::printf("  %-42s %10.3f\n", "no FAQ-directed I-prefetch",
-                    ipc(p, c, o) / baseIpc);
+        rows.push_back({"no FAQ-directed I-prefetch", c});
     }
     {
         SimConfig c = base;
         c.faqEntries = 4;
-        std::printf("  %-42s %10.3f\n", "shallow FAQ (4 entries)",
-                    ipc(p, c, o) / baseIpc);
+        rows.push_back({"shallow FAQ (4 entries)", c});
     }
+    return rows;
 }
 
 } // namespace
@@ -85,12 +79,43 @@ main(int argc, char **argv)
     const bench::Options opt = bench::parseOptions(argc, argv);
     bench::banner("Ablations — decoupled fetcher design choices",
                   "DCF IPC relative to the Table II baseline");
-    study("641.leela", opt.runOptions());
-    study("srv1.subtest_1", opt.runOptions());
+
+    // One grid covers both studies so the pool stays saturated.
+    const char *workloads[] = {"641.leela", "srv1.subtest_1"};
+    const std::vector<Row> rows = studyRows();
+
+    std::deque<Program> programs;
+    std::vector<SweepJob> grid;
+    for (const char *name : workloads) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        for (const Row &row : rows) {
+            SweepJob j;
+            j.program = &programs.back();
+            j.cfg = row.cfg;
+            j.opts = opt.runOptions();
+            grid.push_back(j);
+        }
+    }
+
+    SweepRunner runner(opt.jobs);
+    const std::vector<RunResult> res = runner.run(grid);
+
+    for (std::size_t s = 0; s < std::size(workloads); ++s) {
+        const std::size_t first = s * rows.size();
+        const double baseIpc = res[first].ipc;
+        std::printf("\n[%s]  baseline DCF IPC %.3f\n", workloads[s],
+                    baseIpc);
+        std::printf("  %-42s %10s\n", "configuration", "rel. IPC");
+        for (std::size_t i = 1; i < rows.size(); ++i)
+            std::printf("  %-42s %10.3f\n", rows[i].label.c_str(),
+                        res[first + i].ipc / baseIpc);
+    }
+
     std::printf("\nreading guide: the BP1->FE sweep is the cost ELF "
                 "hides; the no-prefetch row is\nthe paper's server-1 "
                 "'DCF +40%%' mechanism; the no-L0-BTB row is the "
                 "steady-state\ntaken-branch bubble the decoupled L0 "
                 "BTB removes.\n");
+    bench::printSweepTiming(runner);
     return 0;
 }

@@ -14,25 +14,17 @@
  *  5. FAQ depth (32 in Table II).
  */
 
+#include <string>
+#include <vector>
+
 #include "bench_util.hh"
 
 using namespace elfsim;
-
-namespace {
-
-double
-run(const Program &p, const SimConfig &cfg, const RunOptions &o)
-{
-    return runSimulation(p, cfg, o).ipc;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     const bench::Options opt = bench::parseOptions(argc, argv);
-    const RunOptions o = opt.runOptions();
     bench::banner("Ablations — ELF design choices",
                   "U-ELF IPC relative to the default U-ELF "
                   "configuration, on the high-MPKI MCTS proxy");
@@ -41,79 +33,87 @@ main(int argc, char **argv)
     Program p = buildWorkload(*w);
 
     const SimConfig base = makeConfig(FrontendVariant::UElf);
-    const double baseIpc = run(p, base, o);
-    const double dcfIpc =
-        run(p, makeConfig(FrontendVariant::Dcf), o);
 
-    std::printf("%-44s %10s\n", "configuration", "rel. IPC");
-    std::printf("%-44s %10.3f\n", "U-ELF (default)", 1.0);
-    std::printf("%-44s %10.3f\n", "DCF baseline", dcfIpc / baseIpc);
-
+    struct Row
+    {
+        std::string label;
+        SimConfig cfg;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"U-ELF (default)", base});
+    rows.push_back({"DCF baseline", makeConfig(FrontendVariant::Dcf)});
     {
         SimConfig c = base;
         c.payloadPolicy = PayloadPolicy::RobHead;
-        std::printf("%-44s %10.3f\n",
-                    "payloads wait for ROB head (IV-D1 baseline)",
-                    run(p, c, o) / baseIpc);
+        rows.push_back(
+            {"payloads wait for ROB head (IV-D1 baseline)", c});
     }
     {
         SimConfig c = base;
         c.payloadPolicy = PayloadPolicy::Ideal;
-        std::printf("%-44s %10.3f\n", "idealized free checkpoints",
-                    run(p, c, o) / baseIpc);
+        rows.push_back({"idealized free checkpoints", c});
     }
     {
         SimConfig c = base;
         c.condElfRequireSaturation = false;
-        std::printf("%-44s %10.3f\n",
-                    "no saturation filter (speculate always)",
-                    run(p, c, o) / baseIpc);
+        rows.push_back({"no saturation filter (speculate always)", c});
     }
     {
         SimConfig c = base;
         c.coupledPreds.bimodal.entries = 8192;
-        std::printf("%-44s %10.3f\n", "4x coupled bimodal (8K entries)",
-                    run(p, c, o) / baseIpc);
+        rows.push_back({"4x coupled bimodal (8K entries)", c});
     }
     {
         SimConfig c = base;
         c.coupledPreds.bimodal.entries = 512;
-        std::printf("%-44s %10.3f\n", "1/4 coupled bimodal (512)",
-                    run(p, c, o) / baseIpc);
+        rows.push_back({"1/4 coupled bimodal (512)", c});
     }
     {
         SimConfig c = base;
         c.divergence.vecEntries = 16;
         c.divergence.targetEntries = 4;
-        std::printf("%-44s %10.3f\n",
-                    "1/4 divergence tracking (16-entry vectors)",
-                    run(p, c, o) / baseIpc);
+        rows.push_back(
+            {"1/4 divergence tracking (16-entry vectors)", c});
     }
     {
         SimConfig c = base;
         c.faqEntries = 8;
-        std::printf("%-44s %10.3f\n", "shallow FAQ (8 entries)",
-                    run(p, c, o) / baseIpc);
+        rows.push_back({"shallow FAQ (8 entries)", c});
     }
     {
         SimConfig c = base;
         c.faqEntries = 128;
-        std::printf("%-44s %10.3f\n", "deep FAQ (128 entries)",
-                    run(p, c, o) / baseIpc);
+        rows.push_back({"deep FAQ (128 entries)", c});
     }
     {
         SimConfig c = base;
         c.coupledPreds.condKind = CoupledCondKind::Gshare;
-        std::printf("%-44s %10.3f\n",
-                    "extension: gshare coupled predictor",
-                    run(p, c, o) / baseIpc);
+        rows.push_back({"extension: gshare coupled predictor", c});
     }
     {
         SimConfig c = base;
         c.decodeBtbFill = true;
-        std::printf("%-44s %10.3f\n",
-                    "extension: decode-time BTB fill (Boomerang)",
-                    run(p, c, o) / baseIpc);
+        rows.push_back(
+            {"extension: decode-time BTB fill (Boomerang)", c});
     }
+
+    std::vector<SweepJob> grid;
+    for (const Row &row : rows) {
+        SweepJob j;
+        j.program = &p;
+        j.cfg = row.cfg;
+        j.opts = opt.runOptions();
+        grid.push_back(j);
+    }
+
+    SweepRunner runner(opt.jobs);
+    const std::vector<RunResult> res = runner.run(grid);
+    const double baseIpc = res[0].ipc;
+
+    std::printf("%-44s %10s\n", "configuration", "rel. IPC");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::printf("%-44s %10.3f\n", rows[i].label.c_str(),
+                    res[i].ipc / baseIpc);
+    bench::printSweepTiming(runner);
     return 0;
 }

@@ -6,6 +6,9 @@
  * quoted in Section VI-A.
  */
 
+#include <deque>
+#include <vector>
+
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -20,18 +23,28 @@ main(int argc, char **argv)
         "fetcher (high-MPKI cases); server 1 collapses without the "
         "FAQ's instruction prefetch");
 
+    const std::vector<std::string> names = elfRelevantWorkloads();
+    std::deque<Program> programs;
+    std::vector<SweepJob> grid;
+    for (const std::string &name : names) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        for (FrontendVariant v :
+             {FrontendVariant::Dcf, FrontendVariant::NoDcf})
+            grid.push_back(
+                makeVariantJob(programs.back(), v, opt.runOptions()));
+    }
+
+    SweepRunner runner(opt.jobs);
+    const std::vector<RunResult> res = runner.run(grid);
+
     std::printf("%-18s %10s %10s %12s %10s\n", "workload", "DCF IPC",
                 "NoDCF rel", "branch MPKI", "BTB L0/L1/L2");
 
-    for (const std::string &name : elfRelevantWorkloads()) {
-        const WorkloadSpec *w = findWorkload(name);
-        Program p = buildWorkload(*w);
-        const RunResult dcf =
-            runVariant(p, FrontendVariant::Dcf, opt.runOptions());
-        const RunResult nod =
-            runVariant(p, FrontendVariant::NoDcf, opt.runOptions());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &dcf = res[2 * i];
+        const RunResult &nod = res[2 * i + 1];
         std::printf("%-18s %10.3f %10.3f %12.1f %4.0f/%2.0f/%2.0f%%\n",
-                    name.c_str(), dcf.ipc, nod.ipc / dcf.ipc,
+                    names[i].c_str(), dcf.ipc, nod.ipc / dcf.ipc,
                     dcf.branchMpki, 100 * dcf.btbHitL0,
                     100 * dcf.btbHitL1, 100 * dcf.btbHitL2);
         std::fflush(stdout);
@@ -39,5 +52,6 @@ main(int argc, char **argv)
     std::printf("\npaper shape: NoDCF ~0.6 on server 1 (prefetch "
                 "loss); NoDCF can exceed 1.0 only when MPKI is high "
                 "and the footprint is small.\n");
+    bench::printSweepTiming(runner);
     return 0;
 }

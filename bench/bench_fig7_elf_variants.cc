@@ -4,6 +4,9 @@
  * (RET/IND/COND-ELF) relative to the DCF baseline.
  */
 
+#include <deque>
+#include <vector>
+
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -18,27 +21,37 @@ main(int argc, char **argv)
         "(srv2.subtest_2); COND-ELF can lose on bimodal-hostile "
         "patterns (620.omnetpp)");
 
+    const FrontendVariant variants[] = {
+        FrontendVariant::Dcf, FrontendVariant::LElf,
+        FrontendVariant::RetElf, FrontendVariant::IndElf,
+        FrontendVariant::CondElf};
+
+    const std::vector<std::string> names = elfRelevantWorkloads();
+    std::deque<Program> programs;
+    std::vector<SweepJob> grid;
+    for (const std::string &name : names) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        for (FrontendVariant v : variants)
+            grid.push_back(
+                makeVariantJob(programs.back(), v, opt.runOptions()));
+    }
+
+    SweepRunner runner(opt.jobs);
+    const std::vector<RunResult> res = runner.run(grid);
+
     std::printf("%-18s %8s %8s %8s %8s %8s\n", "workload", "DCF IPC",
                 "L-ELF", "RET", "IND", "COND");
 
-    for (const std::string &name : elfRelevantWorkloads()) {
-        const WorkloadSpec *w = findWorkload(name);
-        Program p = buildWorkload(*w);
-        const RunResult dcf =
-            runVariant(p, FrontendVariant::Dcf, opt.runOptions());
-        const RunResult l =
-            runVariant(p, FrontendVariant::LElf, opt.runOptions());
-        const RunResult ret =
-            runVariant(p, FrontendVariant::RetElf, opt.runOptions());
-        const RunResult ind =
-            runVariant(p, FrontendVariant::IndElf, opt.runOptions());
-        const RunResult cond =
-            runVariant(p, FrontendVariant::CondElf, opt.runOptions());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &dcf = res[5 * i];
         std::printf("%-18s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
-                    name.c_str(), dcf.ipc, l.ipc / dcf.ipc,
-                    ret.ipc / dcf.ipc, ind.ipc / dcf.ipc,
-                    cond.ipc / dcf.ipc);
+                    names[i].c_str(), dcf.ipc,
+                    res[5 * i + 1].ipc / dcf.ipc,
+                    res[5 * i + 2].ipc / dcf.ipc,
+                    res[5 * i + 3].ipc / dcf.ipc,
+                    res[5 * i + 4].ipc / dcf.ipc);
         std::fflush(stdout);
     }
+    bench::printSweepTiming(runner);
     return 0;
 }

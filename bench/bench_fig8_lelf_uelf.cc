@@ -4,6 +4,9 @@
  * average number of instructions fetched per coupled period.
  */
 
+#include <deque>
+#include <vector>
+
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -18,21 +21,31 @@ main(int argc, char **argv)
         "U-ELF speculates further in coupled mode than L-ELF; more "
         "coupled instructions = more hidden restart latency");
 
+    const std::vector<std::string> names = elfRelevantWorkloads();
+    std::deque<Program> programs;
+    std::vector<SweepJob> grid;
+    for (const std::string &name : names) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        for (FrontendVariant v :
+             {FrontendVariant::Dcf, FrontendVariant::LElf,
+              FrontendVariant::UElf})
+            grid.push_back(
+                makeVariantJob(programs.back(), v, opt.runOptions()));
+    }
+
+    SweepRunner runner(opt.jobs);
+    const std::vector<RunResult> res = runner.run(grid);
+
     std::printf("%-18s %8s | %8s %8s | %8s %8s | %6s\n", "workload",
                 "DCF IPC", "L-ELF", "cpl/per", "U-ELF", "cpl/per",
                 "U div");
 
-    for (const std::string &name : elfRelevantWorkloads()) {
-        const WorkloadSpec *w = findWorkload(name);
-        Program p = buildWorkload(*w);
-        const RunResult dcf =
-            runVariant(p, FrontendVariant::Dcf, opt.runOptions());
-        const RunResult l =
-            runVariant(p, FrontendVariant::LElf, opt.runOptions());
-        const RunResult u =
-            runVariant(p, FrontendVariant::UElf, opt.runOptions());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &dcf = res[3 * i];
+        const RunResult &l = res[3 * i + 1];
+        const RunResult &u = res[3 * i + 2];
         std::printf("%-18s %8.3f | %8.3f %8.1f | %8.3f %8.1f | %6llu\n",
-                    name.c_str(), dcf.ipc, l.ipc / dcf.ipc,
+                    names[i].c_str(), dcf.ipc, l.ipc / dcf.ipc,
                     l.avgCoupledInsts, u.ipc / dcf.ipc,
                     u.avgCoupledInsts,
                     (unsigned long long)u.divergenceFlushes);
@@ -41,5 +54,6 @@ main(int argc, char **argv)
     std::printf("\npaper shape: up to +3.6%% (L) / +5.2%% (U) on "
                 "high-MPKI workloads; U-ELF fetches more per period "
                 "than L-ELF.\n");
+    bench::printSweepTiming(runner);
     return 0;
 }

@@ -4,6 +4,7 @@
  * U-ELF relative to DCF, per benchmark suite and overall.
  */
 
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -21,19 +22,32 @@ main(int argc, char **argv)
         "Per suite and overall; paper: L-ELF +0.7% geomean, U-ELF "
         "+1.2%, NoDCF well below 1.0");
 
+    const FrontendVariant variants[] = {
+        FrontendVariant::Dcf, FrontendVariant::NoDcf,
+        FrontendVariant::LElf, FrontendVariant::UElf};
+
+    std::deque<Program> programs;
+    std::vector<SweepJob> grid;
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        programs.push_back(buildWorkload(w));
+        for (FrontendVariant v : variants)
+            grid.push_back(
+                makeVariantJob(programs.back(), v, opt.runOptions()));
+    }
+
+    SweepRunner runner(opt.jobs);
+    const std::vector<RunResult> res = runner.run(grid);
+
     std::map<std::string, std::vector<double>> nod, lelf, uelf;
     std::vector<double> nodAll, lAll, uAll;
 
+    std::size_t row = 0;
     for (const WorkloadSpec &w : workloadCatalog()) {
-        Program p = buildWorkload(w);
-        const RunResult dcf =
-            runVariant(p, FrontendVariant::Dcf, opt.runOptions());
-        const RunResult n =
-            runVariant(p, FrontendVariant::NoDcf, opt.runOptions());
-        const RunResult l =
-            runVariant(p, FrontendVariant::LElf, opt.runOptions());
-        const RunResult u =
-            runVariant(p, FrontendVariant::UElf, opt.runOptions());
+        const RunResult &dcf = res[row + 0];
+        const RunResult &n = res[row + 1];
+        const RunResult &l = res[row + 2];
+        const RunResult &u = res[row + 3];
+        row += 4;
         const double rn = n.ipc / dcf.ipc;
         const double rl = l.ipc / dcf.ipc;
         const double ru = u.ipc / dcf.ipc;
@@ -57,5 +71,6 @@ main(int argc, char **argv)
     }
     std::printf("%-12s %8.3f %8.3f %8.3f\n", "Geomean",
                 geomean(nodAll), geomean(lAll), geomean(uAll));
+    bench::printSweepTiming(runner);
     return 0;
 }

@@ -11,9 +11,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "workload/catalog.hh"
 
 namespace elfsim {
@@ -25,6 +27,7 @@ struct Options
     InstCount warmupInsts = 100000;
     InstCount measureInsts = 200000;
     bool quick = false;
+    unsigned jobs = 0; ///< sweep threads; 0 = $ELFSIM_JOBS / hardware
 
     RunOptions
     runOptions() const
@@ -36,7 +39,7 @@ struct Options
     }
 };
 
-/** Parse --warmup N / --insts N / --quick. */
+/** Parse --warmup N / --insts N / --quick / --jobs N. */
 inline Options
 parseOptions(int argc, char **argv)
 {
@@ -48,8 +51,20 @@ parseOptions(int argc, char **argv)
             o.measureInsts = std::strtoull(argv[++i], nullptr, 10);
         else if (!std::strcmp(argv[i], "--quick"))
             o.quick = true;
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            o.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
     }
     return o;
+}
+
+/** Print the runner's per-sweep timing summary to stdout. */
+inline void
+printSweepTiming(const SweepRunner &runner)
+{
+    std::ostringstream os;
+    runner.printTimingSummary(os);
+    std::printf("\n%s", os.str().c_str());
+    std::fflush(stdout);
 }
 
 /** Print the experiment banner. */

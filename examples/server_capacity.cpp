@@ -7,19 +7,31 @@
  * "server 1 improves 40% with DCF"), while BTB misses expose the
  * decode-resteer feedback loop that ELF's coupled mode shortens.
  *
- *   $ ./server_capacity
+ * The (footprint × variant) grid runs through the parallel sweep
+ * engine; thread count comes from --jobs N or $ELFSIM_JOBS.
+ *
+ *   $ ./server_capacity [--jobs N]
  */
 
 #include <cstdio>
+#include <cstring>
+#include <deque>
+#include <vector>
 
-#include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "workload/builders.hh"
 
 using namespace elfsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+    }
+
     std::printf("Instruction-footprint sweep (server-1 shape)\n");
     std::printf("%-10s %9s | %7s %7s %7s | %8s %8s\n", "code KB",
                 "DCF IPC", "NoDCF", "L-ELF", "U-ELF", "BTB L0",
@@ -29,6 +41,12 @@ main()
     opts.warmupInsts = 150000;
     opts.measureInsts = 150000;
 
+    const FrontendVariant variants[] = {
+        FrontendVariant::Dcf, FrontendVariant::NoDcf,
+        FrontendVariant::LElf, FrontendVariant::UElf};
+
+    std::deque<Program> programs;
+    std::vector<SweepJob> grid;
     for (unsigned funcs : {64u, 256u, 768u, 1536u}) {
         CfgParams p;
         p.numFuncs = funcs;
@@ -44,20 +62,23 @@ main()
         p.loopPeriodMin = 2;
         p.loopPeriodMax = 6;
         p.dataFootprint = 256 << 10;
-        Program prog = generateCfg(p, 0x5e41, "server_sweep");
+        programs.push_back(generateCfg(p, 0x5e41, "server_sweep"));
+        for (FrontendVariant v : variants)
+            grid.push_back(makeVariantJob(programs.back(), v, opts));
+    }
 
-        const RunResult dcf =
-            runVariant(prog, FrontendVariant::Dcf, opts);
-        const RunResult nod =
-            runVariant(prog, FrontendVariant::NoDcf, opts);
-        const RunResult l =
-            runVariant(prog, FrontendVariant::LElf, opts);
-        const RunResult u =
-            runVariant(prog, FrontendVariant::UElf, opts);
+    SweepRunner runner(jobs);
+    const std::vector<RunResult> res = runner.run(grid);
 
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const RunResult &dcf = res[4 * i + 0];
+        const RunResult &nod = res[4 * i + 1];
+        const RunResult &l = res[4 * i + 2];
+        const RunResult &u = res[4 * i + 3];
         std::printf("%-10llu %9.3f | %7.3f %7.3f %7.3f | %7.0f%% "
                     "%8llu\n",
-                    (unsigned long long)(prog.footprintBytes() / 1024),
+                    (unsigned long long)(programs[i].footprintBytes() /
+                                         1024),
                     dcf.ipc, nod.ipc / dcf.ipc, l.ipc / dcf.ipc,
                     u.ipc / dcf.ipc, 100 * dcf.btbHitL0,
                     (unsigned long long)dcf.decodeResteers);

@@ -1,10 +1,28 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Build, test, and regenerate every experiment.
 #
-#   scripts/run_all.sh          # full experiment windows
-#   scripts/run_all.sh --quick  # quarter-size windows (smoke)
-set -e
+#   scripts/run_all.sh                  # full experiment windows
+#   scripts/run_all.sh --quick          # quarter-size windows (smoke)
+#   scripts/run_all.sh --jobs 8         # sweep threads per bench
+#
+# Sweep thread count: --jobs N beats $ELFSIM_JOBS beats nproc.
+set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS="${ELFSIM_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+EXTRA=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --jobs)
+            JOBS="$2"
+            shift 2
+            ;;
+        *)
+            EXTRA+=("$1")
+            shift
+            ;;
+    esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -13,5 +31,13 @@ ctest --test-dir build --output-on-failure
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     echo "######## $b"
-    "$b" "$@"
+    case "$(basename "$b")" in
+        bench_micro_components)
+            # google-benchmark binary: rejects unknown flags.
+            "$b"
+            ;;
+        *)
+            "$b" --jobs "$JOBS" ${EXTRA[@]+"${EXTRA[@]}"}
+            ;;
+    esac
 done

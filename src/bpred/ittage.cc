@@ -7,7 +7,7 @@
 namespace elfsim {
 
 Ittage::Ittage(const IttageParams &params)
-    : params(params), allocRng(0x17a6)
+    : params(params), allocRng(params.allocSeed)
 {
     ELFSIM_ASSERT(params.numTables >= 1 &&
                       params.numTables <= ittageMaxTables,

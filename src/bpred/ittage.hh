@@ -35,6 +35,7 @@ struct IttageParams
     unsigned minHist = 4;
     unsigned maxHist = 128;
     unsigned uResetPeriod = 1 << 17;
+    std::uint64_t allocSeed = 0x17a6; ///< allocation-RNG seed
 };
 
 /** Carried from predict() to update(). */

@@ -7,7 +7,7 @@
 namespace elfsim {
 
 Tage::Tage(const TageParams &params)
-    : params(params), useAltOnNA(4, 8), allocRng(0xa11c)
+    : params(params), useAltOnNA(4, 8), allocRng(params.allocSeed)
 {
     ELFSIM_ASSERT(params.numTables >= 1 &&
                       params.numTables <= tageMaxTables,

@@ -42,6 +42,7 @@ struct TageParams
     unsigned minHist = 4;          ///< shortest history length
     unsigned maxHist = 256;        ///< longest history length
     unsigned uResetPeriod = 1 << 18; ///< useful-bit aging period
+    std::uint64_t allocSeed = 0xa11c; ///< allocation-RNG seed
 };
 
 /**

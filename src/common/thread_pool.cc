@@ -1,0 +1,108 @@
+#include "common/thread_pool.hh"
+
+namespace elfsim {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned n)
+{
+    if (n == 0)
+        n = hardwareThreads();
+    nThreads = n;
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.push_back(std::make_unique<Worker>());
+    // Everything workers touch is in place; spawning last keeps the
+    // construction loop race-free.
+    threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lk(poolMtx);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    unsigned slot;
+    {
+        std::lock_guard<std::mutex> lk(poolMtx);
+        slot = nextWorker;
+        nextWorker = (nextWorker + 1) % threadCount();
+        ++queued;
+        ++unfinished;
+    }
+    {
+        std::lock_guard<std::mutex> lk(workers[slot]->mtx);
+        workers[slot]->tasks.push_back(std::move(task));
+    }
+    workCv.notify_one();
+}
+
+bool
+ThreadPool::grabTask(unsigned self, std::function<void()> &out)
+{
+    const unsigned n = threadCount();
+    for (unsigned i = 0; i < n; ++i) {
+        Worker &w = *workers[(self + i) % n];
+        {
+            std::lock_guard<std::mutex> lk(w.mtx);
+            if (w.tasks.empty())
+                continue;
+            if (i == 0) {
+                out = std::move(w.tasks.back());
+                w.tasks.pop_back();
+            } else {
+                out = std::move(w.tasks.front());
+                w.tasks.pop_front();
+            }
+        }
+        std::lock_guard<std::mutex> lk(poolMtx);
+        --queued;
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (!grabTask(self, task)) {
+            std::unique_lock<std::mutex> lk(poolMtx);
+            workCv.wait(lk, [this] { return stopping || queued > 0; });
+            if (stopping && queued == 0)
+                return;
+            continue;
+        }
+        task();
+        std::lock_guard<std::mutex> lk(poolMtx);
+        if (--unfinished == 0)
+            idleCv.notify_all();
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(poolMtx);
+    idleCv.wait(lk, [this] { return unfinished == 0; });
+}
+
+} // namespace elfsim

@@ -39,6 +39,15 @@ struct SimConfig
     bool condElfRequireSaturation = true;
 
     /**
+     * Per-run RNG seed. 0 (the default) keeps the predictors' legacy
+     * fixed allocation seeds, so existing single-run results are
+     * unchanged. A sweep stamps a deterministic per-job value here
+     * (derived from the job's submission index, never from thread
+     * identity) so replicated grid cells decorrelate reproducibly.
+     */
+    std::uint64_t rngSeed = 0;
+
+    /**
      * Extension (paper Section VI-C points at Boomerang): on a
      * decode-time misfetch recovery, pre-fill the BTB for the
      * resteer target from pre-decoded instruction bytes, shortening

@@ -3,17 +3,27 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace elfsim {
 
 Core::Core(const SimConfig &cfg, const Program &prog)
     : cfg(cfg), prog(prog)
 {
+    // A non-zero run seed re-derives the stochastic-allocation seeds
+    // so sweep jobs can decorrelate deterministically.
+    if (this->cfg.rngSeed) {
+        this->cfg.preds.tage.allocSeed =
+            mix64(this->cfg.rngSeed, 0xa11c);
+        this->cfg.preds.ittage.allocSeed =
+            mix64(this->cfg.rngSeed, 0x17a6);
+    }
+
     oracle = std::make_unique<OracleStream>(prog);
     walker = std::make_unique<WrongPathWalker>(prog);
     instSupply = std::make_unique<InstSupply>(*oracle, *walker);
     mem = std::make_unique<MemHierarchy>(cfg.mem);
-    bank = std::make_unique<PredictorBank>(cfg.preds);
+    bank = std::make_unique<PredictorBank>(this->cfg.preds);
     btbHier = std::make_unique<MultiBtb>(cfg.btb);
     builder = std::make_unique<BtbBuilder>(prog, *btbHier);
     ckpts = std::make_unique<CheckpointQueue>(cfg.checkpointEntries);

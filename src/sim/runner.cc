@@ -6,6 +6,40 @@
 
 namespace elfsim {
 
+StatSnapshot
+StatSnapshot::capture(const Core &core)
+{
+    StatSnapshot s;
+    s.cycles = core.cycles();
+    s.insts = core.committed();
+    s.condMispredicts = core.backend().stats().condMispredicts;
+    s.targetMispredicts = core.backend().stats().targetMispredicts;
+    s.execFlushes = core.stats().execFlushes;
+    s.memOrderFlushes = core.stats().memOrderFlushes;
+    s.decodeResteers = core.stats().decodeResteers;
+    s.divergenceFlushes = core.stats().divergenceFlushes;
+    s.coupledCommitted = core.backend().stats().coupledCommitted;
+    s.l1dMisses = core.memory().l1d().misses();
+    return s;
+}
+
+StatSnapshot
+StatSnapshot::delta(const StatSnapshot &since) const
+{
+    StatSnapshot d;
+    d.cycles = cycles - since.cycles;
+    d.insts = insts - since.insts;
+    d.condMispredicts = condMispredicts - since.condMispredicts;
+    d.targetMispredicts = targetMispredicts - since.targetMispredicts;
+    d.execFlushes = execFlushes - since.execFlushes;
+    d.memOrderFlushes = memOrderFlushes - since.memOrderFlushes;
+    d.decodeResteers = decodeResteers - since.decodeResteers;
+    d.divergenceFlushes = divergenceFlushes - since.divergenceFlushes;
+    d.coupledCommitted = coupledCommitted - since.coupledCommitted;
+    d.l1dMisses = l1dMisses - since.l1dMisses;
+    return d;
+}
+
 RunResult
 runSimulation(const Program &prog, const SimConfig &cfg,
               const RunOptions &opts)
@@ -15,39 +49,29 @@ runSimulation(const Program &prog, const SimConfig &cfg,
     // Warmup: predictors, BTB, and caches train; stats that matter
     // are measured as deltas across the measurement window.
     core.run(opts.warmupInsts);
-
-    const Cycle cycles0 = core.cycles();
-    const InstCount insts0 = core.committed();
-    const std::uint64_t cond0 = core.backend().stats().condMispredicts;
-    const std::uint64_t tgt0 = core.backend().stats().targetMispredicts;
-    const std::uint64_t exec0 = core.stats().execFlushes;
-    const std::uint64_t mem0 = core.stats().memOrderFlushes;
-    const std::uint64_t dec0 = core.stats().decodeResteers;
-    const std::uint64_t div0 = core.stats().divergenceFlushes;
-    const std::uint64_t cpl0 = core.backend().stats().coupledCommitted;
-    const std::uint64_t l1dMiss0 = core.memory().l1d().misses();
+    const StatSnapshot warm = StatSnapshot::capture(core);
 
     core.run(opts.measureInsts);
+    const StatSnapshot d = StatSnapshot::capture(core).delta(warm);
 
     RunResult r;
     r.workload = prog.name();
     r.variant = variantName(cfg.variant);
-    r.cycles = core.cycles() - cycles0;
-    r.insts = core.committed() - insts0;
+    r.cycles = d.cycles;
+    r.insts = d.insts;
     r.ipc = r.cycles ? double(r.insts) / double(r.cycles) : 0.0;
 
     const double kilo = double(r.insts) / 1000.0;
-    const std::uint64_t cond =
-        core.backend().stats().condMispredicts - cond0;
-    const std::uint64_t tgt =
-        core.backend().stats().targetMispredicts - tgt0;
-    r.condMpki = kilo > 0 ? double(cond) / kilo : 0;
-    r.branchMpki = kilo > 0 ? double(cond + tgt) / kilo : 0;
+    r.condMpki = kilo > 0 ? double(d.condMispredicts) / kilo : 0;
+    r.branchMpki =
+        kilo > 0
+            ? double(d.condMispredicts + d.targetMispredicts) / kilo
+            : 0;
 
-    r.execFlushes = core.stats().execFlushes - exec0;
-    r.memOrderFlushes = core.stats().memOrderFlushes - mem0;
-    r.decodeResteers = core.stats().decodeResteers - dec0;
-    r.divergenceFlushes = core.stats().divergenceFlushes - div0;
+    r.execFlushes = d.execFlushes;
+    r.memOrderFlushes = d.memOrderFlushes;
+    r.decodeResteers = d.decodeResteers;
+    r.divergenceFlushes = d.divergenceFlushes;
     r.pendingFlushWaits = core.stats().pendingFlushWaits;
 
     r.btbHitL0 = core.btb().cumulativeHitRate(0);
@@ -58,20 +82,15 @@ runSimulation(const Program &prog, const SimConfig &cfg,
     r.l0iMissRate = l0i.accesses()
                         ? double(l0i.misses()) / double(l0i.accesses())
                         : 0;
-    r.l1dMpki = kilo > 0 ? double(core.memory().l1d().misses() -
-                                  l1dMiss0) /
-                               kilo
-                         : 0;
+    r.l1dMpki = kilo > 0 ? double(d.l1dMisses) / kilo : 0;
 
     r.wrongPathInsts = core.supply().wrongPathInsts();
     r.instPrefetches = core.elf().stats().instPrefetches;
 
     r.avgCoupledInsts = core.elf().stats().avgCoupledInstsPerPeriod();
     r.coupledPeriods = core.elf().stats().coupledPeriods;
-    const std::uint64_t cpl =
-        core.backend().stats().coupledCommitted - cpl0;
     r.coupledCommittedFrac =
-        r.insts ? double(cpl) / double(r.insts) : 0;
+        r.insts ? double(d.coupledCommitted) / double(r.insts) : 0;
 
     return r;
 }

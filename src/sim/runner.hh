@@ -55,6 +55,32 @@ struct RunOptions
     InstCount measureInsts = 500000;
 };
 
+/**
+ * Point-in-time capture of the core counters that runSimulation
+ * reports as deltas across the measurement window. Usage: capture()
+ * after warmup, run the measurement window, then delta() against a
+ * fresh capture.
+ */
+struct StatSnapshot
+{
+    Cycle cycles = 0;
+    InstCount insts = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t targetMispredicts = 0;
+    std::uint64_t execFlushes = 0;
+    std::uint64_t memOrderFlushes = 0;
+    std::uint64_t decodeResteers = 0;
+    std::uint64_t divergenceFlushes = 0;
+    std::uint64_t coupledCommitted = 0;
+    std::uint64_t l1dMisses = 0;
+
+    /** Read every windowed counter off the core. */
+    static StatSnapshot capture(const Core &core);
+
+    /** Elementwise `*this - since` (the measurement-window deltas). */
+    StatSnapshot delta(const StatSnapshot &since) const;
+};
+
 /** Build the program's core and run warmup + measurement. */
 RunResult runSimulation(const Program &prog, const SimConfig &cfg,
                         const RunOptions &opts = {});

@@ -1,0 +1,119 @@
+#include "sim/sweep.hh"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/thread_pool.hh"
+
+namespace elfsim {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+SweepJob
+makeVariantJob(const Program &prog, FrontendVariant variant,
+               const RunOptions &opts)
+{
+    SweepJob j;
+    j.program = &prog;
+    j.cfg = makeConfig(variant);
+    j.opts = opts;
+    return j;
+}
+
+unsigned
+SweepRunner::resolveJobs(unsigned requested)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("ELFSIM_JOBS")) {
+        const unsigned long n = std::strtoul(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    return ThreadPool::hardwareThreads();
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads(resolveJobs(threads))
+{
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SweepJob> &grid)
+{
+    std::vector<RunResult> results(grid.size());
+    jobSeconds.assign(grid.size(), 0.0);
+
+    const auto sweepStart = std::chrono::steady_clock::now();
+
+    auto runOne = [&](std::size_t i) {
+        SweepJob job = grid[i];
+        if (baseSeed)
+            job.cfg.rngSeed = mix64(baseSeed, i + 1);
+        const auto jobStart = std::chrono::steady_clock::now();
+        results[i] = runSimulation(*job.program, job.cfg, job.opts);
+        jobSeconds[i] = secondsSince(jobStart);
+    };
+
+    if (threads <= 1 || grid.size() <= 1) {
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            runOne(i);
+    } else {
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            pool.submit([&runOne, i] { runOne(i); });
+        pool.wait();
+    }
+
+    lastTiming = SweepTiming{};
+    lastTiming.jobs = static_cast<unsigned>(grid.size());
+    lastTiming.threads = threads;
+    lastTiming.wallSeconds = secondsSince(sweepStart);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        lastTiming.serialSeconds += jobSeconds[i];
+        lastTiming.simCycles += results[i].cycles;
+        lastTiming.simInsts += results[i].insts;
+    }
+    return results;
+}
+
+void
+SweepRunner::printTimingSummary(std::ostream &os) const
+{
+    const SweepTiming &t = lastTiming;
+    stats::StatGroup g("sweep");
+    g.addCounter("jobs", "grid cells simulated") += t.jobs;
+    g.addCounter("threads", "worker threads") += t.threads;
+    g.addFormula("wall_seconds", "whole-sweep wall-clock",
+                 [&t] { return t.wallSeconds; });
+    g.addFormula("serial_seconds", "sum of per-job wall-clocks",
+                 [&t] { return t.serialSeconds; });
+    g.addFormula("speedup", "serial_seconds / wall_seconds",
+                 [&t] { return t.speedup(); });
+    g.addCounter("sim_cycles", "aggregate measured cycles") +=
+        t.simCycles;
+    g.addCounter("sim_insts", "aggregate measured instructions") +=
+        t.simInsts;
+    g.addFormula("sim_cycles_per_second",
+                 "simulated cycles per wall-clock second",
+                 [&t] { return t.cyclesPerSecond(); });
+    stats::Distribution &d =
+        g.addDistribution("job_seconds", "per-job wall-clock");
+    for (double s : jobSeconds)
+        d.sample(s);
+    g.dump(os);
+}
+
+} // namespace elfsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parallel sweep engine: runs a grid of independent (workload,
+ * variant) simulation jobs on a work-stealing thread pool and merges
+ * the results back in submission order, so parallel output is
+ * bit-identical to a serial run of the same grid.
+ *
+ * Every figure of the paper is such a sweep; the per-figure bench
+ * harnesses build a grid, hand it to a SweepRunner, and format the
+ * merged results. Thread count comes from (in priority order) the
+ * explicit constructor argument / `--jobs N`, the `ELFSIM_JOBS`
+ * environment variable, then hardware concurrency.
+ *
+ * Determinism: each Core owns all of its state (the audit found no
+ * global mutable simulator state; predictor allocation RNGs are
+ * per-instance), and a job's optional RNG seed is derived from its
+ * submission index — never from thread identity — so the results of a
+ * grid do not depend on the number of worker threads.
+ */
+
+#ifndef ELFSIM_SIM_SWEEP_HH
+#define ELFSIM_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace elfsim {
+
+/** One cell of a sweep grid. The program must outlive the sweep. */
+struct SweepJob
+{
+    const Program *program = nullptr;
+    SimConfig cfg;
+    RunOptions opts;
+};
+
+/** Convenience: grid cell for a named variant of a program. */
+SweepJob makeVariantJob(const Program &prog, FrontendVariant variant,
+                        const RunOptions &opts = {});
+
+/** Wall-clock accounting of the last sweep (speedup reporting). */
+struct SweepTiming
+{
+    unsigned jobs = 0;
+    unsigned threads = 0;
+    double wallSeconds = 0;     ///< whole-sweep wall-clock
+    double serialSeconds = 0;   ///< sum of per-job wall-clocks
+    std::uint64_t simCycles = 0; ///< aggregate measured cycles
+    std::uint64_t simInsts = 0;  ///< aggregate measured instructions
+
+    double
+    cyclesPerSecond() const
+    {
+        return wallSeconds > 0 ? double(simCycles) / wallSeconds : 0;
+    }
+
+    /** Realized parallel speedup vs. running the grid serially. */
+    double
+    speedup() const
+    {
+        return wallSeconds > 0 ? serialSeconds / wallSeconds : 0;
+    }
+};
+
+/** Thread-pooled grid runner with deterministic result merging. */
+class SweepRunner
+{
+  public:
+    /** @a threads = 0 resolves via ELFSIM_JOBS, then hardware. */
+    explicit SweepRunner(unsigned threads = 0);
+
+    /**
+     * When non-zero, job i runs with SimConfig::rngSeed =
+     * mix64(seed, i + 1): deterministic per submission slot, so
+     * results stay independent of the thread count. 0 (default)
+     * leaves each job's config untouched — output then matches the
+     * legacy serial harnesses bit for bit.
+     */
+    void setBaseSeed(std::uint64_t seed) { baseSeed = seed; }
+
+    /**
+     * Run every job and return results indexed by submission order.
+     * With 1 thread (or a 1-job grid) the jobs run inline on the
+     * calling thread — the serial reference path.
+     */
+    std::vector<RunResult> run(const std::vector<SweepJob> &grid);
+
+    unsigned threadCount() const { return threads; }
+
+    /** Timing of the most recent run(). */
+    const SweepTiming &timing() const { return lastTiming; }
+
+    /**
+     * Dump the per-sweep timing summary (jobs, threads, wall-clock,
+     * aggregate simulated cycles/sec, realized speedup) through the
+     * stats machinery.
+     */
+    void printTimingSummary(std::ostream &os) const;
+
+    /** Resolve a thread count: @a requested, else $ELFSIM_JOBS, else
+     *  hardware concurrency; never less than 1. */
+    static unsigned resolveJobs(unsigned requested = 0);
+
+  private:
+    unsigned threads;
+    std::uint64_t baseSeed = 0;
+    SweepTiming lastTiming;
+    std::vector<double> jobSeconds; ///< per-job wall-clocks, last run
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_SIM_SWEEP_HH

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using namespace elfsim;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ++ran; });
+        pool.wait();
+        EXPECT_EQ(ran.load(), 50 * (round + 1));
+    }
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturns)
+{
+    ThreadPool pool(3);
+    pool.wait(); // nothing submitted; must not block
+}
+
+TEST(ThreadPool, StealsImbalancedWork)
+{
+    // Round-robin submission puts the slow tasks on worker 0 and
+    // worker 1; with 4 workers the idle ones must steal for the
+    // sweep-sized batch to finish promptly.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&ran, i] {
+            if (i % 4 < 2)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            ++ran;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 40; ++i)
+            pool.submit([&ran] { ++ran; });
+        // No wait(): the destructor must finish the backlog.
+    }
+    EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(ThreadPool, SubmitFromWorkerThread)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&pool, &ran] {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&ran] { ++ran; });
+    });
+    // The outer task must be counted too once its children exist;
+    // wait() covers everything submitted so far plus the nested jobs
+    // because submit increments 'unfinished' before wait can see 0.
+    while (ran.load() < 10)
+        std::this_thread::yield();
+    pool.wait();
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
