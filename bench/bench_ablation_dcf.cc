@@ -116,6 +116,7 @@ main(int argc, char **argv)
                 "'DCF +40%%' mechanism; the no-L0-BTB row is the "
                 "steady-state\ntaken-branch bubble the decoupled L0 "
                 "BTB removes.\n");
+    bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return 0;
 }

@@ -114,6 +114,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < rows.size(); ++i)
         std::printf("%-44s %10.3f\n", rows[i].label.c_str(),
                     res[i].ipc / baseIpc);
+    bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return 0;
 }

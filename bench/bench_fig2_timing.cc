@@ -123,8 +123,9 @@ indirectRing(unsigned fanout)
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::warnNoExport(opt, "this bench drives the DCF standalone "
+                             "and produces no RunResults");
     bench::banner(
         "Figure 2 — Address generation timing vs. BTB content",
         "Cycles per generated fetch block (1.0 = no bubbles); paper "

@@ -7,11 +7,13 @@
  * cycles more than a coupled design. We measure the redirect-to-
  * first-fetch latency directly on an always-mispredicting
  * micro-workload for NoDCF, DCF, and the ELF variants (which exist
- * precisely to hide that difference).
+ * precisely to hide that difference). The four variants run as a
+ * sweep grid, so `--jobs`, `--json`, and `--csv` all apply.
  */
 
+#include <vector>
+
 #include "bench_util.hh"
-#include "sim/core.hh"
 #include "workload/builders.hh"
 
 using namespace elfsim;
@@ -27,23 +29,27 @@ main(int argc, char **argv)
 
     Program p = microRandomBranchLoop(8, 0.5);
 
-    std::printf("%-10s %22s %14s\n", "frontend", "redirect->fetch(cyc)",
-                "rel. to NoDCF");
-    double base = 0;
-    for (FrontendVariant v :
-         {FrontendVariant::NoDcf, FrontendVariant::Dcf,
-          FrontendVariant::LElf, FrontendVariant::UElf}) {
-        SimConfig cfg = makeConfig(v);
-        Core core(cfg, p);
-        core.run(opt.runOptions().warmupInsts +
-                 opt.runOptions().measureInsts);
-        const double lat = core.stats().avgRedirectToFetch();
-        if (v == FrontendVariant::NoDcf)
-            base = lat;
-        std::printf("%-10s %22.2f %+14.2f\n", variantName(v), lat,
-                    lat - base);
-    }
+    const FrontendVariant variants[] = {
+        FrontendVariant::NoDcf, FrontendVariant::Dcf,
+        FrontendVariant::LElf, FrontendVariant::UElf};
+
+    std::vector<SweepJob> grid;
+    for (FrontendVariant v : variants)
+        grid.push_back(makeVariantJob(p, v, opt.runOptions()));
+
+    SweepRunner runner(opt.jobs);
+    const std::vector<RunResult> res = runner.run(grid);
+
+    std::printf("%-10s %22s %14s\n", "frontend",
+                "redirect->fetch(cyc)", "rel. to NoDCF");
+    const double base = res[0].avgRedirectToFetch;
+    for (const RunResult &r : res)
+        std::printf("%-10s %22.2f %+14.2f\n", r.variant.c_str(),
+                    r.avgRedirectToFetch,
+                    r.avgRedirectToFetch - base);
     std::printf("\npaper: DCF pays +3 cycles (BP1/BP2/FAQ); ELF "
                 "re-enters coupled mode and hides them.\n");
+    bench::exportResults(opt, runner);
+    bench::printSweepTiming(runner);
     return 0;
 }

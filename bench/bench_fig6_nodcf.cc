@@ -52,6 +52,7 @@ main(int argc, char **argv)
     std::printf("\npaper shape: NoDCF ~0.6 on server 1 (prefetch "
                 "loss); NoDCF can exceed 1.0 only when MPKI is high "
                 "and the footprint is small.\n");
+    bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return 0;
 }

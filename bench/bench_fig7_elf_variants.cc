@@ -52,6 +52,7 @@ main(int argc, char **argv)
                     res[5 * i + 4].ipc / dcf.ipc);
         std::fflush(stdout);
     }
+    bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return 0;
 }

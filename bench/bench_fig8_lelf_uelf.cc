@@ -54,6 +54,7 @@ main(int argc, char **argv)
     std::printf("\npaper shape: up to +3.6%% (L) / +5.2%% (U) on "
                 "high-MPKI workloads; U-ELF fetches more per period "
                 "than L-ELF.\n");
+    bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return 0;
 }

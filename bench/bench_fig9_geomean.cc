@@ -71,6 +71,7 @@ main(int argc, char **argv)
     }
     std::printf("%-12s %8.3f %8.3f %8.3f\n", "Geomean",
                 geomean(nodAll), geomean(lAll), geomean(uAll));
+    bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return 0;
 }

@@ -11,8 +11,9 @@ using namespace elfsim;
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::warnNoExport(opt, "this bench lists the static catalog; "
+                             "it runs no simulations");
     bench::banner("Table I — Applications used in the evaluation",
                   "Synthetic proxies standing in for SPEC2K6/SPEC2K17 "
                   "simpoints and the proprietary server suites");

@@ -14,8 +14,9 @@ using namespace elfsim;
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::warnNoExport(opt, "this bench prints the static "
+                             "configuration; it runs no simulations");
     bench::banner("Table II — Baseline pipeline configuration",
                   "Defaults of this simulator; ELF adds < 2KB of "
                   "coupled-predictor storage");

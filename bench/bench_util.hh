@@ -1,19 +1,23 @@
 /**
  * @file
- * Shared plumbing for the experiment harnesses: option parsing and
- * table formatting. Each bench binary regenerates one table or figure
- * of the paper; rows print as aligned text so paper-vs-measured
- * comparison (EXPERIMENTS.md) is a copy-paste.
+ * Shared plumbing for the experiment harnesses: option parsing, table
+ * formatting, and machine-readable export. Each bench binary
+ * regenerates one table or figure of the paper; rows print as aligned
+ * text so paper-vs-measured comparison (EXPERIMENTS.md) is a
+ * copy-paste, and `--json` / `--csv` export the same results
+ * losslessly for scripts (see sim/export.hh for the schema).
  */
 
 #ifndef ELFSIM_BENCH_BENCH_UTIL_HH
 #define ELFSIM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
 
+#include "sim/export.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "workload/catalog.hh"
@@ -28,6 +32,9 @@ struct Options
     InstCount measureInsts = 200000;
     bool quick = false;
     unsigned jobs = 0; ///< sweep threads; 0 = $ELFSIM_JOBS / hardware
+    InstCount intervalInsts = 0; ///< timeline sampling period; 0 = off
+    std::string jsonPath;        ///< --json target; empty = off
+    std::string csvPath;         ///< --csv target; empty = off
 
     RunOptions
     runOptions() const
@@ -35,26 +42,102 @@ struct Options
         RunOptions o;
         o.warmupInsts = quick ? warmupInsts / 4 : warmupInsts;
         o.measureInsts = quick ? measureInsts / 4 : measureInsts;
+        o.intervalInsts = intervalInsts;
         return o;
     }
 };
 
-/** Parse --warmup N / --insts N / --quick / --jobs N. */
-inline Options
-parseOptions(int argc, char **argv)
+/** Print --help text for the common options. */
+inline void
+printUsage(const char *argv0, std::FILE *to)
 {
-    Options o;
+    std::fprintf(
+        to,
+        "usage: %s [options]\n"
+        "  --warmup N      warmup instructions per run (default %llu)\n"
+        "  --insts N       measured instructions per run (default "
+        "%llu)\n"
+        "  --quick         quarter-size windows (smoke run)\n"
+        "  --jobs N        sweep threads (default: $ELFSIM_JOBS, then "
+        "hardware)\n"
+        "  --interval N    capture a timeline sample every N committed "
+        "insts (0 = off)\n"
+        "  --json PATH     write results + sweep timing as JSON "
+        "(elfsim-results-v1)\n"
+        "  --csv PATH      write results as CSV (timelines go to "
+        "*.timeline.csv)\n"
+        "  --help          this text\n",
+        argv0, (unsigned long long)Options().warmupInsts,
+        (unsigned long long)Options().measureInsts);
+}
+
+/**
+ * Parse the common options, starting from @a defaults (benches with
+ * non-standard windows seed their own). Unknown flags and missing
+ * values are hard errors (exit 2); `--help` prints usage and exits 0.
+ */
+inline Options
+parseOptions(int argc, char **argv, Options defaults = {})
+{
+    Options o = defaults;
+    const auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: option '%s' needs a value\n",
+                         argv[0], argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
-            o.warmupInsts = std::strtoull(argv[++i], nullptr, 10);
-        else if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            o.measureInsts = std::strtoull(argv[++i], nullptr, 10);
+        if (!std::strcmp(argv[i], "--warmup"))
+            o.warmupInsts = std::strtoull(value(i), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--insts"))
+            o.measureInsts = std::strtoull(value(i), nullptr, 10);
         else if (!std::strcmp(argv[i], "--quick"))
             o.quick = true;
-        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
-            o.jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        else if (!std::strcmp(argv[i], "--jobs"))
+            o.jobs = unsigned(std::strtoul(value(i), nullptr, 10));
+        else if (!std::strcmp(argv[i], "--interval"))
+            o.intervalInsts = std::strtoull(value(i), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--json"))
+            o.jsonPath = value(i);
+        else if (!std::strcmp(argv[i], "--csv"))
+            o.csvPath = value(i);
+        else if (!std::strcmp(argv[i], "--help") ||
+                 !std::strcmp(argv[i], "-h")) {
+            printUsage(argv[0], stdout);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         argv[i]);
+            printUsage(argv[0], stderr);
+            std::exit(2);
+        }
     }
     return o;
+}
+
+/** Write the last sweep wherever --json / --csv asked. */
+inline void
+exportResults(const Options &o, const SweepRunner &runner)
+{
+    if (!o.jsonPath.empty()) {
+        runner.writeJson(o.jsonPath);
+        std::printf("wrote %s\n", o.jsonPath.c_str());
+    }
+    if (!o.csvPath.empty()) {
+        runner.writeCsv(o.csvPath);
+        std::printf("wrote %s\n", o.csvPath.c_str());
+    }
+}
+
+/** For benches with no sweep results: warn if export was requested. */
+inline void
+warnNoExport(const Options &o, const char *why)
+{
+    if (!o.jsonPath.empty() || !o.csvPath.empty())
+        std::fprintf(stderr,
+                     "note: --json/--csv ignored here (%s)\n", why);
 }
 
 /** Print the runner's per-sweep timing summary to stdout. */

@@ -8,17 +8,17 @@
  * decode-resteer feedback loop that ELF's coupled mode shortens.
  *
  * The (footprint × variant) grid runs through the parallel sweep
- * engine; thread count comes from --jobs N or $ELFSIM_JOBS.
+ * engine; the common bench options apply (--jobs N, --json PATH,
+ * --csv PATH, --interval N, --quick, --help).
  *
- *   $ ./server_capacity [--jobs N]
+ *   $ ./server_capacity [--jobs N] [--json results.json]
  */
 
 #include <cstdio>
-#include <cstring>
 #include <deque>
 #include <vector>
 
-#include "sim/sweep.hh"
+#include "bench_util.hh"
 #include "workload/builders.hh"
 
 using namespace elfsim;
@@ -26,20 +26,18 @@ using namespace elfsim;
 int
 main(int argc, char **argv)
 {
-    unsigned jobs = 0;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
-            jobs = unsigned(std::strtoul(argv[++i], nullptr, 10));
-    }
+    bench::Options defaults;
+    defaults.warmupInsts = 150000;
+    defaults.measureInsts = 150000;
+    const bench::Options opt =
+        bench::parseOptions(argc, argv, defaults);
 
     std::printf("Instruction-footprint sweep (server-1 shape)\n");
     std::printf("%-10s %9s | %7s %7s %7s | %8s %8s\n", "code KB",
                 "DCF IPC", "NoDCF", "L-ELF", "U-ELF", "BTB L0",
                 "dec.rst");
 
-    RunOptions opts;
-    opts.warmupInsts = 150000;
-    opts.measureInsts = 150000;
+    const RunOptions opts = opt.runOptions();
 
     const FrontendVariant variants[] = {
         FrontendVariant::Dcf, FrontendVariant::NoDcf,
@@ -67,7 +65,7 @@ main(int argc, char **argv)
             grid.push_back(makeVariantJob(programs.back(), v, opts));
     }
 
-    SweepRunner runner(jobs);
+    SweepRunner runner(opt.jobs);
     const std::vector<RunResult> res = runner.run(grid);
 
     for (std::size_t i = 0; i < programs.size(); ++i) {
@@ -89,5 +87,6 @@ main(int argc, char **argv)
                 "decode resteers (the BTB-miss\nfeedback loop) rise, "
                 "and NoDCF collapses because it has no FAQ-directed "
                 "prefetch.\n");
+    bench::exportResults(opt, runner);
     return 0;
 }

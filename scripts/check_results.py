@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate elfsim-results-v1 JSON artifacts.
+
+Usage:
+    scripts/check_results.py FILE [FILE ...]
+        Schema-check each exported results document.
+
+    scripts/check_results.py --compare A B
+        Assert two documents carry identical simulated results,
+        ignoring the wall-clock-dependent "timing" block. Use this to
+        confirm --jobs 1 and --jobs N exports of the same grid match.
+
+Exits non-zero on the first violation. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "elfsim-results-v1"
+
+# Per-result scalar fields (RunResult::forEachField order).
+RESULT_STR_FIELDS = ("workload", "variant")
+RESULT_NUM_FIELDS = (
+    "cycles", "insts", "ipc", "branch_mpki", "cond_mpki",
+    "exec_flushes", "mem_order_flushes", "decode_resteers",
+    "divergence_flushes", "btb_hit_l0", "btb_hit_l1", "btb_hit_l2",
+    "l0i_miss_rate", "l1d_mpki", "wrong_path_insts", "inst_prefetches",
+    "avg_redirect_to_fetch", "avg_coupled_insts", "coupled_periods",
+    "coupled_committed_frac", "pending_flush_waits",
+)
+TIMELINE_FIELDS = (
+    "start_inst", "insts", "cycles", "ipc", "cond_mispredicts",
+    "target_mispredicts", "exec_flushes", "mem_order_flushes",
+    "decode_resteers", "divergence_flushes", "coupled_frac",
+)
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_document(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(path, f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail(path, "missing or empty 'results' array")
+
+    for i, r in enumerate(results):
+        where = f"results[{i}]"
+        for k in RESULT_STR_FIELDS:
+            if not isinstance(r.get(k), str):
+                fail(path, f"{where}.{k} missing or not a string")
+        for k in RESULT_NUM_FIELDS:
+            if not isinstance(r.get(k), (int, float)):
+                fail(path, f"{where}.{k} missing or not a number")
+        interval = r.get("interval_insts")
+        timeline = r.get("timeline")
+        if not isinstance(interval, int) or not isinstance(timeline, list):
+            fail(path, f"{where}: bad interval_insts/timeline")
+        if interval > 0 and r["insts"] > 0 and not timeline:
+            fail(path, f"{where}: interval sampling on but timeline empty")
+        if interval == 0 and timeline:
+            fail(path, f"{where}: timeline present without interval_insts")
+        for j, row in enumerate(timeline):
+            for k in TIMELINE_FIELDS:
+                if not isinstance(row.get(k), (int, float)):
+                    fail(path, f"{where}.timeline[{j}].{k} missing")
+        if timeline:
+            # The samples must tile the measurement window exactly.
+            if sum(row["insts"] for row in timeline) != r["insts"]:
+                fail(path, f"{where}: timeline insts do not sum to insts")
+            if sum(row["cycles"] for row in timeline) != r["cycles"]:
+                fail(path, f"{where}: timeline cycles do not sum to cycles")
+
+    timing = doc.get("timing")
+    if timing is not None:
+        for k in ("jobs", "threads", "wall_seconds"):
+            if not isinstance(timing.get(k), (int, float)):
+                fail(path, f"timing.{k} missing or not a number")
+
+    n_timelines = sum(1 for r in results if r["timeline"])
+    print(f"{path}: OK ({len(results)} results, "
+          f"{n_timelines} with timelines)")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, str(e))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", metavar="FILE")
+    ap.add_argument("--compare", action="store_true",
+                    help="compare exactly two documents, ignoring "
+                         "the 'timing' block")
+    args = ap.parse_args()
+
+    docs = {p: load(p) for p in args.files}
+    for path, doc in docs.items():
+        check_document(path, doc)
+
+    if args.compare:
+        if len(args.files) != 2:
+            ap.error("--compare takes exactly two files")
+        a, b = (dict(docs[p]) for p in args.files)
+        a.pop("timing", None)
+        b.pop("timing", None)
+        if a != b:
+            fail(args.files[1],
+                 f"results differ from {args.files[0]} "
+                 "(after ignoring 'timing')")
+        print(f"compare: identical results ({args.files[0]} vs "
+              f"{args.files[1]})")
+
+
+if __name__ == "__main__":
+    main()

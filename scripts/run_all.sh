@@ -28,16 +28,33 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Sweep benches drop a machine-readable artifact per figure here.
+RESULTS=build/results
+mkdir -p "$RESULTS"
+
+ARTIFACTS=()
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
+    name="$(basename "$b")"
     echo "######## $b"
-    case "$(basename "$b")" in
+    case "$name" in
         bench_micro_components)
             # google-benchmark binary: rejects unknown flags.
             "$b"
             ;;
-        *)
+        bench_fig2_timing|bench_table1_workloads|bench_table2_config)
+            # Characterization tables: no RunResults to export.
             "$b" --jobs "$JOBS" ${EXTRA[@]+"${EXTRA[@]}"}
+            ;;
+        *)
+            "$b" --jobs "$JOBS" --json "$RESULTS/$name.json" \
+                 ${EXTRA[@]+"${EXTRA[@]}"}
+            ARTIFACTS+=("$RESULTS/$name.json")
             ;;
     esac
 done
+
+if [ ${#ARTIFACTS[@]} -gt 0 ]; then
+    echo "######## schema check"
+    python3 scripts/check_results.py "${ARTIFACTS[@]}"
+fi

@@ -27,12 +27,20 @@ MemHierarchy::dataAccess(Addr pc, Addr addr, bool write, Cycle now)
 void
 MemHierarchy::dumpStats(std::ostream &os) const
 {
-    l0iCache->statGroup().dump(os);
-    l1iCache->statGroup().dump(os);
-    l1dCache->statGroup().dump(os);
-    l2Cache->statGroup().dump(os);
-    l3Cache->statGroup().dump(os);
-    mem->statGroup().dump(os);
+    forEachStatGroup(
+        [&os](const stats::StatGroup &g) { g.dump(os); });
+}
+
+void
+MemHierarchy::forEachStatGroup(
+    const std::function<void(const stats::StatGroup &)> &fn) const
+{
+    fn(l0iCache->statGroup());
+    fn(l1iCache->statGroup());
+    fn(l1dCache->statGroup());
+    fn(l2Cache->statGroup());
+    fn(l3Cache->statGroup());
+    fn(mem->statGroup());
 }
 
 } // namespace elfsim

@@ -82,6 +82,11 @@ class MemHierarchy
     /** Dump all level stats. */
     void dumpStats(std::ostream &os) const;
 
+    /** Visit each level's StatGroup, innermost (L0I) first — the walk
+     *  dumpStats and the machine-readable reporters share. */
+    void forEachStatGroup(
+        const std::function<void(const stats::StatGroup &)> &fn) const;
+
   private:
     std::unique_ptr<FixedLatencyMemory> mem;
     std::unique_ptr<Cache> l3Cache;

@@ -1,0 +1,256 @@
+#include "common/export.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace elfsim {
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+void
+JsonWriter::indent()
+{
+    for (std::size_t i = 0; i < stack.size(); ++i)
+        out << "  ";
+}
+
+void
+JsonWriter::sep()
+{
+    if (afterKey) {
+        afterKey = false;
+        return;
+    }
+    if (stack.empty())
+        return;
+    if (!stack.back().first)
+        out << ",";
+    stack.back().first = false;
+    out << "\n";
+    indent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    sep();
+    out << "{";
+    stack.push_back({true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    sep();
+    out << "[";
+    stack.push_back({true});
+    return *this;
+}
+
+void
+JsonWriter::close(char c)
+{
+    const bool empty = stack.back().first;
+    stack.pop_back();
+    if (!empty) {
+        out << "\n";
+        indent();
+    }
+    out << c;
+    if (stack.empty())
+        out << "\n";
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    close('}');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    close(']');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (!stack.back().first)
+        out << ",";
+    stack.back().first = false;
+    out << "\n";
+    indent();
+    writeString(k);
+    out << ": ";
+    afterKey = true;
+    return *this;
+}
+
+void
+JsonWriter::writeString(std::string_view s)
+{
+    out << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          case '\r': out << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out << buf;
+            } else {
+                out << c;
+            }
+        }
+    }
+    out << '"';
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    sep();
+    writeString(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    sep();
+    out << formatDouble(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    sep();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    sep();
+    out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    sep();
+    out << "null";
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(std::string_view v)
+{
+    if (!firstCell)
+        out << ",";
+    firstCell = false;
+    if (v.find_first_of(",\"\n\r") != std::string_view::npos) {
+        out << '"';
+        for (const char c : v) {
+            if (c == '"')
+                out << '"';
+            out << c;
+        }
+        out << '"';
+    } else {
+        out << v;
+    }
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(double v)
+{
+    if (!firstCell)
+        out << ",";
+    firstCell = false;
+    out << formatDouble(v);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(std::uint64_t v)
+{
+    if (!firstCell)
+        out << ",";
+    firstCell = false;
+    out << v;
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    out << "\n";
+    firstCell = true;
+}
+
+namespace stats {
+
+void
+writeJson(JsonWriter &w, const StatGroup &g)
+{
+    w.beginObject();
+    g.forEach([&w](const Stat &s) {
+        if (s.kind() == StatKind::Distribution) {
+            const auto &d = static_cast<const Distribution &>(s);
+            w.key(s.name());
+            w.beginObject();
+            w.field("mean", d.mean());
+            w.field("samples", d.samples());
+            w.field("sum", d.total());
+            w.field("min", d.minimum());
+            w.field("max", d.maximum());
+            w.endObject();
+        } else {
+            w.field(s.name(), s.value());
+        }
+    });
+    w.endObject();
+}
+
+void
+writeCsv(CsvWriter &w, const StatGroup &g)
+{
+    g.forEach([&w](const Stat &s) {
+        const char *kind = s.kind() == StatKind::Counter ? "counter"
+                           : s.kind() == StatKind::Distribution
+                               ? "distribution"
+                               : "formula";
+        w.cell(s.name()).cell(kind).cell(s.value());
+        if (s.kind() == StatKind::Distribution) {
+            const auto &d = static_cast<const Distribution &>(s);
+            w.cell(d.samples()).cell(d.total()).cell(d.minimum())
+                .cell(d.maximum());
+        }
+        w.endRow();
+    });
+}
+
+} // namespace stats
+} // namespace elfsim

@@ -64,6 +64,13 @@ StatGroup::dump(std::ostream &os) const
 }
 
 void
+StatGroup::forEach(const std::function<void(const Stat &)> &fn) const
+{
+    for (const Stat *s : order)
+        fn(*s);
+}
+
+void
 StatGroup::resetAll()
 {
     for (Stat *s : order)

@@ -21,6 +21,9 @@
 namespace elfsim {
 namespace stats {
 
+/** What a Stat is; lets serializers walk a group without casts. */
+enum class StatKind { Counter, Distribution, Formula };
+
 /** Base class for a named, self-describing statistic. */
 class Stat
 {
@@ -32,6 +35,9 @@ class Stat
 
     const std::string &name() const { return statName; }
     const std::string &desc() const { return statDesc; }
+
+    /** Which concrete kind this stat is. */
+    virtual StatKind kind() const = 0;
 
     /** Current value as a double (for formulas and dumping). */
     virtual double value() const = 0;
@@ -62,6 +68,7 @@ class Counter : public Stat
     }
 
     std::uint64_t raw() const { return count; }
+    StatKind kind() const override { return StatKind::Counter; }
     double value() const override { return static_cast<double>(count); }
     void reset() override { count = 0; }
 
@@ -93,6 +100,8 @@ class Distribution : public Stat
     double minimum() const { return n ? mn : 0.0; }
     double maximum() const { return n ? mx : 0.0; }
 
+    StatKind kind() const override { return StatKind::Distribution; }
+
     /** value() is the mean, so formulas can consume distributions. */
     double value() const override { return mean(); }
 
@@ -123,6 +132,7 @@ class Formula : public Stat
         : Stat(std::move(name), std::move(desc)), func(std::move(fn))
     {}
 
+    StatKind kind() const override { return StatKind::Formula; }
     double value() const override { return func ? func() : 0.0; }
     void reset() override {}
 
@@ -157,6 +167,17 @@ class StatGroup
 
     /** Dump all stats in registration order. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Visit every stat in registration order. The visitor sees the
+     * abstract Stat (name/desc/kind/value); Distribution visitors can
+     * recover count/sum/min/max after a kind() check. This is the
+     * walk the JSON/CSV serializers (common/export.hh) are built on.
+     */
+    void forEach(const std::function<void(const Stat &)> &fn) const;
+
+    /** Number of registered stats. */
+    std::size_t size() const { return order.size(); }
 
     /** Reset all stats. */
     void resetAll();

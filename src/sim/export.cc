@@ -1,0 +1,148 @@
+#include "sim/export.hh"
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace elfsim {
+
+namespace {
+
+/** forEachField visitor writing each ("name", value) as a JSON field. */
+struct JsonFieldVisitor
+{
+    JsonWriter &w;
+
+    void
+    operator()(const char *name, const std::string &v) const
+    {
+        w.field(name, std::string_view(v));
+    }
+    void
+    operator()(const char *name, double v) const
+    {
+        w.field(name, v);
+    }
+    void
+    operator()(const char *name, std::uint64_t v) const
+    {
+        w.field(name, v);
+    }
+};
+
+/** forEachField visitor appending each value as a CSV cell. */
+struct CsvCellVisitor
+{
+    CsvWriter &w;
+
+    void
+    operator()(const char *, const std::string &v) const
+    {
+        w.cell(std::string_view(v));
+    }
+    void
+    operator()(const char *, double v) const
+    {
+        w.cell(v);
+    }
+    void
+    operator()(const char *, std::uint64_t v) const
+    {
+        w.cell(v);
+    }
+};
+
+void
+writeTiming(JsonWriter &w, const SweepTiming &t)
+{
+    w.beginObject();
+    w.field("jobs", std::uint64_t(t.jobs));
+    w.field("threads", std::uint64_t(t.threads));
+    w.field("wall_seconds", t.wallSeconds);
+    w.field("serial_seconds", t.serialSeconds);
+    w.field("speedup", t.speedup());
+    w.field("sim_cycles", t.simCycles);
+    w.field("sim_insts", t.simInsts);
+    w.field("sim_cycles_per_second", t.cyclesPerSecond());
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeRunResult(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject();
+    r.forEachField(JsonFieldVisitor{w});
+    w.field("interval_insts", r.intervalInsts);
+    w.key("timeline");
+    w.beginArray();
+    for (const IntervalSample &s : r.timeline) {
+        w.beginObject();
+        s.forEachField(JsonFieldVisitor{w});
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeSweepJson(std::ostream &os, const std::vector<RunResult> &results,
+               const SweepTiming *timing)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "elfsim-results-v1");
+    if (timing) {
+        w.key("timing");
+        writeTiming(w, *timing);
+    }
+    w.key("results");
+    w.beginArray();
+    for (const RunResult &r : results)
+        writeRunResult(w, r);
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeResultsJson(std::ostream &os, const std::vector<RunResult> &results)
+{
+    writeSweepJson(os, results, nullptr);
+}
+
+void
+writeResultsCsv(std::ostream &os, const std::vector<RunResult> &results)
+{
+    CsvWriter w(os);
+    RunResult{}.forEachField(
+        [&w](const char *name, const auto &) { w.cell(name); });
+    w.cell("interval_insts").cell("timeline_samples");
+    w.endRow();
+    for (const RunResult &r : results) {
+        r.forEachField(CsvCellVisitor{w});
+        w.cell(r.intervalInsts)
+            .cell(std::uint64_t(r.timeline.size()));
+        w.endRow();
+    }
+}
+
+void
+writeTimelineCsv(std::ostream &os, const std::vector<RunResult> &results)
+{
+    CsvWriter w(os);
+    w.cell("workload").cell("variant");
+    IntervalSample{}.forEachField(
+        [&w](const char *name, const auto &) { w.cell(name); });
+    w.endRow();
+    for (const RunResult &r : results) {
+        for (const IntervalSample &s : r.timeline) {
+            w.cell(std::string_view(r.workload))
+                .cell(std::string_view(r.variant));
+            s.forEachField(CsvCellVisitor{w});
+            w.endRow();
+        }
+    }
+}
+
+} // namespace elfsim

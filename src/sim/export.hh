@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Machine-readable export of simulation results: RunResult (summary +
+ * interval timeline) and sweep grids as JSON documents or flat CSV
+ * tables. Field enumeration comes from RunResult::forEachField /
+ * IntervalSample::forEachField, so exporters never drift from the
+ * structs; doubles serialize with shortest-round-trip precision, so a
+ * deterministic sweep exports to byte-identical output regardless of
+ * thread count.
+ *
+ * JSON schema (validated by scripts/check_results.py):
+ *
+ *   {
+ *     "schema": "elfsim-results-v1",
+ *     "timing": { ... SweepTiming ... },      // optional
+ *     "results": [
+ *       { "workload": ..., "variant": ..., <summary scalars>,
+ *         "interval_insts": N,
+ *         "timeline": [ { <IntervalSample fields> }, ... ] },
+ *       ...
+ *     ]
+ *   }
+ */
+
+#ifndef ELFSIM_SIM_EXPORT_HH
+#define ELFSIM_SIM_EXPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "common/export.hh"
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+
+namespace elfsim {
+
+/** Serialize one result (summary + timeline) as a JSON object. */
+void writeRunResult(JsonWriter &w, const RunResult &r);
+
+/**
+ * Serialize a whole result set as the elfsim-results-v1 document.
+ * @a timing may be null; everything else in the document depends only
+ * on the simulated results, so two deterministic sweeps of the same
+ * grid serialize byte-identically when timing is omitted.
+ */
+void writeSweepJson(std::ostream &os,
+                    const std::vector<RunResult> &results,
+                    const SweepTiming *timing = nullptr);
+
+/** Results-only convenience: writeSweepJson without timing. */
+void writeResultsJson(std::ostream &os,
+                      const std::vector<RunResult> &results);
+
+/** Flat CSV: header from forEachField, one row per result. */
+void writeResultsCsv(std::ostream &os,
+                     const std::vector<RunResult> &results);
+
+/** Timeline CSV: one row per (result, interval sample). */
+void writeTimelineCsv(std::ostream &os,
+                      const std::vector<RunResult> &results);
+
+} // namespace elfsim
+
+#endif // ELFSIM_SIM_EXPORT_HH

@@ -1,10 +1,35 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
 
 namespace elfsim {
+
+namespace {
+
+/** Derive one timeline row from a per-interval snapshot delta. */
+IntervalSample
+makeSample(const StatSnapshot &d, InstCount startInst)
+{
+    IntervalSample s;
+    s.startInst = startInst;
+    s.insts = d.insts;
+    s.cycles = d.cycles;
+    s.ipc = d.cycles ? double(d.insts) / double(d.cycles) : 0.0;
+    s.condMispredicts = d.condMispredicts;
+    s.targetMispredicts = d.targetMispredicts;
+    s.execFlushes = d.execFlushes;
+    s.memOrderFlushes = d.memOrderFlushes;
+    s.decodeResteers = d.decodeResteers;
+    s.divergenceFlushes = d.divergenceFlushes;
+    s.coupledFrac =
+        d.insts ? double(d.coupledCommitted) / double(d.insts) : 0.0;
+    return s;
+}
+
+} // namespace
 
 StatSnapshot
 StatSnapshot::capture(const Core &core)
@@ -20,6 +45,8 @@ StatSnapshot::capture(const Core &core)
     s.divergenceFlushes = core.stats().divergenceFlushes;
     s.coupledCommitted = core.backend().stats().coupledCommitted;
     s.l1dMisses = core.memory().l1d().misses();
+    s.redirectToFetchTotal = core.stats().redirectToFetchTotal;
+    s.redirectToFetchCount = core.stats().redirectToFetchCount;
     return s;
 }
 
@@ -37,6 +64,10 @@ StatSnapshot::delta(const StatSnapshot &since) const
     d.divergenceFlushes = divergenceFlushes - since.divergenceFlushes;
     d.coupledCommitted = coupledCommitted - since.coupledCommitted;
     d.l1dMisses = l1dMisses - since.l1dMisses;
+    d.redirectToFetchTotal =
+        redirectToFetchTotal - since.redirectToFetchTotal;
+    d.redirectToFetchCount =
+        redirectToFetchCount - since.redirectToFetchCount;
     return d;
 }
 
@@ -51,7 +82,26 @@ runSimulation(const Program &prog, const SimConfig &cfg,
     core.run(opts.warmupInsts);
     const StatSnapshot warm = StatSnapshot::capture(core);
 
-    core.run(opts.measureInsts);
+    std::vector<IntervalSample> timeline;
+    if (opts.intervalInsts > 0 && opts.measureInsts > 0) {
+        // Tick the same absolute instruction target as the one-shot
+        // path below, pausing every intervalInsts commits to snapshot
+        // a delta row. Core::run is resumable, so the chunked run is
+        // cycle-for-cycle identical to the unsampled one.
+        const InstCount target = core.committed() + opts.measureInsts;
+        StatSnapshot prev = warm;
+        while (core.committed() < target) {
+            const InstCount chunk = std::min<InstCount>(
+                opts.intervalInsts, target - core.committed());
+            core.run(chunk);
+            const StatSnapshot now = StatSnapshot::capture(core);
+            timeline.push_back(
+                makeSample(now.delta(prev), prev.insts - warm.insts));
+            prev = now;
+        }
+    } else {
+        core.run(opts.measureInsts);
+    }
     const StatSnapshot d = StatSnapshot::capture(core).delta(warm);
 
     RunResult r;
@@ -87,10 +137,19 @@ runSimulation(const Program &prog, const SimConfig &cfg,
     r.wrongPathInsts = core.supply().wrongPathInsts();
     r.instPrefetches = core.elf().stats().instPrefetches;
 
+    r.avgRedirectToFetch =
+        d.redirectToFetchCount
+            ? double(d.redirectToFetchTotal) /
+                  double(d.redirectToFetchCount)
+            : 0.0;
+
     r.avgCoupledInsts = core.elf().stats().avgCoupledInstsPerPeriod();
     r.coupledPeriods = core.elf().stats().coupledPeriods;
     r.coupledCommittedFrac =
         r.insts ? double(d.coupledCommitted) / double(r.insts) : 0;
+
+    r.intervalInsts = opts.intervalInsts;
+    r.timeline = std::move(timeline);
 
     return r;
 }

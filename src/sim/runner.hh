@@ -9,10 +9,59 @@
 #define ELFSIM_SIM_RUNNER_HH
 
 #include <string>
+#include <vector>
 
 #include "sim/core.hh"
 
 namespace elfsim {
+
+/**
+ * One row of the interval timeline: the measurement-window deltas
+ * accumulated over one sampling period of `RunOptions::intervalInsts`
+ * committed instructions. Explains *when* within a run cycles went —
+ * e.g. coupled-mode occupancy right after flush bursts (the paper's
+ * Figure 8 phenomenon, resolved over time).
+ */
+struct IntervalSample
+{
+    InstCount startInst = 0; ///< insts committed in the measurement
+                             ///< window before this interval began
+    InstCount insts = 0;     ///< insts committed in this interval
+    Cycle cycles = 0;
+    double ipc = 0;
+
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t targetMispredicts = 0;
+    std::uint64_t execFlushes = 0;
+    std::uint64_t memOrderFlushes = 0;
+    std::uint64_t decodeResteers = 0;
+    std::uint64_t divergenceFlushes = 0;
+    double coupledFrac = 0;  ///< fraction of this interval's commits
+                             ///< fetched in coupled mode
+
+    /**
+     * Visit every field as ("name", value) — the single source of
+     * truth the exporters and tests enumerate instead of hand-listing
+     * fields. @a v must accept (const char *, std::uint64_t) and
+     * (const char *, double).
+     */
+    template <typename V>
+    void
+    forEachField(V &&v) const
+    {
+        v("start_inst", startInst);
+        v("insts", insts);
+        v("cycles", cycles);
+        v("ipc", ipc);
+        v("cond_mispredicts", condMispredicts);
+        v("target_mispredicts", targetMispredicts);
+        v("exec_flushes", execFlushes);
+        v("mem_order_flushes", memOrderFlushes);
+        v("decode_resteers", decodeResteers);
+        v("divergence_flushes", divergenceFlushes);
+        v("coupled_frac", coupledFrac);
+    }
+};
 
 /** Aggregated results of one simulation run (measurement window). */
 struct RunResult
@@ -41,11 +90,58 @@ struct RunResult
     std::uint64_t wrongPathInsts = 0;
     std::uint64_t instPrefetches = 0;
 
+    /** Measured redirect-to-first-fetch restart latency, averaged
+     *  over the window's mispredict flushes (Figure 3's quantity). */
+    double avgRedirectToFetch = 0;
+
     // ELF-specific
     double avgCoupledInsts = 0;  ///< per coupled period (Figure 8)
     std::uint64_t coupledPeriods = 0;
     double coupledCommittedFrac = 0;
     std::uint64_t pendingFlushWaits = 0;
+
+    /** Sampling period the timeline was captured with (0 = off). */
+    InstCount intervalInsts = 0;
+    /** Per-interval delta rows; empty unless intervalInsts > 0. */
+    std::vector<IntervalSample> timeline;
+
+    /**
+     * Visit every scalar field as ("name", value) in declaration
+     * order — the single source of truth for the JSON/CSV exporters,
+     * the bench table formatters, and test_sweep's determinism check.
+     * @a v must accept (const char *, const std::string &),
+     * (const char *, std::uint64_t) and (const char *, double).
+     * `intervalInsts` and `timeline` are serialized separately (see
+     * sim/export.hh) since they are not summary scalars.
+     */
+    template <typename V>
+    void
+    forEachField(V &&v) const
+    {
+        v("workload", workload);
+        v("variant", variant);
+        v("cycles", cycles);
+        v("insts", insts);
+        v("ipc", ipc);
+        v("branch_mpki", branchMpki);
+        v("cond_mpki", condMpki);
+        v("exec_flushes", execFlushes);
+        v("mem_order_flushes", memOrderFlushes);
+        v("decode_resteers", decodeResteers);
+        v("divergence_flushes", divergenceFlushes);
+        v("btb_hit_l0", btbHitL0);
+        v("btb_hit_l1", btbHitL1);
+        v("btb_hit_l2", btbHitL2);
+        v("l0i_miss_rate", l0iMissRate);
+        v("l1d_mpki", l1dMpki);
+        v("wrong_path_insts", wrongPathInsts);
+        v("inst_prefetches", instPrefetches);
+        v("avg_redirect_to_fetch", avgRedirectToFetch);
+        v("avg_coupled_insts", avgCoupledInsts);
+        v("coupled_periods", coupledPeriods);
+        v("coupled_committed_frac", coupledCommittedFrac);
+        v("pending_flush_waits", pendingFlushWaits);
+    }
 };
 
 /** Options for a run. */
@@ -53,6 +149,15 @@ struct RunOptions
 {
     InstCount warmupInsts = 100000;
     InstCount measureInsts = 500000;
+
+    /**
+     * Capture an IntervalSample every this many committed
+     * instructions of the measurement window (the last interval may
+     * be shorter). 0 (default) disables timeline capture. Sampling
+     * does not perturb the simulation: the core ticks through the
+     * exact same sequence either way.
+     */
+    InstCount intervalInsts = 0;
 };
 
 /**
@@ -73,6 +178,8 @@ struct StatSnapshot
     std::uint64_t divergenceFlushes = 0;
     std::uint64_t coupledCommitted = 0;
     std::uint64_t l1dMisses = 0;
+    std::uint64_t redirectToFetchTotal = 0;
+    std::uint64_t redirectToFetchCount = 0;
 
     /** Read every windowed counter off the core. */
     static StatSnapshot capture(const Core &core);

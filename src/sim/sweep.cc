@@ -2,10 +2,13 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "sim/export.hh"
 
 namespace elfsim {
 
@@ -86,7 +89,52 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
         lastTiming.simCycles += results[i].cycles;
         lastTiming.simInsts += results[i].insts;
     }
+    lastResults = results;
     return results;
+}
+
+namespace {
+
+std::ofstream
+openOrDie(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        ELFSIM_PANIC("cannot open '%s' for writing", path.c_str());
+    return os;
+}
+
+} // namespace
+
+void
+SweepRunner::writeJson(const std::string &path) const
+{
+    std::ofstream os = openOrDie(path);
+    writeSweepJson(os, lastResults, &lastTiming);
+}
+
+void
+SweepRunner::writeCsv(const std::string &path) const
+{
+    std::ofstream os = openOrDie(path);
+    writeResultsCsv(os, lastResults);
+
+    bool anyTimeline = false;
+    for (const RunResult &r : lastResults)
+        anyTimeline = anyTimeline || !r.timeline.empty();
+    if (!anyTimeline)
+        return;
+
+    std::string tpath = path;
+    const std::string suffix = ".csv";
+    if (tpath.size() >= suffix.size() &&
+        tpath.compare(tpath.size() - suffix.size(), suffix.size(),
+                      suffix) == 0) {
+        tpath.resize(tpath.size() - suffix.size());
+    }
+    tpath += ".timeline.csv";
+    std::ofstream ts = openOrDie(tpath);
+    writeTimelineCsv(ts, lastResults);
 }
 
 void

@@ -93,6 +93,25 @@ class SweepRunner
     /** Timing of the most recent run(). */
     const SweepTiming &timing() const { return lastTiming; }
 
+    /** Results of the most recent run(), in submission order. */
+    const std::vector<RunResult> &results() const { return lastResults; }
+
+    /**
+     * Write the last run's results + timing as an elfsim-results-v1
+     * JSON document (sim/export.hh). The "results" portion depends
+     * only on the simulated grid, never on thread count; "timing" is
+     * the one wall-clock-dependent block.
+     */
+    void writeJson(const std::string &path) const;
+
+    /**
+     * Write the last run's results as a flat CSV table. If any
+     * result carries an interval timeline, the per-interval rows go
+     * to a sibling file with ".timeline.csv" substituted for the
+     * ".csv" suffix (appended if the path has none).
+     */
+    void writeCsv(const std::string &path) const;
+
     /**
      * Dump the per-sweep timing summary (jobs, threads, wall-clock,
      * aggregate simulated cycles/sec, realized speedup) through the
@@ -108,6 +127,7 @@ class SweepRunner
     unsigned threads;
     std::uint64_t baseSeed = 0;
     SweepTiming lastTiming;
+    std::vector<RunResult> lastResults; ///< merged results, last run
     std::vector<double> jobSeconds; ///< per-job wall-clocks, last run
 };
 

@@ -45,3 +45,34 @@ TEST(Report, NoDcfReportSkipsDcfSections)
     printFullReport(os, core);
     EXPECT_EQ(os.str().find("dcf blocks"), std::string::npos);
 }
+
+TEST(Report, DeprecatedWrappersMatchTextReporter)
+{
+    Program p = microRandomBranchLoop(8, 0.4);
+    Core core(makeConfig(FrontendVariant::UElf), p);
+    core.run(30000);
+
+    std::ostringstream oldSum, newSum, oldFull, newFull;
+    printSummary(oldSum, core);
+    TextReporter().summary(newSum, core);
+    printFullReport(oldFull, core);
+    TextReporter().fullReport(newFull, core);
+    EXPECT_EQ(oldSum.str(), newSum.str());
+    EXPECT_EQ(oldFull.str(), newFull.str());
+}
+
+TEST(Report, ReporterPolymorphism)
+{
+    Program p = microSequentialLoop(30, 16);
+    Core core(makeConfig(FrontendVariant::Dcf), p);
+    core.run(20000);
+
+    TextReporter text;
+    JsonReporter json;
+    const Reporter *reporters[] = {&text, &json};
+    for (const Reporter *r : reporters) {
+        std::ostringstream os;
+        r->summary(os, core);
+        EXPECT_NE(os.str().find("IPC"), std::string::npos);
+    }
+}

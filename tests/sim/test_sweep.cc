@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "sim/export.hh"
 #include "sim/sweep.hh"
 #include "workload/builders.hh"
 
@@ -35,33 +36,24 @@ sixJobGrid(const Program &a, const Program &b, const Program &c)
     };
 }
 
-/** Every field of RunResult, compared exactly (doubles included:
- *  parallel runs must be bit-identical to serial ones). */
+/**
+ * Every field of RunResult, compared exactly (doubles included:
+ * parallel runs must be bit-identical to serial ones). Fields are
+ * enumerated by RunResult::forEachField — the same single source of
+ * truth the exporters use — plus the timeline, so a new field can
+ * never silently escape the determinism check. The JSON comparison
+ * is exact because doubles serialize with round-trip precision.
+ */
 void
 expectIdentical(const RunResult &x, const RunResult &y)
 {
-    EXPECT_EQ(x.workload, y.workload);
-    EXPECT_EQ(x.variant, y.variant);
-    EXPECT_EQ(x.cycles, y.cycles);
-    EXPECT_EQ(x.insts, y.insts);
-    EXPECT_EQ(x.ipc, y.ipc);
-    EXPECT_EQ(x.branchMpki, y.branchMpki);
-    EXPECT_EQ(x.condMpki, y.condMpki);
-    EXPECT_EQ(x.execFlushes, y.execFlushes);
-    EXPECT_EQ(x.memOrderFlushes, y.memOrderFlushes);
-    EXPECT_EQ(x.decodeResteers, y.decodeResteers);
-    EXPECT_EQ(x.divergenceFlushes, y.divergenceFlushes);
-    EXPECT_EQ(x.btbHitL0, y.btbHitL0);
-    EXPECT_EQ(x.btbHitL1, y.btbHitL1);
-    EXPECT_EQ(x.btbHitL2, y.btbHitL2);
-    EXPECT_EQ(x.l0iMissRate, y.l0iMissRate);
-    EXPECT_EQ(x.l1dMpki, y.l1dMpki);
-    EXPECT_EQ(x.wrongPathInsts, y.wrongPathInsts);
-    EXPECT_EQ(x.instPrefetches, y.instPrefetches);
-    EXPECT_EQ(x.avgCoupledInsts, y.avgCoupledInsts);
-    EXPECT_EQ(x.coupledPeriods, y.coupledPeriods);
-    EXPECT_EQ(x.coupledCommittedFrac, y.coupledCommittedFrac);
-    EXPECT_EQ(x.pendingFlushWaits, y.pendingFlushWaits);
+    const auto asJson = [](const RunResult &r) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        writeRunResult(w, r);
+        return os.str();
+    };
+    EXPECT_EQ(asJson(x), asJson(y));
 }
 
 } // namespace
