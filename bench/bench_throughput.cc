@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how fast the simulator itself runs,
+ * not what it predicts. Sweeps the Table I workload catalog across the
+ * NoDCF / DCF / U-ELF kernels (coupled-only, decoupled-only, and the
+ * full elastic machinery — the three distinct hot paths) and reports
+ * per-job wall-clock, simulated MIPS, and simulated cycles per host
+ * microsecond, plus the geomean MIPS that the perf regression gate
+ * (scripts/check_results.py --throughput) compares against the
+ * committed baseline.
+ *
+ * Run from the repo root so the default --json target lands at
+ * ./BENCH_throughput.json (what the checker and docs expect); compare
+ * like with like: Release build, default flags, --jobs 1.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace elfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options defaults;
+    defaults.warmupInsts = 50000;
+    defaults.measureInsts = 150000;
+    defaults.jsonPath = "BENCH_throughput.json";
+
+    // --stride N (local flag): simulate every Nth catalog workload.
+    // Full-size windows on a subset keep per-run MIPS comparable with
+    // the committed full-grid baseline (shrinking the windows instead
+    // would bias MIPS low: per-run setup stops being amortized). The
+    // regression checker matches rows by (workload, variant), so a
+    // strided document compares cleanly. scripts/perf_smoke.sh uses
+    // this for its ~15 s gate.
+    unsigned stride = 1;
+    std::vector<char *> fwd;
+    fwd.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--stride") && i + 1 < argc) {
+            const unsigned long v = std::strtoul(argv[++i], nullptr, 10);
+            stride = v > 1 ? unsigned(v) : 1;
+        } else {
+            fwd.push_back(argv[i]);
+        }
+    }
+    const bench::Options opt =
+        bench::parseOptions(int(fwd.size()), fwd.data(), defaults);
+    bench::banner(
+        "Simulator throughput — wall-clock cost of the tick kernel",
+        "Table I workloads x {NoDCF, DCF, U-ELF}; per-job simulated "
+        "MIPS and cycles per host microsecond");
+
+    const FrontendVariant variants[] = {FrontendVariant::NoDcf,
+                                        FrontendVariant::Dcf,
+                                        FrontendVariant::UElf};
+
+    std::deque<Program> programs;
+    std::vector<SweepJob> grid;
+    unsigned wi = 0;
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        if (wi++ % stride != 0)
+            continue;
+        programs.push_back(buildWorkload(w));
+        for (FrontendVariant v : variants)
+            grid.push_back(
+                makeVariantJob(programs.back(), v, opt.runOptions()));
+    }
+
+    SweepRunner runner(opt.jobs);
+    const std::vector<RunResult> res = runner.run(grid);
+    const std::vector<double> &secs = runner.perJobSeconds();
+
+    std::printf("  %-18s %-9s %9s %10s %14s\n", "workload", "variant",
+                "wall s", "sim MIPS", "cycles/host-us");
+    std::vector<double> mips;
+    mips.reserve(res.size());
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        const RunResult &r = res[i];
+        const double s = secs[i];
+        const double m = s > 0 ? double(r.insts) / s / 1e6 : 0;
+        mips.push_back(m);
+        std::printf("  %-18s %-9s %9.3f %10.3f %14.3f\n",
+                    r.workload.c_str(), r.variant.c_str(), s, m,
+                    s > 0 ? double(r.cycles) / s / 1e6 : 0);
+    }
+    std::printf("\n  geomean %.3f simulated MIPS over %zu runs "
+                "(%.1f s wall)\n",
+                geomean(mips), res.size(),
+                runner.timing().wallSeconds);
+
+    if (!opt.jsonPath.empty()) {
+        std::ofstream os(opt.jsonPath);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.jsonPath.c_str());
+            return 1;
+        }
+        writeThroughputJson(os, res, secs, runner.timing());
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    if (!opt.csvPath.empty()) {
+        runner.writeCsv(opt.csvPath);
+        std::printf("wrote %s\n", opt.csvPath.c_str());
+    }
+    bench::printSweepTiming(runner);
+    return 0;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Quick simulator-throughput smoke (~15-30 s): every 3rd catalog
+# workload at full-size windows, single job, schema check, and the
+# >10% geomean-MIPS regression gate against the committed
+# BENCH_throughput.json (matched on the common rows).
+#
+#   scripts/perf_smoke.sh           # uses ./build (default preset)
+#   BUILD=build-native scripts/perf_smoke.sh   # host-tuned binaries
+#
+# Full windows (not --quick) keep per-run MIPS comparable with the
+# baseline; a marginal pass here still deserves a full
+# `build/bench/bench_throughput --jobs 1` before concluding anything
+# regressed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD:-build}"
+BIN="$BUILD/bench/bench_throughput"
+[ -x "$BIN" ] || {
+    echo "$BIN not built (cmake --build $BUILD)" >&2
+    exit 1
+}
+
+OUT="$BUILD/results"
+mkdir -p "$OUT"
+"$BIN" --stride 3 --jobs 1 --json "$OUT/perf_smoke.json"
+
+if [ -f BENCH_throughput.json ]; then
+    python3 scripts/check_results.py --throughput \
+        --baseline BENCH_throughput.json "$OUT/perf_smoke.json"
+else
+    python3 scripts/check_results.py --throughput "$OUT/perf_smoke.json"
+fi

@@ -46,6 +46,23 @@ for b in build/bench/*; do
             # Characterization tables: no RunResults to export.
             "$b" --jobs "$JOBS" ${EXTRA[@]+"${EXTRA[@]}"}
             ;;
+        bench_throughput)
+            # Simulator-speed gate: separate schema + regression
+            # check against the committed baseline. Run single-job so
+            # per-run wall clocks are not distorted by oversubscription
+            # (scripts/perf_smoke.sh is the quick variant; build the
+            # release-native preset for host-tuned numbers).
+            "$b" --jobs 1 --json "$RESULTS/$name.json" \
+                 ${EXTRA[@]+"${EXTRA[@]}"}
+            if [ -f BENCH_throughput.json ]; then
+                python3 scripts/check_results.py --throughput \
+                    --baseline BENCH_throughput.json \
+                    "$RESULTS/$name.json"
+            else
+                python3 scripts/check_results.py --throughput \
+                    "$RESULTS/$name.json"
+            fi
+            ;;
         *)
             "$b" --jobs "$JOBS" --json "$RESULTS/$name.json" \
                  ${EXTRA[@]+"${EXTRA[@]}"}

@@ -11,8 +11,11 @@ namespace elfsim {
 Backend::Backend(const BackendParams &params, MemHierarchy &mem,
                  MemDepPredictor &mdp)
     : params(params), mem(mem), mdp(mdp),
-      lastProducer(numArchRegs, 0)
+      renamePipe(params.robEntries), rob(params.robEntries),
+      lastProducer(numArchRegs, 0), lastProducerPos(numArchRegs, 0)
 {
+    iq.reserve(params.iqEntries);
+    lsq.reserve(params.lsqEntries);
 }
 
 bool
@@ -27,18 +30,13 @@ Backend::accept(DynInst di, Cycle now)
     di.readyAt = now + params.decodeToDispatch;
     ELFSIM_ASSERT(renamePipe.empty() || renamePipe.back().seq < di.seq,
                   "out-of-order accept");
-    renamePipe.push_back(std::move(di));
+    renamePipe.push(std::move(di));
 }
 
 DynInst *
 Backend::findBySeq(SeqNum seq)
 {
-    auto it = std::lower_bound(
-        rob.begin(), rob.end(), seq,
-        [](const DynInst &d, SeqNum s) { return d.seq < s; });
-    if (it != rob.end() && it->seq == seq)
-        return &*it;
-    return nullptr;
+    return findSeqInQueue(rob, seq);
 }
 
 const DynInst *
@@ -50,13 +48,19 @@ Backend::findBySeq(SeqNum seq) const
 bool
 Backend::sourcesReady(const DynInst &di) const
 {
-    for (SeqNum p : {di.srcProducer0, di.srcProducer1}) {
-        if (p == 0)
-            continue;
-        const DynInst *prod = findBySeq(p);
-        if (prod && !prod->completed)
+    // The recorded ring position is revisited instead of searching the
+    // ROB: if the slot no longer holds the producer's seq, the
+    // producer has committed (a squashed producer implies this
+    // consumer was squashed too), i.e. the source is ready.
+    if (di.srcProducer0 != 0) {
+        const DynInst &p = rob.atPos(di.srcPos0);
+        if (p.seq == di.srcProducer0 && !p.completed)
             return false;
-        // Producer already committed (not found) => ready.
+    }
+    if (di.srcProducer1 != 0) {
+        const DynInst &p = rob.atPos(di.srcPos1);
+        if (p.seq == di.srcProducer1 && !p.completed)
+            return false;
     }
     return true;
 }
@@ -98,43 +102,54 @@ Backend::dispatch(Cycle now)
         if (front.si->isMemInst() && lsq.size() >= params.lsqEntries)
             return;
 
-        DynInst di = std::move(front);
-        renamePipe.pop_front();
+        DynInst di = renamePipe.pop();
         ++n;
 
-        // Record producers at rename.
+        // Record producers (seq + ROB slot) at rename.
         for (unsigned s = 0; s < 2; ++s) {
             const RegIndex r = di.si->srcRegs[s];
-            const SeqNum p =
-                r < numArchRegs ? lastProducer[r] : 0;
-            if (s == 0)
+            const SeqNum p = r < numArchRegs ? lastProducer[r] : 0;
+            const std::uint32_t pos =
+                r < numArchRegs ? lastProducerPos[r] : 0;
+            if (s == 0) {
                 di.srcProducer0 = p;
-            else
+                di.srcPos0 = pos;
+            } else {
                 di.srcProducer1 = p;
+                di.srcPos1 = pos;
+            }
         }
-        if (di.si->destReg < numArchRegs)
-            lastProducer[di.si->destReg] = di.seq;
 
         // Memory-dependence filter: the load waits for the youngest
         // older in-flight store with the recorded PC.
         if (di.isLoad()) {
             const Addr storePC = mdp.storeFor(di.pc());
             if (storePC != invalidAddr) {
-                for (auto it = rob.rbegin(); it != rob.rend(); ++it) {
-                    if (it->isStore() && it->pc() == storePC &&
-                        !it->completed) {
-                        di.waitStore = it->seq;
+                for (std::size_t i = rob.size(); i-- > 0;) {
+                    const DynInst &s = rob.at(i);
+                    if (s.isStore() && s.pc() == storePC &&
+                        !s.completed) {
+                        di.waitStore = s.seq;
+                        di.waitStorePos =
+                            std::uint32_t(rob.posOf(i));
                         break;
                     }
                 }
             }
         }
 
-        if (di.si->isMemInst())
-            lsq.push_back(di.seq);
-        iq.push_back(di.seq);
+        const SeqNum seq = di.seq;
         di.dispatched = true;
-        rob.push_back(std::move(di));
+        const std::uint32_t pos =
+            std::uint32_t(rob.pushPos(std::move(di)));
+        const DynInst &placed = rob.atPos(pos);
+        if (placed.si->destReg < numArchRegs) {
+            lastProducer[placed.si->destReg] = seq;
+            lastProducerPos[placed.si->destReg] = pos;
+        }
+        if (placed.si->isMemInst())
+            lsq.push_back({seq, pos});
+        iq.push_back({seq, pos});
     }
 }
 
@@ -147,8 +162,8 @@ Backend::issue(Cycle now, Redirect &redirect)
 
     auto it = iq.begin();
     while (it != iq.end() && issued < params.issueWidth) {
-        DynInst *di = findBySeq(*it);
-        ELFSIM_ASSERT(di != nullptr, "IQ entry not in ROB");
+        DynInst *di = &rob.atPos(it->pos);
+        ELFSIM_ASSERT(di->seq == it->seq, "IQ entry not in ROB");
         if (di->issued) {
             it = iq.erase(it);
             continue;
@@ -161,8 +176,8 @@ Backend::issue(Cycle now, Redirect &redirect)
 
         // Memory-dependence wait.
         if (di->isLoad() && di->waitStore != 0) {
-            const DynInst *dep = findBySeq(di->waitStore);
-            if (dep && !dep->completed) {
+            const DynInst &dep = rob.atPos(di->waitStorePos);
+            if (dep.seq == di->waitStore && !dep.completed) {
                 ++it;
                 continue;
             }
@@ -213,30 +228,30 @@ Backend::issue(Cycle now, Redirect &redirect)
 void
 Backend::complete(Cycle now, Redirect &redirect)
 {
-    for (DynInst &di : rob) {
+    rob.forEach([&](DynInst &di) {
         if (!di.issued || di.completed || di.completeCycle > now)
-            continue;
+            return;
         di.completed = true;
 
         // Store-to-load order violation check: a younger load that
         // already executed with an overlapping address speculated
         // past this store.
         if (di.isStore() && !di.wrongPath) {
-            for (SeqNum lseq : lsq) {
-                if (lseq <= di.seq)
+            for (const SeqSlot &l : lsq) {
+                if (l.seq <= di.seq)
                     continue;
-                const DynInst *ld = findBySeq(lseq);
-                if (!ld || !ld->isLoad() || !ld->completed ||
-                    ld->wrongPath)
+                const DynInst &ld = rob.atPos(l.pos);
+                if (ld.seq != l.seq || !ld.isLoad() || !ld.completed ||
+                    ld.wrongPath)
                     continue;
-                if (ld->memAddr / 8 == di.memAddr / 8) {
-                    mdp.train(ld->pc(), di.pc());
+                if (ld.memAddr / 8 == di.memAddr / 8) {
+                    mdp.train(ld.pc(), di.pc());
                     ++st.memOrderFlushes;
                     Redirect req;
                     req.kind = RedirectKind::MemOrder;
-                    req.survivorSeq = ld->seq - 1;
-                    req.targetPC = ld->pc();
-                    req.oracleCursor = ld->oracleIdx;
+                    req.survivorSeq = ld.seq - 1;
+                    req.targetPC = ld.pc();
+                    req.oracleCursor = ld.oracleIdx;
                     req.atCycle = now;
                     mergeRedirect(redirect, req);
                     break;
@@ -255,7 +270,7 @@ Backend::complete(Cycle now, Redirect &redirect)
             req.atCycle = now;
             mergeRedirect(redirect, req);
         }
-    }
+    });
 }
 
 void
@@ -315,9 +330,9 @@ Backend::commit(Cycle now)
         if (commitHook)
             commitHook(head);
 
-        if (!lsq.empty() && lsq.front() == head.seq)
+        if (!lsq.empty() && lsq.front().seq == head.seq)
             lsq.erase(lsq.begin());
-        rob.pop_front();
+        rob.dropFront();
         ++n;
     }
 }
@@ -339,10 +354,13 @@ Backend::rebuildScoreboard()
     // dispatch, in order — pre-registering them here would make
     // older instructions read younger (or their own) producers.
     std::fill(lastProducer.begin(), lastProducer.end(), 0);
-    for (const DynInst &di : rob) {
-        if (di.si->destReg < numArchRegs)
+    std::fill(lastProducerPos.begin(), lastProducerPos.end(), 0);
+    rob.forEachPos([&](const DynInst &di, std::size_t pos) {
+        if (di.si->destReg < numArchRegs) {
             lastProducer[di.si->destReg] = di.seq;
-    }
+            lastProducerPos[di.si->destReg] = std::uint32_t(pos);
+        }
+    });
 }
 
 void
@@ -350,26 +368,20 @@ Backend::squashYoungerThan(SeqNum survivor_seq)
 {
     while (!renamePipe.empty() &&
            renamePipe.back().seq > survivor_seq)
-        renamePipe.pop_back();
+        renamePipe.popBack(1);
     while (!rob.empty() && rob.back().seq > survivor_seq)
-        rob.pop_back();
+        rob.popBack(1);
     iq.erase(std::remove_if(iq.begin(), iq.end(),
-                            [&](SeqNum s) { return s > survivor_seq; }),
+                            [&](const SeqSlot &s) {
+                                return s.seq > survivor_seq;
+                            }),
              iq.end());
     lsq.erase(std::remove_if(lsq.begin(), lsq.end(),
-                             [&](SeqNum s) { return s > survivor_seq; }),
+                             [&](const SeqSlot &s) {
+                                 return s.seq > survivor_seq;
+                             }),
               lsq.end());
     rebuildScoreboard();
-}
-
-void
-Backend::forEachInFlight(
-    const std::function<void(const DynInst &)> &fn) const
-{
-    for (const DynInst &di : rob)
-        fn(di);
-    for (const DynInst &di : renamePipe)
-        fn(di);
 }
 
 bool
@@ -383,11 +395,7 @@ Backend::findInFlightMutable(SeqNum seq)
 {
     if (DynInst *di = findBySeq(seq))
         return di;
-    for (DynInst &di : renamePipe) {
-        if (di.seq == seq)
-            return &di;
-    }
-    return nullptr;
+    return findSeqInQueue(renamePipe, seq);
 }
 
 } // namespace elfsim

@@ -12,12 +12,12 @@
 #ifndef ELFSIM_BACKEND_BACKEND_HH
 #define ELFSIM_BACKEND_BACKEND_HH
 
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "backend/mem_dep.hh"
 #include "cache/hierarchy.hh"
+#include "common/queue.hh"
 #include "common/types.hh"
 #include "frontend/pipeline_types.hh"
 
@@ -94,8 +94,13 @@ class Backend
 
     /** Program-order scan of in-flight instructions (for history
      *  replay on flush). Includes the rename pipe. */
-    void forEachInFlight(const std::function<void(const DynInst &)> &fn)
-        const;
+    template <typename Fn>
+    void
+    forEachInFlight(Fn &&fn) const
+    {
+        rob.forEach([&](const DynInst &di) { fn(di); });
+        renamePipe.forEach([&](const DynInst &di) { fn(di); });
+    }
 
     /** Set the commit callback. */
     void setCommitHook(CommitHook hook) { commitHook = std::move(hook); }
@@ -122,6 +127,18 @@ class Backend
     const BackendParams &config() const { return params; }
 
   private:
+    /**
+     * IQ/LSQ entry: the instruction's seq plus its stable ROB ring
+     * position — the O(1) seq→slot index that replaces the per-entry
+     * binary search over the ROB. The position is validated against
+     * the slot's seq on use (see DynInst::srcPos0).
+     */
+    struct SeqSlot
+    {
+        SeqNum seq = 0;
+        std::uint32_t pos = 0;
+    };
+
     void dispatch(Cycle now);
     void issue(Cycle now, Redirect &redirect);
     void complete(Cycle now, Redirect &redirect);
@@ -138,13 +155,15 @@ class Backend
     MemDepPredictor &mdp;
     CommitHook commitHook;
 
-    std::deque<DynInst> renamePipe; ///< decode -> dispatch delay
-    std::deque<DynInst> rob;        ///< program order
-    std::vector<SeqNum> iq;         ///< waiting/unissued, by seq
-    std::vector<SeqNum> lsq;        ///< loads+stores in flight, by seq
+    BoundedQueue<DynInst> renamePipe; ///< decode -> dispatch delay
+    BoundedQueue<DynInst> rob;        ///< program order, stable slots
+    std::vector<SeqSlot> iq;          ///< waiting/unissued, in order
+    std::vector<SeqSlot> lsq;         ///< loads+stores in flight
 
-    /** Producer scoreboard per architectural register. */
+    /** Producer scoreboard per architectural register: seq and ROB
+     *  ring position of the last writer. */
     std::vector<SeqNum> lastProducer;
+    std::vector<std::uint32_t> lastProducerPos;
 
     BackendStats st;
 };

@@ -4,7 +4,8 @@
 
 namespace elfsim {
 
-CheckpointQueue::CheckpointQueue(std::size_t capacity) : cap(capacity)
+CheckpointQueue::CheckpointQueue(std::size_t capacity)
+    : cap(capacity), entries(capacity)
 {
     ELFSIM_ASSERT(capacity > 0, "checkpoint queue needs capacity");
 }
@@ -16,7 +17,7 @@ CheckpointQueue::allocate(SeqNum seq, bool payload_valid)
     ELFSIM_ASSERT(entries.empty() || entries.back().seq <= seq,
                   "checkpoints must be allocated in fetch order");
     const std::uint64_t id = nextId++;
-    entries.push_back({id, seq, payload_valid});
+    entries.push(Entry{id, seq, payload_valid});
     return id;
 }
 
@@ -29,7 +30,7 @@ CheckpointQueue::find(std::uint64_t id) const
     // Ids are dense within the live window (squash removes a
     // contiguous tail, retire a contiguous head), so index math works.
     const std::size_t off = id - entries.front().id;
-    if (off >= entries.size() || entries[off].id != id)
+    if (off >= entries.size() || entries.at(off).id != id)
         return -1;
     return static_cast<long>(off);
 }
@@ -44,7 +45,7 @@ bool
 CheckpointQueue::payloadReady(std::uint64_t id) const
 {
     const long i = find(id);
-    return i >= 0 && entries[i].payloadValid;
+    return i >= 0 && entries.at(std::size_t(i)).payloadValid;
 }
 
 void
@@ -52,13 +53,14 @@ CheckpointQueue::fillPayload(std::uint64_t id)
 {
     const long i = find(id);
     if (i >= 0)
-        entries[i].payloadValid = true;
+        entries.at(std::size_t(i)).payloadValid = true;
 }
 
 void
 CheckpointQueue::fillPayloadsUpTo(SeqNum seq)
 {
-    for (Entry &e : entries) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        Entry &e = entries.at(i);
         if (e.seq > seq)
             break;
         e.payloadValid = true;
@@ -69,7 +71,7 @@ void
 CheckpointQueue::squashYoungerThan(SeqNum seq)
 {
     while (!entries.empty() && entries.back().seq > seq)
-        entries.pop_back();
+        entries.popBack(1);
     // Reuse the squashed ids so the live window stays dense (their
     // owners are squashed and will never query them again).
     if (!entries.empty())
@@ -80,7 +82,7 @@ void
 CheckpointQueue::retireUpTo(SeqNum seq)
 {
     while (!entries.empty() && entries.front().seq <= seq)
-        entries.pop_front();
+        entries.dropFront();
 }
 
 } // namespace elfsim

@@ -19,8 +19,8 @@
 #define ELFSIM_BPRED_CHECKPOINT_HH
 
 #include <cstdint>
-#include <deque>
 
+#include "common/queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -36,7 +36,7 @@ class CheckpointQueue
     explicit CheckpointQueue(std::size_t capacity = 512);
 
     /** @return true iff no entry can be allocated this cycle. */
-    bool full() const { return entries.size() >= cap; }
+    bool full() const { return entries.full(); }
 
     std::size_t size() const { return entries.size(); }
     std::size_t capacity() const { return cap; }
@@ -86,7 +86,7 @@ class CheckpointQueue
     long find(std::uint64_t id) const;
 
     std::size_t cap;
-    std::deque<Entry> entries;
+    BoundedQueue<Entry> entries;
     std::uint64_t nextId = 1;
 };
 

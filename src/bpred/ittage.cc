@@ -28,12 +28,9 @@ Ittage::Ittage(const IttageParams &params)
     }
 
     const std::size_t entries = 1ull << params.tableEntriesLog2;
-    tables.assign(params.numTables, {});
-    for (unsigned t = 0; t < params.numTables; ++t) {
-        tables[t].assign(entries, Entry{});
-        for (auto &e : tables[t])
-            e.conf = SatCounter(2, 0);
-    }
+    tables.assign(params.numTables * entries, Entry{});
+    for (auto &e : tables)
+        e.conf = SatCounter(2, 0);
 
     for (HistState *hs : {&spec, &arch}) {
         hs->indexFold.resize(params.numTables);
@@ -71,6 +68,13 @@ Ittage::tableTag(const HistState &h, Addr pc, unsigned t) const
 IttagePrediction
 Ittage::predictWith(const HistState &h, Addr pc) const
 {
+    // Lookup memo: see Tage::predictWith.
+    const bool isSpec = &h == &spec;
+    PredMemo &memo = isSpec ? specMemo : archMemo;
+    const std::uint64_t gen = isSpec ? specGen : archGen;
+    if (memo.pc == pc && memo.gen == gen)
+        return memo.pred;
+
     IttagePrediction pred;
     pred.valid = true;
     pred.baseIndex =
@@ -82,7 +86,7 @@ Ittage::predictWith(const HistState &h, Addr pc) const
     }
 
     for (int t = int(params.numTables) - 1; t >= 0; --t) {
-        const Entry &e = tables[t][pred.indices[t]];
+        const Entry &e = entry(t, pred.indices[t]);
         if (e.valid && e.tag == pred.tags[t]) {
             pred.provider = t;
             pred.target = e.target;
@@ -97,6 +101,10 @@ Ittage::predictWith(const HistState &h, Addr pc) const
             pred.target = b.target;
         }
     }
+
+    memo.pc = pc;
+    memo.gen = gen;
+    memo.pred = pred;
     return pred;
 }
 
@@ -119,18 +127,18 @@ Ittage::update(Addr pc, const IttagePrediction &pred, Addr target)
     (void)pc;
     ELFSIM_ASSERT(pred.valid, "training ITTAGE with empty prediction");
     ++updateCount;
+    ++specGen;
+    ++archGen;
     if (updateCount % params.uResetPeriod == 0) {
-        for (auto &tbl : tables) {
-            for (auto &e : tbl)
-                e.useful >>= 1;
-        }
+        for (auto &e : tables)
+            e.useful >>= 1;
     }
 
     const bool correct =
         pred.target != invalidAddr && pred.target == target;
 
     if (pred.provider >= 0) {
-        Entry &e = tables[pred.provider][pred.indices[pred.provider]];
+        Entry &e = entry(pred.provider, pred.indices[pred.provider]);
         if (e.target == target) {
             e.conf.increment();
             if (e.useful < 3)
@@ -167,7 +175,7 @@ Ittage::update(Addr pc, const IttagePrediction &pred, Addr target)
         int chosen = -1;
         unsigned seen = 0;
         for (unsigned t = start; t < params.numTables; ++t) {
-            const Entry &e = tables[t][pred.indices[t]];
+            const Entry &e = entry(t, pred.indices[t]);
             if (!e.valid || e.useful == 0) {
                 ++seen;
                 if (chosen < 0 ||
@@ -178,7 +186,7 @@ Ittage::update(Addr pc, const IttagePrediction &pred, Addr target)
             }
         }
         if (chosen >= 0) {
-            Entry &e = tables[chosen][pred.indices[chosen]];
+            Entry &e = entry(chosen, pred.indices[chosen]);
             e.valid = true;
             e.tag = pred.tags[chosen];
             e.target = target;
@@ -186,7 +194,7 @@ Ittage::update(Addr pc, const IttagePrediction &pred, Addr target)
             e.useful = 0;
         } else {
             for (unsigned t = start; t < params.numTables; ++t) {
-                Entry &e = tables[t][pred.indices[t]];
+                Entry &e = entry(t, pred.indices[t]);
                 if (e.useful > 0)
                     --e.useful;
             }

@@ -72,13 +72,13 @@ class Ittage
     }
 
     /** Push one speculative history bit (same stream as TAGE). */
-    void pushSpec(Addr pc, bool bit) { push(spec, pc, bit); }
+    void pushSpec(Addr pc, bool bit) { push(spec, pc, bit); ++specGen; }
 
     /** Push the resolved bit into the architectural history. */
-    void pushArch(Addr pc, bool bit) { push(arch, pc, bit); }
+    void pushArch(Addr pc, bool bit) { push(arch, pc, bit); ++archGen; }
 
     /** Restore the speculative history from the architectural one. */
-    void resetSpecToArch() { spec = arch; }
+    void resetSpecToArch() { spec = arch; ++specGen; }
 
     /** Train with the resolved target. */
     void update(Addr pc, const IttagePrediction &pred, Addr target);
@@ -105,6 +105,14 @@ class Ittage
         std::vector<FoldedHistory> tagFold;
     };
 
+    /** Memoized predictWith result for one (history, pc) lookup. */
+    struct PredMemo
+    {
+        Addr pc = invalidAddr;
+        std::uint64_t gen = 0;
+        IttagePrediction pred;
+    };
+
     IttagePrediction predictWith(const HistState &h, Addr pc) const;
     void push(HistState &h, Addr pc, bool bit);
     std::uint32_t tableIndex(const HistState &h, Addr pc,
@@ -112,9 +120,22 @@ class Ittage
     std::uint16_t tableTag(const HistState &h, Addr pc,
                            unsigned t) const;
 
+    /** Tagged entry t/idx in the flat table-major array. */
+    Entry &
+    entry(unsigned t, std::uint32_t idx)
+    {
+        return tables[(std::size_t(t) << params.tableEntriesLog2) + idx];
+    }
+    const Entry &
+    entry(unsigned t, std::uint32_t idx) const
+    {
+        return tables[(std::size_t(t) << params.tableEntriesLog2) + idx];
+    }
+
     IttageParams params;
     std::vector<unsigned> histLengths;
-    std::vector<std::vector<Entry>> tables;
+    /** All tagged tables, table-major in one contiguous array. */
+    std::vector<Entry> tables;
     std::vector<Entry> base; ///< tagless, always "hits" once trained
 
     HistState spec;
@@ -122,6 +143,13 @@ class Ittage
 
     std::uint64_t updateCount = 0;
     mutable Rng allocRng;
+
+    /** Generation counters invalidating the lookup memos whenever the
+     *  matching history or any table content changes. */
+    std::uint64_t specGen = 1;
+    std::uint64_t archGen = 1;
+    mutable PredMemo specMemo;
+    mutable PredMemo archMemo;
 };
 
 } // namespace elfsim

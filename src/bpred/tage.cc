@@ -30,13 +30,10 @@ Tage::Tage(const TageParams &params)
     }
 
     const std::size_t entries = 1ull << params.tableEntriesLog2;
-    tables.assign(params.numTables, {});
-    for (unsigned t = 0; t < params.numTables; ++t) {
-        tables[t].assign(entries, TaggedEntry{});
-        for (auto &e : tables[t]) {
-            e.ctr = SatCounter(params.ctrBits, 0);
-            e.ctr.resetWeak();
-        }
+    tables.assign(params.numTables * entries, TaggedEntry{});
+    for (auto &e : tables) {
+        e.ctr = SatCounter(params.ctrBits, 0);
+        e.ctr.resetWeak();
     }
 
     for (HistState *h2 : {&spec, &arch}) {
@@ -80,6 +77,15 @@ Tage::tableTag(const HistState &h, Addr pc, unsigned t) const
 TagePrediction
 Tage::predictWith(const HistState &h, Addr pc) const
 {
+    // Lookup memo: checkpoint and commit paths re-predict the same pc
+    // against an unchanged history; reuse the indices/tags instead of
+    // recomputing every table's fold/hash.
+    const bool isSpec = &h == &spec;
+    PredMemo &memo = isSpec ? specMemo : archMemo;
+    const std::uint64_t gen = isSpec ? specGen : archGen;
+    if (memo.pc == pc && memo.gen == gen)
+        return memo.pred;
+
     TagePrediction pred;
     pred.valid = true;
     pred.baseIndex = baseIndexOf(pc);
@@ -92,7 +98,7 @@ Tage::predictWith(const HistState &h, Addr pc) const
 
     // Provider = hitting table with the longest history; alt = next.
     for (int t = int(params.numTables) - 1; t >= 0; --t) {
-        const TaggedEntry &e = tables[t][pred.indices[t]];
+        const TaggedEntry &e = entry(t, pred.indices[t]);
         if (e.valid && e.tag == pred.tags[t]) {
             if (pred.provider < 0) {
                 pred.provider = t;
@@ -105,12 +111,12 @@ Tage::predictWith(const HistState &h, Addr pc) const
 
     if (pred.provider >= 0) {
         const TaggedEntry &p =
-            tables[pred.provider][pred.indices[pred.provider]];
+            entry(pred.provider, pred.indices[pred.provider]);
         const bool providerTaken = p.ctr.isTaken();
         pred.providerWeak = p.ctr.isWeak();
         if (pred.alt >= 0) {
             const TaggedEntry &a =
-                tables[pred.alt][pred.indices[pred.alt]];
+                entry(pred.alt, pred.indices[pred.alt]);
             pred.altTaken = a.ctr.isTaken();
         } else {
             pred.altTaken = pred.baseTaken;
@@ -124,6 +130,10 @@ Tage::predictWith(const HistState &h, Addr pc) const
         pred.altTaken = pred.baseTaken;
         pred.taken = pred.baseTaken;
     }
+
+    memo.pc = pc;
+    memo.gen = gen;
+    memo.pred = pred;
     return pred;
 }
 
@@ -147,20 +157,20 @@ Tage::update(Addr pc, const TagePrediction &pred, bool taken)
     (void)pc;
     ELFSIM_ASSERT(pred.valid, "training TAGE with an empty prediction");
     ++updateCount;
+    ++specGen;
+    ++archGen;
 
     // Periodic aging of useful bits.
     if (updateCount % params.uResetPeriod == 0) {
-        for (auto &tbl : tables) {
-            for (auto &e : tbl)
-                e.useful >>= 1;
-        }
+        for (auto &e : tables)
+            e.useful >>= 1;
     }
 
     const bool mispredicted = pred.taken != taken;
 
     if (pred.provider >= 0) {
         TaggedEntry &p =
-            tables[pred.provider][pred.indices[pred.provider]];
+            entry(pred.provider, pred.indices[pred.provider]);
         // Track whether altpred would have been better for weak
         // entries.
         if (pred.providerWeak && pred.altTaken != p.ctr.isTaken()) {
@@ -192,7 +202,7 @@ Tage::update(Addr pc, const TagePrediction &pred, bool taken)
         int chosen = -1;
         unsigned seen = 0;
         for (unsigned t = start; t < params.numTables; ++t) {
-            const TaggedEntry &e = tables[t][pred.indices[t]];
+            const TaggedEntry &e = entry(t, pred.indices[t]);
             if (!e.valid || e.useful == 0) {
                 ++seen;
                 // First candidate wins with probability 2/3.
@@ -204,7 +214,7 @@ Tage::update(Addr pc, const TagePrediction &pred, bool taken)
             }
         }
         if (chosen >= 0) {
-            TaggedEntry &e = tables[chosen][pred.indices[chosen]];
+            TaggedEntry &e = entry(chosen, pred.indices[chosen]);
             e.valid = true;
             e.tag = pred.tags[chosen];
             e.ctr = SatCounter(params.ctrBits, 0);
@@ -214,7 +224,7 @@ Tage::update(Addr pc, const TagePrediction &pred, bool taken)
         } else {
             // No victim: age the candidates.
             for (unsigned t = start; t < params.numTables; ++t) {
-                TaggedEntry &e = tables[t][pred.indices[t]];
+                TaggedEntry &e = entry(t, pred.indices[t]);
                 if (e.useful > 0)
                     --e.useful;
             }

@@ -92,13 +92,13 @@ class Tage
      * conditional with its predicted direction, and 'true' for every
      * taken non-conditional control transfer).
      */
-    void pushSpec(Addr pc, bool bit) { push(spec, pc, bit); }
+    void pushSpec(Addr pc, bool bit) { push(spec, pc, bit); ++specGen; }
 
     /** Push the resolved bit into the architectural history. */
-    void pushArch(Addr pc, bool bit) { push(arch, pc, bit); }
+    void pushArch(Addr pc, bool bit) { push(arch, pc, bit); ++archGen; }
 
     /** Restore the speculative history from the architectural one. */
-    void resetSpecToArch() { spec = arch; }
+    void resetSpecToArch() { spec = arch; ++specGen; }
 
     /**
      * Train with the resolved direction. @a pred must be the
@@ -130,6 +130,14 @@ class Tage
         std::vector<FoldedHistory> tagFold1;
     };
 
+    /** Memoized predictWith result for one (history, pc) lookup. */
+    struct PredMemo
+    {
+        Addr pc = invalidAddr;
+        std::uint64_t gen = 0;
+        TagePrediction pred;
+    };
+
     TagePrediction predictWith(const HistState &h, Addr pc) const;
     void push(HistState &h, Addr pc, bool bit);
     std::uint32_t tableIndex(const HistState &h, Addr pc,
@@ -142,9 +150,22 @@ class Tage
         return (pc / instBytes) & ((1u << params.baseEntriesLog2) - 1);
     }
 
+    /** Tagged entry t/idx in the flat table-major array. */
+    TaggedEntry &
+    entry(unsigned t, std::uint32_t idx)
+    {
+        return tables[(std::size_t(t) << params.tableEntriesLog2) + idx];
+    }
+    const TaggedEntry &
+    entry(unsigned t, std::uint32_t idx) const
+    {
+        return tables[(std::size_t(t) << params.tableEntriesLog2) + idx];
+    }
+
     TageParams params;
     std::vector<unsigned> histLengths;
-    std::vector<std::vector<TaggedEntry>> tables;
+    /** All tagged tables, table-major in one contiguous array. */
+    std::vector<TaggedEntry> tables;
     std::vector<SatCounter> base;
 
     HistState spec;
@@ -153,6 +174,13 @@ class Tage
     SatCounter useAltOnNA; ///< prefer altpred for weak new entries
     std::uint64_t updateCount = 0;
     mutable Rng allocRng;
+
+    /** Generation counters invalidating the lookup memos whenever the
+     *  matching history or any table content changes. */
+    std::uint64_t specGen = 1;
+    std::uint64_t archGen = 1;
+    mutable PredMemo specMemo;
+    mutable PredMemo archMemo;
 };
 
 } // namespace elfsim

@@ -28,16 +28,23 @@ class GlobalHistory
 {
   public:
     explicit GlobalHistory(unsigned length)
-        : bits(length, 0), len(length)
+        : len(length)
     {
         ELFSIM_ASSERT(length > 0, "history length must be non-zero");
+        // Power-of-two storage so the hot push/bitAt paths are a
+        // masked add instead of an integer divide.
+        unsigned cap = 1;
+        while (cap < length)
+            cap <<= 1;
+        mask = cap - 1;
+        bits.assign(cap, 0);
     }
 
     /** Shift in a new youngest bit. */
     void
     push(bool taken)
     {
-        ptr = (ptr + 1) % len;
+        ptr = (ptr + 1) & mask;
         bits[ptr] = taken ? 1 : 0;
     }
 
@@ -46,7 +53,7 @@ class GlobalHistory
     bitAt(unsigned i) const
     {
         ELFSIM_ASSERT(i < len, "history index out of range");
-        return bits[(ptr + len - i % len) % len] != 0;
+        return bits[(ptr - i) & mask] != 0;
     }
 
     /** Current youngest-bit pointer (checkpoint payload). */
@@ -58,13 +65,14 @@ class GlobalHistory
      * still holds the correct older bits because pushes only overwrite
      * the slot at the new pointer.
      */
-    void restore(unsigned p) { ptr = p % len; }
+    void restore(unsigned p) { ptr = p & mask; }
 
     unsigned length() const { return len; }
 
   private:
     std::vector<std::uint8_t> bits;
     unsigned len;
+    unsigned mask = 0;
     unsigned ptr = 0;
 };
 

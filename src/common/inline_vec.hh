@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Small vector with inline storage, built for the per-cycle scratch
+ * buffers of the tick loop (decode/fetch bundles). The first N
+ * elements live inside the object; growing past N spills to a heap
+ * block that is *retained* across clear(), so a buffer reused every
+ * cycle performs no steady-state allocation regardless of how wide a
+ * bundle ever got.
+ */
+
+#ifndef ELFSIM_COMMON_INLINE_VEC_HH
+#define ELFSIM_COMMON_INLINE_VEC_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace elfsim {
+
+/** Fixed-inline-capacity growable vector (see file comment). */
+template <typename T, std::size_t N>
+class InlineVec
+{
+    static_assert(N > 0, "inline capacity must be non-zero");
+
+  public:
+    InlineVec() = default;
+
+    InlineVec(const InlineVec &) = delete;
+    InlineVec &operator=(const InlineVec &) = delete;
+
+    ~InlineVec()
+    {
+        destroyAll();
+        if (elems != inlinePtr())
+            ::operator delete(elems, std::align_val_t{alignof(T)});
+    }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return cap; }
+
+    T *begin() { return elems; }
+    T *end() { return elems + count; }
+    const T *begin() const { return elems; }
+    const T *end() const { return elems + count; }
+    T *data() { return elems; }
+    const T *data() const { return elems; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        ELFSIM_ASSERT(i < count, "InlineVec index out of range");
+        return elems[i];
+    }
+    const T &
+    operator[](std::size_t i) const
+    {
+        ELFSIM_ASSERT(i < count, "InlineVec index out of range");
+        return elems[i];
+    }
+
+    T &front() { return (*this)[0]; }
+    T &back() { return (*this)[count - 1]; }
+    const T &front() const { return (*this)[0]; }
+    const T &back() const { return (*this)[count - 1]; }
+
+    /** Destroy all elements; spill capacity is kept for reuse. */
+    void
+    clear()
+    {
+        destroyAll();
+        count = 0;
+    }
+
+    /** Ensure capacity for at least @a n elements. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap)
+            grow(n);
+    }
+
+    void
+    push_back(const T &v)
+    {
+        emplace_back(v);
+    }
+
+    void
+    push_back(T &&v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (count == cap)
+            grow(cap * 2);
+        T *p = ::new (static_cast<void *>(elems + count))
+            T(std::forward<Args>(args)...);
+        ++count;
+        return *p;
+    }
+
+    void
+    pop_back()
+    {
+        ELFSIM_ASSERT(count > 0, "pop_back on empty InlineVec");
+        --count;
+        elems[count].~T();
+    }
+
+  private:
+    T *inlinePtr() { return reinterpret_cast<T *>(inlineStorage); }
+
+    void
+    destroyAll()
+    {
+        if constexpr (!std::is_trivially_destructible_v<T>) {
+            for (std::size_t i = 0; i < count; ++i)
+                elems[i].~T();
+        }
+    }
+
+    void
+    grow(std::size_t newCap)
+    {
+        if (newCap < cap * 2)
+            newCap = cap * 2;
+        T *fresh = static_cast<T *>(
+            ::operator new(newCap * sizeof(T), std::align_val_t{alignof(T)}));
+        for (std::size_t i = 0; i < count; ++i) {
+            ::new (static_cast<void *>(fresh + i)) T(std::move(elems[i]));
+            elems[i].~T();
+        }
+        if (elems != inlinePtr())
+            ::operator delete(elems, std::align_val_t{alignof(T)});
+        elems = fresh;
+        cap = newCap;
+    }
+
+    alignas(T) unsigned char inlineStorage[N * sizeof(T)];
+    T *elems = inlinePtr();
+    std::size_t cap = N;
+    std::size_t count = 0;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_COMMON_INLINE_VEC_HH

@@ -72,6 +72,12 @@ class BoundedQueue
         ELFSIM_ASSERT(!empty(), "back of empty");
         return buf[(head + count - 1) % cap];
     }
+    const T &
+    back() const
+    {
+        ELFSIM_ASSERT(!empty(), "back of empty");
+        return buf[(head + count - 1) % cap];
+    }
 
     /** Element i positions from the front (0 = oldest). */
     T &
@@ -85,6 +91,83 @@ class BoundedQueue
     {
         ELFSIM_ASSERT(i < count, "queue index out of range");
         return buf[(head + i) % cap];
+    }
+
+    /**
+     * Buffer position of the element @a i positions from the front.
+     * Unlike front-relative indices, a buffer position is *stable*
+     * for an element's whole residency: pops at the front do not move
+     * it. A position is only reused after its element leaves the
+     * queue, so holders of a position must re-validate identity (e.g.
+     * by sequence number) before trusting the slot.
+     */
+    std::size_t
+    posOf(std::size_t i) const
+    {
+        ELFSIM_ASSERT(i < count, "queue index out of range");
+        return (head + i) % cap;
+    }
+
+    /** Direct access by buffer position (see posOf). */
+    T &atPos(std::size_t pos) { return buf[pos]; }
+    const T &atPos(std::size_t pos) const { return buf[pos]; }
+
+    /** Push a new youngest element and return its buffer position. */
+    std::size_t
+    pushPos(T v)
+    {
+        ELFSIM_ASSERT(!full(), "push to full queue");
+        const std::size_t pos = (head + count) % cap;
+        buf[pos] = std::move(v);
+        ++count;
+        return pos;
+    }
+
+    /** Drop the oldest element without moving it out. */
+    void
+    dropFront()
+    {
+        ELFSIM_ASSERT(!empty(), "dropFront on empty queue");
+        head = (head + 1) % cap;
+        --count;
+    }
+
+    /** Visit every element front-to-back without per-step modulo. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        std::size_t pos = head;
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(buf[pos]);
+            if (++pos == cap)
+                pos = 0;
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::size_t pos = head;
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(buf[pos]);
+            if (++pos == cap)
+                pos = 0;
+        }
+    }
+
+    /** Visit every element front-to-back as (element, position). */
+    template <typename Fn>
+    void
+    forEachPos(Fn &&fn)
+    {
+        std::size_t pos = head;
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(buf[pos], pos);
+            if (++pos == cap)
+                pos = 0;
+        }
     }
 
     /** Remove all elements. */
@@ -109,6 +192,29 @@ class BoundedQueue
     std::size_t head = 0;
     std::size_t count = 0;
 };
+
+/**
+ * Binary search a queue whose elements carry an ascending `seq`
+ * member (pipeline buffers are filled in fetch order). Replaces the
+ * linear scans the fetch-buffer/ROB lookups used to do.
+ * @return the element with that seq, or nullptr.
+ */
+template <typename T, typename Seq>
+T *
+findSeqInQueue(BoundedQueue<T> &q, Seq seq)
+{
+    std::size_t lo = 0, hi = q.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (q.at(mid).seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < q.size() && q.at(lo).seq == seq)
+        return &q.at(lo);
+    return nullptr;
+}
 
 } // namespace elfsim
 

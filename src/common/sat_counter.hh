@@ -15,6 +15,12 @@ namespace elfsim {
 /**
  * An n-bit saturating counter. The counter saturates at 0 and
  * (2^bits - 1). For direction prediction the MSB is the taken bit.
+ *
+ * Stored as two 16-bit halves (4 bytes total) so the large predictor
+ * tables that embed one counter per entry stay cache-dense, and
+ * updated branchlessly: the saturation clamp compiles to a compare
+ * and an add, with no data-dependent branch for the predictor's
+ * essentially random taken/not-taken stream to mispredict on.
  */
 class SatCounter
 {
@@ -26,7 +32,8 @@ class SatCounter
      * @param initial Initial counter value.
      */
     explicit SatCounter(unsigned bits, unsigned initial = 0)
-        : maxVal((1u << bits) - 1), value(initial)
+        : maxVal(std::uint16_t((1u << bits) - 1)),
+          value(std::uint16_t(initial))
     {
         ELFSIM_ASSERT(bits >= 1 && bits <= 16, "bad counter width");
         ELFSIM_ASSERT(initial <= maxVal, "initial value out of range");
@@ -36,26 +43,23 @@ class SatCounter
     void
     increment()
     {
-        if (value < maxVal)
-            ++value;
+        value += std::uint16_t(value < maxVal);
     }
 
     /** Decrement, saturating at zero. */
     void
     decrement()
     {
-        if (value > 0)
-            --value;
+        value -= std::uint16_t(value > 0);
     }
 
     /** Move the counter towards taken (true) or not-taken (false). */
     void
     update(bool taken)
     {
-        if (taken)
-            increment();
-        else
-            decrement();
+        const std::uint16_t up = std::uint16_t(taken && value < maxVal);
+        const std::uint16_t dn = std::uint16_t(!taken && value > 0);
+        value = std::uint16_t(value + up - dn);
     }
 
     /** @return true iff the MSB is set (predict taken). */
@@ -78,7 +82,7 @@ class SatCounter
     void
     set(unsigned v)
     {
-        value = v > maxVal ? maxVal : v;
+        value = v > maxVal ? maxVal : std::uint16_t(v);
     }
 
     /** Reset to the weakly-not-taken midpoint. */
@@ -88,8 +92,8 @@ class SatCounter
     unsigned max() const { return maxVal; }
 
   private:
-    unsigned maxVal = 3;
-    unsigned value = 0;
+    std::uint16_t maxVal = 3;
+    std::uint16_t value = 0;
 };
 
 } // namespace elfsim

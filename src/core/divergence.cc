@@ -5,16 +5,18 @@
 namespace elfsim {
 
 DivergenceTracker::DivergenceTracker(const DivergenceParams &params)
-    : params(params)
+    : params(params), coupled(params.vecEntries),
+      decoupled(params.vecEntries)
 {
 }
 
 unsigned
-DivergenceTracker::takenCount(const std::deque<Record> &q) const
+DivergenceTracker::takenCount(const BoundedQueue<Record> &q) const
 {
     unsigned n = 0;
-    for (const Record &r : q)
+    q.forEach([&n](const Record &r) {
         n += (r.isBranch && r.taken) ? 1 : 0;
+    });
     return n;
 }
 
@@ -44,7 +46,7 @@ DivergenceTracker::recordCoupled(const DynInst &di)
     r.seq = di.seq;
     r.oracleIdx = di.oracleIdx;
     r.wrongPath = di.wrongPath;
-    coupled.push_back(r);
+    coupled.push(r);
 }
 
 void
@@ -64,7 +66,7 @@ DivergenceTracker::recordDecoupled(bool is_branch, bool taken,
     r.nextPC = next_pc;
     r.tp = tp;
     r.ip = ip;
-    decoupled.push_back(r);
+    decoupled.push(r);
 }
 
 std::optional<Divergence>
@@ -115,8 +117,8 @@ DivergenceTracker::compare(std::vector<Divergence> &adoptions)
             adopt.patchFromMiss = !d.isBranch;
             if (adopt.patchSurvivor)
                 adoptions.push_back(adopt);
-            coupled.pop_front();
-            decoupled.pop_front();
+            coupled.dropFront();
+            decoupled.dropFront();
             continue;
         }
 
@@ -128,8 +130,8 @@ DivergenceTracker::compare(std::vector<Divergence> &adoptions)
             !(c.taken && d.taken) || c.nextPC == d.nextPC;
 
         if (takenMatch && targetsMatch) {
-            coupled.pop_front();
-            decoupled.pop_front();
+            coupled.dropFront();
+            decoupled.dropFront();
             continue;
         }
 

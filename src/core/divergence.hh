@@ -19,9 +19,9 @@
 #ifndef ELFSIM_CORE_DIVERGENCE_HH
 #define ELFSIM_CORE_DIVERGENCE_HH
 
-#include <deque>
 #include <optional>
 
+#include "common/queue.hh"
 #include "common/types.hh"
 #include "frontend/pipeline_types.hh"
 
@@ -131,11 +131,13 @@ class DivergenceTracker
         IttagePrediction ip{};    ///< decoupled side only
     };
 
-    unsigned takenCount(const std::deque<Record> &q) const;
+    unsigned takenCount(const BoundedQueue<Record> &q) const;
 
     DivergenceParams params;
-    std::deque<Record> coupled;
-    std::deque<Record> decoupled;
+    // Fixed rings sized to vecEntries: record traffic is constant in
+    // steady state, so a deque would churn heap blocks every cycle.
+    BoundedQueue<Record> coupled;
+    BoundedQueue<Record> decoupled;
     std::uint64_t bitvecDivs = 0;
     std::uint64_t targetDivs = 0;
 };

@@ -12,7 +12,9 @@ ElfController::ElfController(const ElfControllerParams &params,
                              PredictorBank &bank, MultiBtb &btb)
     : params(params), mem(mem), supply(supply), faq(faq), ckpts(ckpts),
       bank(bank), coupledPreds(params.coupledPreds),
-      divTracker(params.divergence)
+      divTracker(params.divergence),
+      prefetchInflight(params.maxInstPrefetch ? params.maxInstPrefetch
+                                              : 1)
 {
     if (params.variant == FrontendVariant::NoDcf) {
         policy = std::make_unique<NoDcfPolicy>(bank);
@@ -99,7 +101,7 @@ ElfController::patchFromFaq(const FaqEntry &e, unsigned offset,
                      int(e.fromBtbMiss), e.numInsts);
 #endif
     }
-    patches.push_back(p);
+    patchList.push_back(p);
 }
 
 void
@@ -185,7 +187,7 @@ ElfController::processFaqWhileCoupled(Cycle now)
 }
 
 unsigned
-ElfController::fetchTick(Cycle now, std::vector<DynInst> &out,
+ElfController::fetchTick(Cycle now, FetchBundle &out,
                          Redirect &redirect, bool can_fetch)
 {
     const std::size_t before = out.size();
@@ -239,9 +241,9 @@ ElfController::fetchTick(Cycle now, std::vector<DynInst> &out,
     // Divergence detection (runs during coupled mode and while the
     // last coupled instructions drain through decode). Stalled
     // branches adopt the DCF's prediction without flushing.
-    std::vector<Divergence> adoptions;
-    const auto div = divTracker.compare(adoptions);
-    for (const Divergence &a : adoptions) {
+    adoptScratch.clear();
+    const auto div = divTracker.compare(adoptScratch);
+    for (const Divergence &a : adoptScratch) {
         PredPatch p;
         p.seq = a.survivorSeq;
         p.taken = a.patchTaken;
@@ -251,7 +253,7 @@ ElfController::fetchTick(Cycle now, std::vector<DynInst> &out,
         p.clearStall = true;
         p.historyPushed = a.patchFromSlot;
         p.fromBtbMiss = a.patchFromMiss;
-        patches.push_back(p);
+        patchList.push_back(p);
     }
     if (!div && drainComplete) {
         // Every coupled instruction decoded and compared clean: the
@@ -278,7 +280,7 @@ ElfController::fetchTick(Cycle now, std::vector<DynInst> &out,
             p.ittage = div->patchIttage;
             p.clearStall = true;
             p.historyPushed = div->patchFromSlot;
-            patches.push_back(p);
+            patchList.push_back(p);
         }
     }
     return n;
@@ -356,7 +358,7 @@ ElfController::prefetchTick(Cycle now, bool fetch_was_idle)
     if (!fetch_was_idle)
         return;
     while (!prefetchInflight.empty() && prefetchInflight.front() <= now)
-        prefetchInflight.pop_front();
+        prefetchInflight.pop();
     if (prefetchInflight.size() >= params.maxInstPrefetch)
         return;
 
@@ -366,27 +368,11 @@ ElfController::prefetchTick(Cycle now, bool fetch_was_idle)
         const FaqEntry &e = faq.at(i);
         if (!mem.l0i().present(e.startPC)) {
             mem.prefetchInst(e.startPC, now);
-            prefetchInflight.push_back(now + 8);
+            prefetchInflight.push(now + 8);
             ++st.instPrefetches;
             return;
         }
     }
-}
-
-std::vector<PredPatch>
-ElfController::takePatches()
-{
-    std::vector<PredPatch> out;
-    out.swap(patches);
-    return out;
-}
-
-std::vector<std::pair<SeqNum, bool>>
-ElfController::takeVisibilityFixes()
-{
-    std::vector<std::pair<SeqNum, bool>> out;
-    out.swap(visFixes);
-    return out;
 }
 
 } // namespace elfsim

@@ -19,10 +19,11 @@
 #ifndef ELFSIM_CORE_ELF_CONTROLLER_HH
 #define ELFSIM_CORE_ELF_CONTROLLER_HH
 
-#include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/queue.hh"
 #include "core/coupled_predictors.hh"
 #include "core/divergence.hh"
 #include "core/variant.hh"
@@ -105,7 +106,7 @@ class ElfController : public DecodeObserver
      * request is merged into @a redirect.
      * @return instructions fetched.
      */
-    unsigned fetchTick(Cycle now, std::vector<DynInst> &out,
+    unsigned fetchTick(Cycle now, FetchBundle &out,
                        Redirect &redirect, bool can_fetch = true);
 
     /** DecodeObserver: decode-side counts/records. */
@@ -122,17 +123,28 @@ class ElfController : public DecodeObserver
     /** FAQ-directed instruction prefetch on idle L0I cycles. */
     void prefetchTick(Cycle now, bool fetch_was_idle);
 
-    /** Drain prediction patches for the core to apply. */
-    std::vector<PredPatch> takePatches();
+    /**
+     * Prediction patches for the core to apply, then discard with
+     * clearPatches(). The drain is split into a read and a clear (no
+     * move-out) so the vector's capacity is reused cycle after cycle
+     * instead of reallocated.
+     */
+    const std::vector<PredPatch> &patches() const { return patchList; }
+    void clearPatches() { patchList.clear(); }
 
     /**
-     * Drain history-visibility fixes: (seq, covered) pairs telling
-     * the core whether the catching-up DCF actually saw each
-     * coupled-fetched branch in a BTB slot. The speculative and
-     * architectural history streams must record exactly the same
-     * per-instance bits, and only the FAQ knows the truth.
+     * History-visibility fixes: (seq, covered) pairs telling the core
+     * whether the catching-up DCF actually saw each coupled-fetched
+     * branch in a BTB slot. The speculative and architectural history
+     * streams must record exactly the same per-instance bits, and
+     * only the FAQ knows the truth. Read, then clearVisibilityFixes().
      */
-    std::vector<std::pair<SeqNum, bool>> takeVisibilityFixes();
+    const std::vector<std::pair<SeqNum, bool>> &
+    visibilityFixes() const
+    {
+        return visFixes;
+    }
+    void clearVisibilityFixes() { visFixes.clear(); }
 
     FetchMode mode() const { return curMode; }
     FrontendVariant variant() const { return params.variant; }
@@ -189,11 +201,14 @@ class ElfController : public DecodeObserver
     Addr stalledPC = invalidAddr;
     std::uint64_t stalledPos = 0;
 
-    std::vector<PredPatch> patches;
+    std::vector<PredPatch> patchList;
     std::vector<std::pair<SeqNum, bool>> visFixes;
 
+    /** Scratch for divergence comparison, reused every fetchTick. */
+    std::vector<Divergence> adoptScratch;
+
     /** In-flight FAQ-directed prefetch completion times. */
-    std::deque<Cycle> prefetchInflight;
+    BoundedQueue<Cycle> prefetchInflight;
 
     ElfStats st;
 };

@@ -56,7 +56,7 @@ CoupledFetchEngine::resumeAt(Addr pc, Cycle now)
 }
 
 unsigned
-CoupledFetchEngine::tick(Cycle now, std::vector<DynInst> &out)
+CoupledFetchEngine::tick(Cycle now, FetchBundle &out)
 {
     if (!active() || stalledControl)
         return 0;

@@ -111,7 +111,7 @@ class CoupledFetchEngine
      * Fetch up to width instructions into @a out.
      * @return instructions fetched (0 when stalled/inactive).
      */
-    unsigned tick(Cycle now, std::vector<DynInst> &out);
+    unsigned tick(Cycle now, FetchBundle &out);
 
     const CoupledStats &stats() const { return st; }
 

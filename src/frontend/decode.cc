@@ -114,7 +114,7 @@ DecodeStage::recoverMisfetch(Cycle now, DynInst &di, Redirect &resteer)
 
 unsigned
 DecodeStage::tick(Cycle now, BoundedQueue<DynInst> &in,
-                  std::vector<DynInst> &out, Redirect &resteer)
+                  FetchBundle &out, Redirect &resteer)
 {
     unsigned decoded = 0;
     while (decoded < width && !in.empty() &&

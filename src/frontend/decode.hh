@@ -57,7 +57,7 @@ class DecodeStage
      * @return instructions decoded.
      */
     unsigned tick(Cycle now, BoundedQueue<DynInst> &in,
-                  std::vector<DynInst> &out, Redirect &resteer);
+                  FetchBundle &out, Redirect &resteer);
 
     /** Attach the ELF observer (may be nullptr). */
     void setObserver(DecodeObserver *obs) { observer = obs; }

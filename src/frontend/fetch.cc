@@ -62,7 +62,7 @@ bindPrediction(DynInst &di, const FaqBranch *fb, bool btb_covered)
 
 unsigned
 DecoupledFetchEngine::tick(Cycle now, Cycle faq_ready_cycle,
-                           std::vector<DynInst> &out)
+                           FetchBundle &out)
 {
     if (now < busyUntil) {
         ++st.icacheStallCycles;

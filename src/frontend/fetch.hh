@@ -58,7 +58,7 @@ class DecoupledFetchEngine
      * @return instructions fetched this cycle.
      */
     unsigned tick(Cycle now, Cycle faq_ready_cycle,
-                  std::vector<DynInst> &out);
+                  FetchBundle &out);
 
     /** Reset in-entry progress after a redirect/FAQ flush. */
     void redirect(Cycle now);

@@ -79,36 +79,29 @@ Core::findInFlight(SeqNum seq)
     return backendUnit->findInFlightMutable(seq);
 }
 
+DynInst *
+Core::findAnywhere(SeqNum seq)
+{
+    if (DynInst *di = findInFlight(seq))
+        return di;
+    // Still in the fetch-to-decode buffer?
+    return findSeqInQueue(*fetchToDecode, seq);
+}
+
 void
 Core::applyPatches(Redirect &redirect, Cycle now)
 {
     // History-visibility corrections first: the prediction patches
     // below carry their own (consistent) coverage flag.
-    for (const auto &[seq, covered] : controller->takeVisibilityFixes()) {
-        DynInst *di = findInFlight(seq);
-        if (!di) {
-            for (std::size_t i = 0; i < fetchToDecode->size(); ++i) {
-                if (fetchToDecode->at(i).seq == seq) {
-                    di = &fetchToDecode->at(i);
-                    break;
-                }
-            }
-        }
+    for (const auto &[seq, covered] : controller->visibilityFixes()) {
+        DynInst *di = findAnywhere(seq);
         if (di && di->isBranch() && di->mode == FetchMode::Coupled)
             di->historyPushed = covered;
     }
+    controller->clearVisibilityFixes();
 
-    for (const PredPatch &p : controller->takePatches()) {
-        DynInst *di = findInFlight(p.seq);
-        if (!di) {
-            // Still in the fetch-to-decode buffer?
-            for (std::size_t i = 0; i < fetchToDecode->size(); ++i) {
-                if (fetchToDecode->at(i).seq == p.seq) {
-                    di = &fetchToDecode->at(i);
-                    break;
-                }
-            }
-        }
+    for (const PredPatch &p : controller->patches()) {
+        DynInst *di = findAnywhere(p.seq);
         if (!di)
             continue; // squashed meanwhile
 #ifdef ELFSIM_TRACE_SEQ
@@ -162,6 +155,7 @@ Core::applyPatches(Redirect &redirect, Cycle now)
             mergeRedirect(redirect, req);
         }
     }
+    controller->clearPatches();
 }
 
 void
@@ -308,7 +302,8 @@ Core::tick()
 
     // Decode (gated by back-end capacity).
     if (backendUnit->canAccept(cfg.fetch.width)) {
-        std::vector<DynInst> decoded;
+        FetchBundle &decoded = decodedScratch;
+        decoded.clear();
         Redirect resteer;
         decodeStage->tick(now, *fetchToDecode, decoded, resteer);
         for (DynInst &di : decoded)
@@ -323,7 +318,8 @@ Core::tick()
     {
         const bool canFetch =
             fetchToDecode->freeSlots() >= cfg.fetch.width;
-        std::vector<DynInst> fresh;
+        FetchBundle &fresh = freshScratch;
+        fresh.clear();
         fetched = controller->fetchTick(now, fresh, redirect, canFetch);
         for (DynInst &di : fresh) {
             // ELF coupled-mode instances: the catching-up DCF will

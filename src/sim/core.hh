@@ -108,6 +108,9 @@ class Core
     void applyPatches(Redirect &redirect, Cycle now);
     bool historyVisible(const StaticInst &si) const;
     DynInst *findInFlight(SeqNum seq);
+    /** findInFlight, falling back to the fetch-to-decode buffer
+     *  (binary search — both structures are seq-ordered). */
+    DynInst *findAnywhere(SeqNum seq);
     void replayHistory(const Redirect &r);
     void onCommit(const DynInst &di);
 
@@ -129,6 +132,11 @@ class Core
     std::unique_ptr<Backend> backendUnit;
 
     std::unique_ptr<BoundedQueue<DynInst>> fetchToDecode;
+
+    /** Per-cycle scratch bundles, reused across ticks so the tick
+     *  loop performs no steady-state heap allocation. */
+    FetchBundle decodedScratch;
+    FetchBundle freshScratch;
 
     /** A flush waiting for its checkpoint payload (ELF). */
     Redirect heldRedirect;

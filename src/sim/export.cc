@@ -128,6 +128,47 @@ writeResultsCsv(std::ostream &os, const std::vector<RunResult> &results)
 }
 
 void
+writeThroughputJson(std::ostream &os,
+                    const std::vector<RunResult> &results,
+                    const std::vector<double> &job_seconds,
+                    const SweepTiming &timing)
+{
+    ELFSIM_ASSERT(results.size() == job_seconds.size(),
+                  "throughput export needs one wall-clock per result");
+    std::vector<double> mips;
+    mips.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const double s = job_seconds[i];
+        mips.push_back(s > 0 ? double(results[i].insts) / s / 1e6 : 0);
+    }
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "elfsim-throughput-v1");
+    w.key("timing");
+    writeTiming(w, timing);
+    w.field("geomean_mips", geomean(mips));
+    w.key("throughput");
+    w.beginArray();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        const double s = job_seconds[i];
+        w.beginObject();
+        w.field("workload", std::string_view(r.workload));
+        w.field("variant", std::string_view(r.variant));
+        w.field("wall_seconds", s);
+        w.field("sim_insts", std::uint64_t(r.insts));
+        w.field("sim_cycles", std::uint64_t(r.cycles));
+        w.field("mips", mips[i]);
+        w.field("cycles_per_host_us",
+                s > 0 ? double(r.cycles) / s / 1e6 : 0);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
 writeTimelineCsv(std::ostream &os, const std::vector<RunResult> &results)
 {
     CsvWriter w(os);

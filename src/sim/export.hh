@@ -59,6 +59,29 @@ void writeResultsCsv(std::ostream &os,
 void writeTimelineCsv(std::ostream &os,
                       const std::vector<RunResult> &results);
 
+/**
+ * Serialize a simulator-throughput measurement as an
+ * elfsim-throughput-v1 document (validated by
+ * scripts/check_results.py --throughput):
+ *
+ *   {
+ *     "schema": "elfsim-throughput-v1",
+ *     "timing": { ... SweepTiming ... },
+ *     "geomean_mips": G,
+ *     "throughput": [
+ *       { "workload": ..., "variant": ..., "wall_seconds": ...,
+ *         "sim_insts": ..., "sim_cycles": ..., "mips": ...,
+ *         "cycles_per_host_us": ... }, ...
+ *     ]
+ *   }
+ *
+ * @a job_seconds must parallel @a results (SweepRunner::perJobSeconds).
+ */
+void writeThroughputJson(std::ostream &os,
+                         const std::vector<RunResult> &results,
+                         const std::vector<double> &job_seconds,
+                         const SweepTiming &timing);
+
 } // namespace elfsim
 
 #endif // ELFSIM_SIM_EXPORT_HH

@@ -97,6 +97,14 @@ class SweepRunner
     const std::vector<RunResult> &results() const { return lastResults; }
 
     /**
+     * Per-job wall-clock seconds of the most recent run(), in
+     * submission order (parallel to results()). This is what the
+     * throughput benchmark divides simulated instructions by to get
+     * per-job simulated MIPS.
+     */
+    const std::vector<double> &perJobSeconds() const { return jobSeconds; }
+
+    /**
      * Write the last run's results + timing as an elfsim-results-v1
      * JSON document (sim/export.hh). The "results" portion depends
      * only on the simulated grid, never on thread count; "timing" is

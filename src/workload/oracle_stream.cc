@@ -3,11 +3,15 @@
 namespace elfsim {
 
 OracleStream::OracleStream(const Program &prog, std::size_t window_cap)
-    : prog(prog), windowCap(window_cap), pc(prog.entryPC()),
+    : prog(prog), windowCap(window_cap), window(window_cap),
+      pc(prog.entryPC()),
       condCount(prog.behaviors().numConds(), 0),
       indCount(prog.behaviors().numIndirects(), 0),
       memCount(prog.behaviors().numMems(), 0)
 {
+    // The call stack is capped at maxCallDepth; pre-sizing it keeps
+    // deep call chains from growing the vector mid-simulation.
+    callStack.reserve(maxCallDepth);
 }
 
 const OracleInst &
@@ -18,14 +22,14 @@ OracleStream::at(SeqNum idx)
                   (unsigned long long)idx, (unsigned long long)baseIdx);
     while (idx >= baseIdx + window.size())
         generateOne();
-    return window[idx - baseIdx];
+    return window.at(idx - baseIdx);
 }
 
 void
 OracleStream::retireUpTo(SeqNum idx)
 {
     while (!window.empty() && baseIdx <= idx) {
-        window.pop_front();
+        window.dropFront();
         ++baseIdx;
     }
     if (window.empty() && baseIdx <= idx)
@@ -101,7 +105,7 @@ OracleStream::generateOne()
     }
 
     oi.nextPC = next;
-    window.push_back(oi);
+    window.push(oi);
     pc = next;
 }
 

@@ -20,10 +20,10 @@
 #define ELFSIM_WORKLOAD_ORACLE_STREAM_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/queue.hh"
 #include "common/types.hh"
 #include "workload/program.hh"
 
@@ -84,7 +84,8 @@ class OracleStream
 
     const Program &prog;
     std::size_t windowCap;
-    std::deque<OracleInst> window;
+    /** Ring buffer of the in-flight window (no steady-state heap). */
+    BoundedQueue<OracleInst> window;
     SeqNum baseIdx = 1;
 
     Addr pc;

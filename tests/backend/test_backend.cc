@@ -282,3 +282,48 @@ TEST(Backend, CoupledCommitCounted)
     r.run(cycle, 20);
     EXPECT_EQ(r.be.stats().coupledCommitted, 1u);
 }
+
+TEST(Backend, SeqSlotIndexSurvivesSquashAndRingWraparound)
+{
+    // Small ROB so the ring position counter wraps several times; the
+    // stable-position seq index handed to the IQ/LSQ must keep
+    // re-validating slot seqs across squashes and wraps.
+    BackendParams bp;
+    bp.robEntries = 8;
+    bp.iqEntries = 8;
+    bp.lsqEntries = 8;
+    Rig r(independentProgram(16), bp);
+    Cycle cycle = 0;
+
+    // Fill partway, then squash the younger half before anything
+    // commits: seqs 4..6 vanish, 1..3 survive.
+    for (unsigned i = 0; i < 6; ++i)
+        r.be.accept(r.makeInst(&r.prog.instructions()[i]), cycle);
+    EXPECT_EQ(r.be.robSize(), 6u);
+    r.be.squashYoungerThan(3);
+    EXPECT_EQ(r.be.robSize(), 3u);
+    ASSERT_NE(r.be.findInFlightMutable(2), nullptr);
+    EXPECT_EQ(r.be.findInFlightMutable(2)->seq, 2u);
+    EXPECT_EQ(r.be.findInFlightMutable(5), nullptr);
+
+    // Refill while draining so the 8-entry ring wraps ~5 times.
+    unsigned fed = 0;
+    while (r.committed.size() < 40 && cycle < 2000) {
+        if (fed < 37 && r.be.canAccept(1)) {
+            r.be.accept(
+                r.makeInst(&r.prog.instructions()[fed % 16]), cycle);
+            ++fed;
+        }
+        r.run(cycle, 1);
+    }
+    ASSERT_EQ(r.committed.size(), 40u);
+
+    // Strictly increasing seqs, and no squashed seq ever commits.
+    SeqNum prev = 0;
+    for (const DynInst &di : r.committed) {
+        EXPECT_GT(di.seq, prev);
+        EXPECT_TRUE(di.seq <= 3 || di.seq >= 7) << di.seq;
+        prev = di.seq;
+    }
+    EXPECT_TRUE(r.be.empty());
+}

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/inline_vec.hh"
+
+using namespace elfsim;
+
+namespace {
+
+/** True iff @a p points inside the object footprint of @a v. */
+template <typename V>
+bool
+pointsInside(const V &v, const void *p)
+{
+    const char *lo = reinterpret_cast<const char *>(&v);
+    return p >= lo && p < lo + sizeof(V);
+}
+
+TEST(InlineVec, StartsInlineWithFullInlineCapacity)
+{
+    InlineVec<int, 8> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.capacity(), 8u);
+    EXPECT_TRUE(pointsInside(v, v.data()));
+
+    for (int i = 0; i < 8; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 8u);
+    EXPECT_EQ(v.capacity(), 8u);
+    EXPECT_TRUE(pointsInside(v, v.data()));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(v[std::size_t(i)], i);
+}
+
+TEST(InlineVec, GrowthPastInlineCapacitySpillsAndPreserves)
+{
+    InlineVec<int, 8> v;
+    for (int i = 0; i < 20; ++i)
+        v.push_back(i * 3);
+    EXPECT_EQ(v.size(), 20u);
+    EXPECT_GE(v.capacity(), 20u);
+    EXPECT_FALSE(pointsInside(v, v.data()));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(v[std::size_t(i)], i * 3);
+    EXPECT_EQ(v.front(), 0);
+    EXPECT_EQ(v.back(), 57);
+}
+
+TEST(InlineVec, ClearRetainsSpillCapacity)
+{
+    InlineVec<int, 8> v;
+    for (int i = 0; i < 20; ++i)
+        v.push_back(i);
+    const std::size_t grown = v.capacity();
+    const int *spill = v.data();
+
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), grown);
+    EXPECT_EQ(v.data(), spill);
+
+    // Refilling to the old high-water mark must not reallocate.
+    for (int i = 0; i < 20; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.capacity(), grown);
+    EXPECT_EQ(v.data(), spill);
+}
+
+TEST(InlineVec, ReserveAndPopBack)
+{
+    InlineVec<int, 4> v;
+    v.reserve(2);  // below inline capacity: no-op
+    EXPECT_EQ(v.capacity(), 4u);
+    v.reserve(50);
+    EXPECT_GE(v.capacity(), 50u);
+    EXPECT_TRUE(v.empty());
+
+    v.push_back(1);
+    v.push_back(2);
+    v.pop_back();
+    EXPECT_EQ(v.size(), 1u);
+    EXPECT_EQ(v.back(), 1);
+}
+
+TEST(InlineVec, MoveOnlyElementsSurviveGrowth)
+{
+    InlineVec<std::unique_ptr<int>, 2> v;
+    for (int i = 0; i < 10; ++i)
+        v.emplace_back(std::make_unique<int>(i));
+    ASSERT_EQ(v.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_NE(v[std::size_t(i)], nullptr);
+        EXPECT_EQ(*v[std::size_t(i)], i);
+    }
+}
+
+struct Counted
+{
+    static int live;
+    int tag;
+    explicit Counted(int t) : tag(t) { ++live; }
+    Counted(Counted &&o) noexcept : tag(o.tag) { ++live; }
+    ~Counted() { --live; }
+};
+int Counted::live = 0;
+
+TEST(InlineVec, DestroysEveryElementExactlyOnce)
+{
+    {
+        InlineVec<Counted, 2> v;
+        for (int i = 0; i < 9; ++i)
+            v.emplace_back(i);
+        EXPECT_EQ(Counted::live, 9);
+        v.pop_back();
+        EXPECT_EQ(Counted::live, 8);
+        v.clear();
+        EXPECT_EQ(Counted::live, 0);
+        for (int i = 0; i < 3; ++i)
+            v.emplace_back(i);
+        EXPECT_EQ(Counted::live, 3);
+    }
+    EXPECT_EQ(Counted::live, 0);
+}
+
+} // namespace

@@ -43,7 +43,7 @@ TEST(CoupledEngine, FetchesSequentialUntilDecision)
     // L-ELF: pure sequential run ending at the loop conditional.
     Rig r(microSequentialLoop(20, 8), FrontendVariant::LElf);
     r.eng.start(r.prog.entryPC(), 399);
-    std::vector<DynInst> out;
+    FetchBundle out;
     for (Cycle c = 400; c < 410 && !r.eng.stalledOnControl(); ++c)
         r.eng.tick(c, out);
     ASSERT_TRUE(r.eng.stalledOnControl());
@@ -62,7 +62,7 @@ TEST(CoupledEngine, FollowsUnconditionalsWithBubble)
     for (unsigned i = 0; i < 4; ++i)
         r.mem.prefetchInst(r.prog.entryPC() + 64 * i, 0);
     r.eng.start(r.prog.entryPC(), 399);
-    std::vector<DynInst> out;
+    FetchBundle out;
     for (Cycle c = 400; c < 420; ++c)
         r.eng.tick(c, out);
     EXPECT_FALSE(r.eng.stalledOnControl());
@@ -88,7 +88,7 @@ TEST(CoupledEngine, UElfSpeculatesPastSaturatedCond)
         r.preds.bimodal().update(cond->pc, true);
 
     r.eng.start(r.prog.entryPC(), 399);
-    std::vector<DynInst> out;
+    FetchBundle out;
     for (Cycle c = 400; c < 412; ++c)
         r.eng.tick(c, out);
     EXPECT_FALSE(r.eng.stalledOnControl());
@@ -99,7 +99,7 @@ TEST(CoupledEngine, ChecksStallOnReturnWithoutRas)
 {
     Rig r(microRecursion(6, 4), FrontendVariant::CondElf);
     r.eng.start(r.prog.entryPC(), 399);
-    std::vector<DynInst> out;
+    FetchBundle out;
     for (Cycle c = 400; c < 430 && !r.eng.stalledOnControl(); ++c)
         r.eng.tick(c, out);
     // COND-ELF has no RAS: the first return (or the recursion guard
@@ -111,7 +111,7 @@ TEST(CoupledEngine, StopDeactivates)
 {
     Rig r(microSequentialLoop(20, 8), FrontendVariant::LElf);
     r.eng.start(r.prog.entryPC(), 399);
-    std::vector<DynInst> out;
+    FetchBundle out;
     r.eng.tick(400, out);
     r.eng.stop();
     EXPECT_FALSE(r.eng.active());
@@ -124,7 +124,7 @@ TEST(CoupledEngine, ResumeAtClearsStall)
 {
     Rig r(microSequentialLoop(20, 8), FrontendVariant::LElf);
     r.eng.start(r.prog.entryPC(), 399);
-    std::vector<DynInst> out;
+    FetchBundle out;
     for (Cycle c = 400; c < 410 && !r.eng.stalledOnControl(); ++c)
         r.eng.tick(c, out);
     ASSERT_TRUE(r.eng.stalledOnControl());
@@ -139,7 +139,7 @@ TEST(CoupledEngine, BranchesClaimPendingCheckpoints)
 {
     Rig r(microTakenChain(4, 6), FrontendVariant::LElf);
     r.eng.start(r.prog.entryPC(), 399);
-    std::vector<DynInst> out;
+    FetchBundle out;
     r.eng.tick(400, out);
     bool sawBranch = false;
     for (const DynInst &di : out) {

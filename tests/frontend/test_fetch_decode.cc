@@ -56,7 +56,7 @@ TEST(FetchEngine, FetchesWidthFromOneBlock)
     r.mem.prefetchInst(r.prog.entryPC(), 0);
     r.mem.prefetchInst(r.prog.entryPC() + 64, 0);
 
-    std::vector<DynInst> out;
+    FetchBundle out;
     const unsigned n = r.fetch.tick(400, 0, out);
     EXPECT_EQ(n, 8u);
     for (unsigned i = 0; i < n; ++i) {
@@ -70,7 +70,7 @@ TEST(FetchEngine, ColdMissStallsFetch)
 {
     Rig r(microSequentialLoop(40, 16));
     r.pushBlock(r.prog.entryPC(), 16);
-    std::vector<DynInst> out;
+    FetchBundle out;
     EXPECT_EQ(r.fetch.tick(1, 0, out), 0u);
     EXPECT_TRUE(r.fetch.stalled(2));
 }
@@ -80,7 +80,7 @@ TEST(FetchEngine, RespectsFaqVisibilityLatency)
     Rig r(microSequentialLoop(40, 16));
     r.pushBlock(r.prog.entryPC(), 16, /*gen=*/400);
     r.mem.prefetchInst(r.prog.entryPC(), 0); // fill completes ~301
-    std::vector<DynInst> out;
+    FetchBundle out;
     // At cycle 401 the block (gen 400, BP1->FE 3) is not yet visible.
     EXPECT_EQ(r.fetch.tick(401, 3, out), 0u);
     EXPECT_GT(r.fetch.tick(403, 3, out), 0u);
@@ -95,7 +95,7 @@ TEST(FetchEngine, WrongPathLatchesOnDivergentBlock)
     r.pushBlock(r.prog.entryPC(), 16);
     r.mem.prefetchInst(r.prog.entryPC(), 0);
     r.mem.prefetchInst(r.prog.entryPC() + 64, 0);
-    std::vector<DynInst> out;
+    FetchBundle out;
     r.fetch.tick(400, 0, out);
     r.fetch.tick(401, 0, out);
     ASSERT_GE(out.size(), 15u);
@@ -121,7 +121,7 @@ TEST(FetchEngine, MispredictFlaggedAgainstOracle)
     r.faq.push(e);
     r.mem.prefetchInst(r.prog.entryPC(), 0);
 
-    std::vector<DynInst> out;
+    FetchBundle out;
     r.fetch.tick(400, 0, out);
     ASSERT_GE(out.size(), 3u);
     EXPECT_TRUE(out[2].isBranch());
@@ -137,7 +137,7 @@ TEST(FetchEngine, ChecksCheckpointCapacity)
         small.ckpts.allocate(1);
     small.pushBlock(small.prog.entryPC(), 8);
     small.mem.prefetchInst(small.prog.entryPC(), 0);
-    std::vector<DynInst> out;
+    FetchBundle out;
     EXPECT_EQ(small.fetch.tick(300, 0, out), 0u);
 }
 
@@ -153,7 +153,7 @@ TEST(DecodeStage, ResteersOnUncoveredUncond)
     r.faq.front().fromBtbMiss = true;
     r.mem.prefetchInst(r.prog.entryPC(), 0);
     r.mem.prefetchInst(r.prog.entryPC() + 64, 0);
-    std::vector<DynInst> fetched;
+    FetchBundle fetched;
     r.fetch.tick(400, 0, fetched);
     r.fetch.tick(401, 0, fetched);
 
@@ -163,7 +163,7 @@ TEST(DecodeStage, ResteersOnUncoveredUncond)
         buf.push(std::move(di));
     }
 
-    std::vector<DynInst> decoded;
+    FetchBundle decoded;
     Redirect resteer;
     dec.tick(402, buf, decoded, resteer);
     ASSERT_TRUE(resteer.pending());
@@ -196,14 +196,14 @@ TEST(DecodeStage, NoResteerForCoveredBranches)
     r.faq.push(e);
     r.mem.prefetchInst(r.prog.entryPC(), 0);
 
-    std::vector<DynInst> fetched;
+    FetchBundle fetched;
     r.fetch.tick(400, 0, fetched);
     BoundedQueue<DynInst> buf(24);
     for (DynInst &di : fetched) {
         di.readyAt = 401;
         buf.push(std::move(di));
     }
-    std::vector<DynInst> decoded;
+    FetchBundle decoded;
     Redirect resteer;
     dec.tick(401, buf, decoded, resteer);
     EXPECT_FALSE(resteer.pending());

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Steady-state allocation guard for the tick loop.
+ *
+ * This binary replaces the global allocator with a counting one. The
+ * test warms a core up past the point where every reusable buffer
+ * (scratch fetch bundles, ROB/IQ/LSQ storage, predictor tables,
+ * oracle window, patch lists) has reached its high-water mark, then
+ * asserts that continuing to simulate performs ZERO heap allocations.
+ * Runs in its own test binary so the allocator override cannot
+ * perturb any other test.
+ *
+ * If this fails after a change, some per-tick container went back to
+ * allocating: look for a new std::vector/std::deque constructed (or
+ * grown) inside Core::tick's call tree.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/core.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+std::atomic<bool> countingOn{false};
+std::atomic<std::uint64_t> allocCount{0};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (countingOn.load(std::memory_order_relaxed))
+        allocCount.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAlignedAlloc(std::size_t n, std::size_t align)
+{
+    if (countingOn.load(std::memory_order_relaxed))
+        allocCount.fetch_add(1, std::memory_order_relaxed);
+    // aligned_alloc requires the size to be a multiple of alignment.
+    const std::size_t size = (n + align - 1) / align * align;
+    void *p = std::aligned_alloc(align, size ? size : align);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void *
+operator new(std::size_t n, std::align_val_t a)
+{
+    return countedAlignedAlloc(n, std::size_t(a));
+}
+void *
+operator new[](std::size_t n, std::align_val_t a)
+{
+    return countedAlignedAlloc(n, std::size_t(a));
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace elfsim;
+
+TEST(AllocFree, SteadyStateTickLoopDoesNotAllocate)
+{
+    const WorkloadSpec *spec = findWorkload("641.leela");
+    ASSERT_NE(spec, nullptr);
+    const Program prog = buildWorkload(*spec);
+
+    const FrontendVariant variants[] = {FrontendVariant::NoDcf,
+                                        FrontendVariant::Dcf,
+                                        FrontendVariant::UElf};
+    for (FrontendVariant v : variants) {
+        Core core(makeConfig(v), prog);
+        // Warm up: first flushes, spill growth, cache fills all happen
+        // here, bringing every reusable buffer to its high-water mark.
+        core.run(30000);
+
+        allocCount.store(0, std::memory_order_relaxed);
+        countingOn.store(true, std::memory_order_relaxed);
+        core.run(20000);
+        countingOn.store(false, std::memory_order_relaxed);
+
+        EXPECT_EQ(allocCount.load(), 0u)
+            << variantName(v) << ": steady-state ticks allocated";
+    }
+}
+
+} // namespace
