@@ -98,6 +98,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(opt.jobs);
+    bench::applyFaultPolicy(runner, opt);
     const std::vector<RunResult> res = runner.run(grid);
 
     for (std::size_t s = 0; s < std::size(workloads); ++s) {
@@ -118,5 +119,5 @@ main(int argc, char **argv)
                 "BTB removes.\n");
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
-    return 0;
+    return bench::exitCode(runner);
 }

@@ -107,6 +107,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(opt.jobs);
+    bench::applyFaultPolicy(runner, opt);
     const std::vector<RunResult> res = runner.run(grid);
     const double baseIpc = res[0].ipc;
 
@@ -116,5 +117,5 @@ main(int argc, char **argv)
                     res[i].ipc / baseIpc);
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
-    return 0;
+    return bench::exitCode(runner);
 }

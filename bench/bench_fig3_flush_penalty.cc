@@ -38,6 +38,7 @@ main(int argc, char **argv)
         grid.push_back(makeVariantJob(p, v, opt.runOptions()));
 
     SweepRunner runner(opt.jobs);
+    bench::applyFaultPolicy(runner, opt);
     const std::vector<RunResult> res = runner.run(grid);
 
     std::printf("%-10s %22s %14s\n", "frontend",
@@ -51,5 +52,5 @@ main(int argc, char **argv)
                 "re-enters coupled mode and hides them.\n");
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
-    return 0;
+    return bench::exitCode(runner);
 }

@@ -37,6 +37,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(opt.jobs);
+    bench::applyFaultPolicy(runner, opt);
     const std::vector<RunResult> res = runner.run(grid);
 
     std::printf("%-18s %8s %8s %8s %8s %8s\n", "workload", "DCF IPC",
@@ -54,5 +55,5 @@ main(int argc, char **argv)
     }
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
-    return 0;
+    return bench::exitCode(runner);
 }

@@ -34,6 +34,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(opt.jobs);
+    bench::applyFaultPolicy(runner, opt);
     const std::vector<RunResult> res = runner.run(grid);
 
     std::printf("%-18s %8s | %8s %8s | %8s %8s | %6s\n", "workload",
@@ -56,5 +57,5 @@ main(int argc, char **argv)
                 "than L-ELF.\n");
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
-    return 0;
+    return bench::exitCode(runner);
 }

@@ -36,6 +36,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(opt.jobs);
+    bench::applyFaultPolicy(runner, opt);
     const std::vector<RunResult> res = runner.run(grid);
 
     std::map<std::string, std::vector<double>> nod, lelf, uelf;
@@ -48,6 +49,13 @@ main(int argc, char **argv)
         const RunResult &l = res[row + 2];
         const RunResult &u = res[row + 3];
         row += 4;
+        if (!dcf.ok() || !n.ok() || !l.ok() || !u.ok()) {
+            // A failed cell has no IPC; keep it out of the geomeans
+            // rather than poisoning the whole figure.
+            std::printf("  %-18s (skipped: cell did not complete)\n",
+                        w.name.c_str());
+            continue;
+        }
         const double rn = n.ipc / dcf.ipc;
         const double rl = l.ipc / dcf.ipc;
         const double ru = u.ipc / dcf.ipc;
@@ -73,5 +81,5 @@ main(int argc, char **argv)
                 geomean(nodAll), geomean(lAll), geomean(uAll));
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
-    return 0;
+    return bench::exitCode(runner);
 }

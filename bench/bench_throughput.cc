@@ -44,7 +44,8 @@ main(int argc, char **argv)
     fwd.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--stride") && i + 1 < argc) {
-            const unsigned long v = std::strtoul(argv[++i], nullptr, 10);
+            const std::uint64_t v = bench::parseCount(
+                argv[0], "--stride", argv[++i], UINT_MAX);
             stride = v > 1 ? unsigned(v) : 1;
         } else {
             fwd.push_back(argv[i]);
@@ -74,6 +75,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(opt.jobs);
+    bench::applyFaultPolicy(runner, opt);
     const std::vector<RunResult> res = runner.run(grid);
     const std::vector<double> &secs = runner.perJobSeconds();
 
@@ -84,8 +86,15 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < res.size(); ++i) {
         const RunResult &r = res[i];
         const double s = secs[i];
+        if (!r.ok()) {
+            std::printf("  %-18s %-9s (%s: %s)\n", r.workload.c_str(),
+                        r.variant.c_str(), jobStatusName(r.status),
+                        r.error.c_str());
+            continue;
+        }
         const double m = s > 0 ? double(r.insts) / s / 1e6 : 0;
-        mips.push_back(m);
+        if (m > 0)
+            mips.push_back(m);
         std::printf("  %-18s %-9s %9.3f %10.3f %14.3f\n",
                     r.workload.c_str(), r.variant.c_str(), s, m,
                     s > 0 ? double(r.cycles) / s / 1e6 : 0);
@@ -110,5 +119,5 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", opt.csvPath.c_str());
     }
     bench::printSweepTiming(runner);
-    return 0;
+    return bench::exitCode(runner);
 }

@@ -11,11 +11,16 @@
 #ifndef ELFSIM_BENCH_BENCH_UTIL_HH
 #define ELFSIM_BENCH_BENCH_UTIL_HH
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+
+#include "common/error.hh"
 
 #include "sim/export.hh"
 #include "sim/runner.hh"
@@ -35,6 +40,13 @@ struct Options
     InstCount intervalInsts = 0; ///< timeline sampling period; 0 = off
     std::string jsonPath;        ///< --json target; empty = off
     std::string csvPath;         ///< --csv target; empty = off
+
+    // Fault-tolerance policy (sim/sweep.hh SweepPolicy).
+    double deadlineSeconds = 0;  ///< --deadline; per-job limit, 0 = off
+    double stallSeconds = 0;     ///< --stall; heartbeat limit, 0 = off
+    unsigned maxRetries = 0;     ///< --retries; transient-error retries
+    std::string manifestPath;    ///< --manifest / --resume journal
+    bool resume = false;         ///< --resume: reuse finished cells
 
     RunOptions
     runOptions() const
@@ -63,18 +75,86 @@ printUsage(const char *argv0, std::FILE *to)
         "  --interval N    capture a timeline sample every N committed "
         "insts (0 = off)\n"
         "  --json PATH     write results + sweep timing as JSON "
-        "(elfsim-results-v1)\n"
+        "(elfsim-results-v2)\n"
         "  --csv PATH      write results as CSV (timelines go to "
         "*.timeline.csv)\n"
-        "  --help          this text\n",
+        "  --deadline S    cancel any job running longer than S "
+        "seconds (cell -> timeout)\n"
+        "  --stall S       cancel any job whose committed-instruction "
+        "heartbeat\n"
+        "                  stalls for S seconds (cell -> timeout)\n"
+        "  --retries N     re-run a cell up to N extra times on "
+        "transient errors\n"
+        "  --manifest PATH journal finished cells to a JSONL manifest "
+        "(crash-safe)\n"
+        "  --resume PATH   like --manifest, but first reuse the ok "
+        "cells already in it\n"
+        "  --help          this text\n"
+        "exit status: 0 ok, 1 export I/O error, 2 usage error, "
+        "3 failed cells, 130 interrupted\n",
         argv0, (unsigned long long)Options().warmupInsts,
         (unsigned long long)Options().measureInsts);
 }
 
 /**
+ * Strict numeric parse of a flag value: the whole string must be a
+ * base-10 non-negative integer that fits the type — a leading sign,
+ * trailing junk ("100k"), or overflow is a hard usage error (exit 2)
+ * with a one-line message, never a silently truncated value.
+ */
+inline std::uint64_t
+parseCount(const char *argv0, const char *flag, const char *text,
+           std::uint64_t max = UINT64_MAX)
+{
+    const auto die = [&](const char *why) {
+        std::fprintf(stderr,
+                     "%s: %s expects a non-negative integer "
+                     "(%s in '%s')\n",
+                     argv0, flag, why, text);
+        std::exit(2);
+    };
+    if (!*text || !std::isdigit(static_cast<unsigned char>(*text)))
+        die(*text == '-' ? "negative value" : "not a number");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || v > max)
+        die("value out of range");
+    if (*end != '\0')
+        die("trailing junk");
+    return v;
+}
+
+/** Strict non-negative seconds parse (same contract as parseCount). */
+inline double
+parseSeconds(const char *argv0, const char *flag, const char *text)
+{
+    const auto die = [&](const char *why) {
+        std::fprintf(stderr,
+                     "%s: %s expects non-negative seconds "
+                     "(%s in '%s')\n",
+                     argv0, flag, why, text);
+        std::exit(2);
+    };
+    if (!*text)
+        die("empty value");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (errno == ERANGE)
+        die("value out of range");
+    if (*end != '\0')
+        die("trailing junk");
+    if (!(v >= 0) || v > 1e12)
+        die(v < 0 ? "negative value" : "not a finite value");
+    return v;
+}
+
+/**
  * Parse the common options, starting from @a defaults (benches with
- * non-standard windows seed their own). Unknown flags and missing
- * values are hard errors (exit 2); `--help` prints usage and exits 0.
+ * non-standard windows seed their own). Unknown flags, missing values
+ * and malformed numbers are hard errors (exit 2); `--help` prints
+ * usage and exits 0.
  */
 inline Options
 parseOptions(int argc, char **argv, Options defaults = {})
@@ -90,21 +170,37 @@ parseOptions(int argc, char **argv, Options defaults = {})
     };
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--warmup"))
-            o.warmupInsts = std::strtoull(value(i), nullptr, 10);
+            o.warmupInsts = parseCount(argv[0], "--warmup", value(i));
         else if (!std::strcmp(argv[i], "--insts"))
-            o.measureInsts = std::strtoull(value(i), nullptr, 10);
+            o.measureInsts = parseCount(argv[0], "--insts", value(i));
         else if (!std::strcmp(argv[i], "--quick"))
             o.quick = true;
         else if (!std::strcmp(argv[i], "--jobs"))
-            o.jobs = unsigned(std::strtoul(value(i), nullptr, 10));
+            o.jobs = unsigned(
+                parseCount(argv[0], "--jobs", value(i), UINT_MAX));
         else if (!std::strcmp(argv[i], "--interval"))
-            o.intervalInsts = std::strtoull(value(i), nullptr, 10);
+            o.intervalInsts =
+                parseCount(argv[0], "--interval", value(i));
         else if (!std::strcmp(argv[i], "--json"))
             o.jsonPath = value(i);
         else if (!std::strcmp(argv[i], "--csv"))
             o.csvPath = value(i);
-        else if (!std::strcmp(argv[i], "--help") ||
-                 !std::strcmp(argv[i], "-h")) {
+        else if (!std::strcmp(argv[i], "--deadline"))
+            o.deadlineSeconds =
+                parseSeconds(argv[0], "--deadline", value(i));
+        else if (!std::strcmp(argv[i], "--stall"))
+            o.stallSeconds =
+                parseSeconds(argv[0], "--stall", value(i));
+        else if (!std::strcmp(argv[i], "--retries"))
+            o.maxRetries = unsigned(
+                parseCount(argv[0], "--retries", value(i), UINT_MAX));
+        else if (!std::strcmp(argv[i], "--manifest"))
+            o.manifestPath = value(i);
+        else if (!std::strcmp(argv[i], "--resume")) {
+            o.manifestPath = value(i);
+            o.resume = true;
+        } else if (!std::strcmp(argv[i], "--help") ||
+                   !std::strcmp(argv[i], "-h")) {
             printUsage(argv[0], stdout);
             std::exit(0);
         } else {
@@ -117,18 +213,78 @@ parseOptions(int argc, char **argv, Options defaults = {})
     return o;
 }
 
-/** Write the last sweep wherever --json / --csv asked. */
+/**
+ * Arm a runner with the fault-tolerance policy the flags asked for
+ * and install the SIGINT/SIGTERM handlers, so a Ctrl-C mid-sweep
+ * degrades to cancelled cells and a partial export instead of losing
+ * everything.
+ */
+inline void
+applyFaultPolicy(SweepRunner &runner, const Options &o)
+{
+    SweepPolicy p;
+    p.deadlineSeconds = o.deadlineSeconds;
+    p.stallSeconds = o.stallSeconds;
+    p.maxRetries = o.maxRetries;
+    p.manifestPath = o.manifestPath;
+    p.resume = o.resume;
+    runner.setPolicy(p);
+    SweepRunner::clearInterrupt();
+    SweepRunner::installSignalHandlers();
+}
+
+/** Write the last sweep wherever --json / --csv asked; an unwritable
+ *  path is a hard error (exit 1). */
 inline void
 exportResults(const Options &o, const SweepRunner &runner)
 {
-    if (!o.jsonPath.empty()) {
-        runner.writeJson(o.jsonPath);
-        std::printf("wrote %s\n", o.jsonPath.c_str());
+    try {
+        if (!o.jsonPath.empty()) {
+            runner.writeJson(o.jsonPath);
+            std::printf("wrote %s\n", o.jsonPath.c_str());
+        }
+        if (!o.csvPath.empty()) {
+            runner.writeCsv(o.csvPath);
+            std::printf("wrote %s\n", o.csvPath.c_str());
+        }
+    } catch (const IoError &e) {
+        std::fprintf(stderr, "export failed: %s\n", e.what());
+        std::exit(1);
     }
-    if (!o.csvPath.empty()) {
-        runner.writeCsv(o.csvPath);
-        std::printf("wrote %s\n", o.csvPath.c_str());
+}
+
+/**
+ * Process exit status for a finished sweep: 130 when the sweep was
+ * interrupted (partial results were still exported above), 3 when any
+ * cell failed (each one listed on stderr), 0 otherwise — so scripts
+ * can distinguish "figure is complete" from "figure has holes"
+ * without parsing the JSON.
+ */
+inline int
+exitCode(const SweepRunner &runner)
+{
+    std::size_t bad = 0;
+    for (const RunResult &r : runner.results()) {
+        if (r.ok())
+            continue;
+        ++bad;
+        std::fprintf(stderr, "cell %s/%s %s after %llu attempt(s): %s\n",
+                     r.workload.c_str(), r.variant.c_str(),
+                     jobStatusName(r.status),
+                     (unsigned long long)r.attempts, r.error.c_str());
     }
+    if (SweepRunner::interruptRequested()) {
+        std::fprintf(stderr,
+                     "interrupted: partial results exported; re-run "
+                     "with --resume to finish\n");
+        return 130;
+    }
+    if (bad) {
+        std::fprintf(stderr, "%zu of %zu cells did not complete ok\n",
+                     bad, runner.results().size());
+        return 3;
+    }
+    return 0;
 }
 
 /** For benches with no sweep results: warn if export was requested. */

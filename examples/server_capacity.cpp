@@ -66,6 +66,7 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(opt.jobs);
+    bench::applyFaultPolicy(runner, opt);
     const std::vector<RunResult> res = runner.run(grid);
 
     for (std::size_t i = 0; i < programs.size(); ++i) {
@@ -88,5 +89,5 @@ main(int argc, char **argv)
                 "and NoDCF collapses because it has no FAQ-directed "
                 "prefetch.\n");
     bench::exportResults(opt, runner);
-    return 0;
+    return bench::exitCode(runner);
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validate elfsim-results-v1 JSON artifacts.
+"""Validate elfsim-results-v2 JSON artifacts.
 
 Usage:
     scripts/check_results.py FILE [FILE ...]
-        Schema-check each exported results document.
+        Schema-check each exported results document. Any cell whose
+        "status" is not "ok" fails the check unless --allow-failed N
+        grants that many non-ok cells per document.
 
     scripts/check_results.py --compare A B
         Assert two documents carry identical simulated results,
@@ -23,7 +25,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "elfsim-results-v1"
+SCHEMA = "elfsim-results-v2"
 THROUGHPUT_SCHEMA = "elfsim-throughput-v1"
 # A >10% geomean-MIPS drop vs the committed baseline fails the gate;
 # smaller swings are host noise.
@@ -36,15 +38,18 @@ THROUGHPUT_NUM_FIELDS = (
 )
 
 # Per-result scalar fields (RunResult::forEachField order).
-RESULT_STR_FIELDS = ("workload", "variant")
+RESULT_STR_FIELDS = ("workload", "variant", "error")
 RESULT_NUM_FIELDS = (
     "cycles", "insts", "ipc", "branch_mpki", "cond_mpki",
     "exec_flushes", "mem_order_flushes", "decode_resteers",
     "divergence_flushes", "btb_hit_l0", "btb_hit_l1", "btb_hit_l2",
     "l0i_miss_rate", "l1d_mpki", "wrong_path_insts", "inst_prefetches",
     "avg_redirect_to_fetch", "avg_coupled_insts", "coupled_periods",
-    "coupled_committed_frac", "pending_flush_waits",
+    "coupled_committed_frac", "pending_flush_waits", "attempts",
 )
+# v2 per-result status (sim/export.hh); non-ok cells carry zeroed
+# metrics and a non-empty "error".
+RESULT_STATUSES = ("ok", "failed", "timeout", "cancelled")
 TIMELINE_FIELDS = (
     "start_inst", "insts", "cycles", "ipc", "cond_mispredicts",
     "target_mispredicts", "exec_flushes", "mem_order_flushes",
@@ -57,7 +62,7 @@ def fail(path, msg):
     sys.exit(1)
 
 
-def check_document(path, doc):
+def check_document(path, doc, allow_failed=0):
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
     if doc.get("schema") != SCHEMA:
@@ -66,6 +71,7 @@ def check_document(path, doc):
     if not isinstance(results, list) or not results:
         fail(path, "missing or empty 'results' array")
 
+    n_not_ok = 0
     for i, r in enumerate(results):
         where = f"results[{i}]"
         for k in RESULT_STR_FIELDS:
@@ -74,10 +80,27 @@ def check_document(path, doc):
         for k in RESULT_NUM_FIELDS:
             if not isinstance(r.get(k), (int, float)):
                 fail(path, f"{where}.{k} missing or not a number")
+        status = r.get("status")
+        if status not in RESULT_STATUSES:
+            fail(path, f"{where}.status is {status!r}, expected one of "
+                       f"{RESULT_STATUSES}")
+        ok = status == "ok"
+        if ok and r["error"]:
+            fail(path, f"{where}: ok cell carries an error string")
+        if ok and r["attempts"] < 1:
+            fail(path, f"{where}: ok cell with attempts < 1")
+        if not ok:
+            n_not_ok += 1
+            if not r["error"]:
+                fail(path, f"{where}: {status} cell without an error")
         interval = r.get("interval_insts")
         timeline = r.get("timeline")
         if not isinstance(interval, int) or not isinstance(timeline, list):
             fail(path, f"{where}: bad interval_insts/timeline")
+        if not ok:
+            # A degraded cell carries no metrics; the tiling
+            # invariants below only hold for completed runs.
+            continue
         if interval > 0 and r["insts"] > 0 and not timeline:
             fail(path, f"{where}: interval sampling on but timeline empty")
         if interval == 0 and timeline:
@@ -99,9 +122,17 @@ def check_document(path, doc):
             if not isinstance(timing.get(k), (int, float)):
                 fail(path, f"timing.{k} missing or not a number")
 
+    if n_not_ok > allow_failed:
+        for r in results:
+            if r["status"] != "ok":
+                print(f"{path}: {r['workload']}/{r['variant']} "
+                      f"{r['status']}: {r['error']}", file=sys.stderr)
+        fail(path, f"{n_not_ok} cells not ok (allowed {allow_failed})")
+
     n_timelines = sum(1 for r in results if r["timeline"])
+    note = f", {n_not_ok} not ok" if n_not_ok else ""
     print(f"{path}: OK ({len(results)} results, "
-          f"{n_timelines} with timelines)")
+          f"{n_timelines} with timelines{note})")
 
 
 def check_throughput_document(path, doc):
@@ -184,6 +215,9 @@ def main():
     ap.add_argument("--baseline", metavar="BASE",
                     help="with --throughput: fail on a >10%% geomean "
                          "MIPS regression versus this baseline")
+    ap.add_argument("--allow-failed", type=int, default=0, metavar="N",
+                    help="tolerate up to N non-ok cells per results "
+                         "document (default 0)")
     args = ap.parse_args()
 
     if args.baseline and not args.throughput:
@@ -201,7 +235,7 @@ def main():
 
     docs = {p: load(p) for p in args.files}
     for path, doc in docs.items():
-        check_document(path, doc)
+        check_document(path, doc, allow_failed=args.allow_failed)
 
     if args.compare:
         if len(args.files) != 2:

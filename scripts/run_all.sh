@@ -32,19 +32,33 @@ ctest --test-dir build --output-on-failure
 RESULTS=build/results
 mkdir -p "$RESULTS"
 
+# A bench killed mid-export leaves a truncated JSON behind; never let
+# such a partial artifact masquerade as results.
+CURRENT_ARTIFACT=""
+remove_partial() {
+    if [ -n "$CURRENT_ARTIFACT" ] && [ -f "$CURRENT_ARTIFACT" ]; then
+        echo "removing partial artifact $CURRENT_ARTIFACT" >&2
+        rm -f "$CURRENT_ARTIFACT"
+    fi
+    CURRENT_ARTIFACT=""
+}
+trap 'remove_partial; echo "interrupted" >&2; exit 130' INT TERM
+
 ARTIFACTS=()
+FAILED=()
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     name="$(basename "$b")"
     echo "######## $b"
+    status=0
     case "$name" in
         bench_micro_components)
             # google-benchmark binary: rejects unknown flags.
-            "$b"
+            "$b" || status=$?
             ;;
         bench_fig2_timing|bench_table1_workloads|bench_table2_config)
             # Characterization tables: no RunResults to export.
-            "$b" --jobs "$JOBS" ${EXTRA[@]+"${EXTRA[@]}"}
+            "$b" --jobs "$JOBS" ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
             ;;
         bench_throughput)
             # Simulator-speed gate: separate schema + regression
@@ -52,26 +66,53 @@ for b in build/bench/*; do
             # per-run wall clocks are not distorted by oversubscription
             # (scripts/perf_smoke.sh is the quick variant; build the
             # release-native preset for host-tuned numbers).
+            CURRENT_ARTIFACT="$RESULTS/$name.json"
             "$b" --jobs 1 --json "$RESULTS/$name.json" \
-                 ${EXTRA[@]+"${EXTRA[@]}"}
-            if [ -f BENCH_throughput.json ]; then
-                python3 scripts/check_results.py --throughput \
-                    --baseline BENCH_throughput.json \
-                    "$RESULTS/$name.json"
-            else
-                python3 scripts/check_results.py --throughput \
-                    "$RESULTS/$name.json"
+                 ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
+            if [ "$status" -eq 0 ]; then
+                CURRENT_ARTIFACT=""
+                if [ -f BENCH_throughput.json ]; then
+                    python3 scripts/check_results.py --throughput \
+                        --baseline BENCH_throughput.json \
+                        "$RESULTS/$name.json" || status=$?
+                else
+                    python3 scripts/check_results.py --throughput \
+                        "$RESULTS/$name.json" || status=$?
+                fi
             fi
             ;;
         *)
+            CURRENT_ARTIFACT="$RESULTS/$name.json"
             "$b" --jobs "$JOBS" --json "$RESULTS/$name.json" \
-                 ${EXTRA[@]+"${EXTRA[@]}"}
-            ARTIFACTS+=("$RESULTS/$name.json")
+                 ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
+            if [ "$status" -eq 0 ]; then
+                ARTIFACTS+=("$RESULTS/$name.json")
+            fi
+            CURRENT_ARTIFACT=""
             ;;
     esac
+    if [ "$status" -ne 0 ]; then
+        # Exit 3 means the sweep completed but marked cells failed:
+        # the artifact is a valid v2 document with the holes recorded,
+        # so keep it for inspection. Anything else is a crash or an
+        # export error, and its artifact (if any) is a stale partial.
+        if [ "$status" -ne 3 ]; then
+            remove_partial
+        fi
+        CURRENT_ARTIFACT=""
+        FAILED+=("$name (exit $status)")
+        echo "FAILED: $name (exit $status)" >&2
+    fi
 done
 
 if [ ${#ARTIFACTS[@]} -gt 0 ]; then
     echo "######## schema check"
-    python3 scripts/check_results.py "${ARTIFACTS[@]}"
+    python3 scripts/check_results.py "${ARTIFACTS[@]}" \
+        || FAILED+=("schema check")
+fi
+
+if [ ${#FAILED[@]} -gt 0 ]; then
+    echo "######## ${#FAILED[@]} step(s) failed:" >&2
+    printf '  %s\n' "${FAILED[@]}" >&2
+    exit 1
 fi

@@ -1,0 +1,81 @@
+#include "common/error.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace elfsim {
+
+const char *
+errorKindName(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::Config: return "config";
+      case ErrorKind::Io: return "io";
+      case ErrorKind::Parse: return "parse";
+      case ErrorKind::Internal: return "internal";
+      case ErrorKind::Timeout: return "timeout";
+      case ErrorKind::Cancelled: return "cancelled";
+      case ErrorKind::Transient: return "transient";
+      case ErrorKind::Injected: return "injected";
+    }
+    return "unknown";
+}
+
+std::string
+errorf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(std::size_t(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(std::size_t(n));
+    }
+    va_end(args);
+    return out;
+}
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::Timeout: return "timeout";
+      case JobStatus::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+bool
+parseJobStatus(std::string_view name, JobStatus &out)
+{
+    for (JobStatus s : {JobStatus::Ok, JobStatus::Failed,
+                        JobStatus::Timeout, JobStatus::Cancelled}) {
+        if (name == jobStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+JobStatus
+jobStatusForError(const SimError &e)
+{
+    switch (e.kind()) {
+      case ErrorKind::Timeout:
+        return JobStatus::Timeout;
+      case ErrorKind::Cancelled:
+        return JobStatus::Cancelled;
+      default:
+        return JobStatus::Failed;
+    }
+}
+
+} // namespace elfsim

@@ -35,8 +35,10 @@ JsonWriter::sep()
     if (!stack.back().first)
         out << ",";
     stack.back().first = false;
-    out << "\n";
-    indent();
+    if (pretty) {
+        out << "\n";
+        indent();
+    }
 }
 
 JsonWriter &
@@ -62,12 +64,12 @@ JsonWriter::close(char c)
 {
     const bool empty = stack.back().first;
     stack.pop_back();
-    if (!empty) {
+    if (!empty && pretty) {
         out << "\n";
         indent();
     }
     out << c;
-    if (stack.empty())
+    if (stack.empty() && pretty)
         out << "\n";
 }
 
@@ -91,10 +93,12 @@ JsonWriter::key(std::string_view k)
     if (!stack.back().first)
         out << ",";
     stack.back().first = false;
-    out << "\n";
-    indent();
+    if (pretty) {
+        out << "\n";
+        indent();
+    }
     writeString(k);
-    out << ": ";
+    out << (pretty ? ": " : ":");
     afterKey = true;
     return *this;
 }

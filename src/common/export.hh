@@ -27,14 +27,18 @@ std::string formatDouble(double v);
 
 /**
  * Minimal streaming JSON emitter (objects, arrays, keyed fields) with
- * two-space pretty-printing. Purely append-only: the caller provides
- * a well-formed begin/key/value/end sequence; nesting depth is
- * tracked only for commas and indentation.
+ * two-space pretty-printing, or single-line compact output for JSONL
+ * sinks (the sweep resume manifest). Purely append-only: the caller
+ * provides a well-formed begin/key/value/end sequence; nesting depth
+ * is tracked only for commas and indentation.
  */
 class JsonWriter
 {
   public:
-    explicit JsonWriter(std::ostream &os) : out(os) {}
+    explicit JsonWriter(std::ostream &os, bool pretty = true)
+        : out(os), pretty(pretty)
+    {
+    }
 
     JsonWriter &beginObject();
     JsonWriter &endObject();
@@ -69,6 +73,7 @@ class JsonWriter
     void writeString(std::string_view s);
 
     std::ostream &out;
+    bool pretty;
     struct Level { bool first; };
     std::vector<Level> stack;
     bool afterKey = false;

@@ -1,0 +1,378 @@
+#include "common/json.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/error.hh"
+
+namespace elfsim {
+namespace json {
+
+namespace {
+
+const char *
+kindName(Value::Kind k)
+{
+    switch (k) {
+      case Value::Kind::Null: return "null";
+      case Value::Kind::Bool: return "bool";
+      case Value::Kind::Number: return "number";
+      case Value::Kind::String: return "string";
+      case Value::Kind::Array: return "array";
+      case Value::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+typeError(const char *want, Value::Kind got)
+{
+    throw ParseError(
+        errorf("json: expected %s, have %s", want, kindName(got)));
+}
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (k != Kind::Bool)
+        typeError("bool", k);
+    return boolean;
+}
+
+std::uint64_t
+Value::asU64() const
+{
+    if (k != Kind::Number)
+        typeError("number", k);
+    if (!text.empty() && text[0] == '-')
+        throw ParseError(
+            errorf("json: negative value '%s' for unsigned field",
+                   text.c_str()));
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        throw ParseError(
+            errorf("json: '%s' is not a 64-bit unsigned integer",
+                   text.c_str()));
+    return v;
+}
+
+double
+Value::asDouble() const
+{
+    if (k != Kind::Number)
+        typeError("number", k);
+    // strtod is correctly rounded, so it exactly inverts the writer's
+    // shortest-round-trip (to_chars) formatting.
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        throw ParseError(
+            errorf("json: bad number token '%s'", text.c_str()));
+    return v;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (k != Kind::String)
+        typeError("string", k);
+    return text;
+}
+
+const std::vector<Value> &
+Value::array() const
+{
+    if (k != Kind::Array)
+        typeError("array", k);
+    return elems;
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (k != Kind::Object)
+        return nullptr;
+    for (const auto &f : fields)
+        if (f.first == key)
+            return &f.second;
+    return nullptr;
+}
+
+const Value &
+Value::at(std::string_view key) const
+{
+    if (k != Kind::Object)
+        typeError("object", k);
+    if (const Value *v = find(key))
+        return *v;
+    throw ParseError(errorf("json: missing key '%.*s'",
+                            int(key.size()), key.data()));
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    if (k != Kind::Object)
+        typeError("object", k);
+    return fields;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : s(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        throw ParseError(
+            errorf("json: %s at offset %zu", what, pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\t' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return pos < s.size() ? s[pos] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (s.substr(pos, word.size()) != word)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    Value
+    value()
+    {
+        if (++depth > maxDepth)
+            fail("nesting too deep");
+        Value v = valueInner();
+        --depth;
+        return v;
+    }
+
+    Value
+    valueInner()
+    {
+        const char c = peek();
+        Value v;
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"':
+            v.k = Value::Kind::String;
+            v.text = string();
+            return v;
+          case 't':
+            if (!literal("true"))
+                fail("bad literal");
+            v.k = Value::Kind::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            if (!literal("false"))
+                fail("bad literal");
+            v.k = Value::Kind::Bool;
+            v.boolean = false;
+            return v;
+          case 'n':
+            if (!literal("null"))
+                fail("bad literal");
+            return v;
+          default:
+            return number();
+        }
+    }
+
+    Value
+    number()
+    {
+        skipWs();
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
+                s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            fail("bad value");
+        Value v;
+        v.k = Value::Kind::Number;
+        v.text.assign(s.substr(start, pos - start));
+        // JSON forbids leading zeros ("01"); our writer never emits
+        // them, so seeing one means the input is not ours.
+        const std::size_t d = v.text[0] == '-' ? 1 : 0;
+        if (v.text.size() > d + 1 && v.text[d] == '0' &&
+            v.text[d + 1] >= '0' && v.text[d + 1] <= '9')
+            fail("leading zero in number");
+        // Validate the token eagerly so garbage fails at parse time.
+        v.asDouble();
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos];
+            if (c == '\\') {
+                if (++pos >= s.size())
+                    fail("unterminated escape");
+                switch (s[pos]) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 >= s.size())
+                        fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s[pos + 1 + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= unsigned(h - 'A' + 10);
+                        else
+                            fail("bad \\u escape");
+                    }
+                    // The writer only emits \u00XX control escapes;
+                    // encode anything else as UTF-8.
+                    if (code < 0x80) {
+                        out += char(code);
+                    } else if (code < 0x800) {
+                        out += char(0xc0 | (code >> 6));
+                        out += char(0x80 | (code & 0x3f));
+                    } else {
+                        out += char(0xe0 | (code >> 12));
+                        out += char(0x80 | ((code >> 6) & 0x3f));
+                        out += char(0x80 | (code & 0x3f));
+                    }
+                    pos += 4;
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                }
+                ++pos;
+            } else {
+                out += c;
+                ++pos;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    Value
+    object()
+    {
+        Value v;
+        v.k = Value::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            if (peek() != '"')
+                fail("expected object key");
+            std::string key = string();
+            expect(':');
+            v.fields.emplace_back(std::move(key), value());
+            const char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        expect('}');
+        return v;
+    }
+
+    Value
+    array()
+    {
+        Value v;
+        v.k = Value::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.elems.push_back(value());
+            const char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        expect(']');
+        return v;
+    }
+
+    static constexpr int maxDepth = 64;
+
+    std::string_view s;
+    std::size_t pos = 0;
+    int depth = 0;
+};
+
+Value
+parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace json
+} // namespace elfsim

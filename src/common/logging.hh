@@ -4,6 +4,15 @@
  *
  * panic() is for simulator bugs (aborts); fatal() is for user errors
  * (clean exit); warn()/inform() print status without stopping.
+ *
+ * Recoverable mode: a sweep worker running an isolated grid cell can
+ * enable the thread-local "throws" mode (setPanicThrows), after which
+ * panic() raises InternalError and fatal() raises ConfigError instead
+ * of killing the process — the sweep engine catches the exception,
+ * marks the one cell failed, and the rest of the grid survives. When
+ * the mode is off (the default, and everywhere outside sweep jobs)
+ * both still terminate, now after flushing and printing a best-effort
+ * backtrace so CI logs of non-recoverable crashes are diagnosable.
  */
 
 #ifndef ELFSIM_COMMON_LOGGING_HH
@@ -14,10 +23,36 @@
 
 namespace elfsim {
 
-/** Print a formatted message and abort(); use for simulator bugs. */
+/**
+ * Enable/disable the thread-local recoverable-error mode (see file
+ * comment). Returns the previous setting so scopes can nest; prefer
+ * the RAII ScopedRecoverableErrors below.
+ */
+bool setPanicThrows(bool enable);
+
+/** Is the calling thread in recoverable-error mode? */
+bool panicThrows();
+
+/** RAII: recoverable-error mode for the enclosing scope. */
+class ScopedRecoverableErrors
+{
+  public:
+    ScopedRecoverableErrors() : prev(setPanicThrows(true)) {}
+    ~ScopedRecoverableErrors() { setPanicThrows(prev); }
+    ScopedRecoverableErrors(const ScopedRecoverableErrors &) = delete;
+    ScopedRecoverableErrors &
+    operator=(const ScopedRecoverableErrors &) = delete;
+
+  private:
+    bool prev;
+};
+
+/** Print a formatted message and abort(); use for simulator bugs.
+ *  In recoverable mode, throws InternalError instead. */
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
 
-/** Print a formatted message and exit(1); use for user errors. */
+/** Print a formatted message and exit(1); use for user errors.
+ *  In recoverable mode, throws ConfigError instead. */
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
 
 /** Print a formatted warning to stderr. */

@@ -1,5 +1,9 @@
 #include "common/thread_pool.hh"
 
+#include <utility>
+
+#include "common/logging.hh"
+
 namespace elfsim {
 
 unsigned
@@ -26,7 +30,13 @@ ThreadPool::ThreadPool(unsigned n)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    try {
+        wait();
+    } catch (const std::exception &e) {
+        // A destructor cannot propagate; callers that care call
+        // wait() themselves first.
+        ELFSIM_WARN("thread pool task failed: %s", e.what());
+    }
     {
         std::lock_guard<std::mutex> lk(poolMtx);
         stopping = true;
@@ -91,8 +101,15 @@ ThreadPool::workerLoop(unsigned self)
                 return;
             continue;
         }
-        task();
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
         std::lock_guard<std::mutex> lk(poolMtx);
+        if (err && !firstError)
+            firstError = err;
         if (--unfinished == 0)
             idleCv.notify_all();
     }
@@ -103,6 +120,11 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lk(poolMtx);
     idleCv.wait(lk, [this] { return unfinished == 0; });
+    if (firstError) {
+        std::exception_ptr err = std::exchange(firstError, nullptr);
+        lk.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 } // namespace elfsim

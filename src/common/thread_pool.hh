@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -43,7 +44,13 @@ class ThreadPool
     /** Enqueue a task. Safe to call from any thread. */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished. */
+    /**
+     * Block until every submitted task has finished. If any task
+     * threw, the first captured exception is rethrown here (a
+     * backstop — the sweep engine catches per-job errors itself, so
+     * an exception reaching the pool means a bug or a strict-mode
+     * sweep); the remaining tasks still run to completion first.
+     */
     void wait();
 
     unsigned threadCount() const { return nThreads; }
@@ -80,6 +87,7 @@ class ThreadPool
     std::size_t unfinished = 0;     ///< submitted, not yet completed
     bool stopping = false;
     unsigned nextWorker = 0;        ///< round-robin submission cursor
+    std::exception_ptr firstError;  ///< first task exception (backstop)
 };
 
 } // namespace elfsim

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -387,6 +388,16 @@ Core::cplEngineActiveForDump() const
 void
 Core::run(InstCount max_insts)
 {
+    // When a sweep worker installed an ExecContext, poll it every so
+    // many cycles: publish the committed-instruction heartbeat, honor
+    // cooperative cancellation (watchdog deadline / stall, SIGINT),
+    // and give the fault injector its deterministic hook. Polling
+    // reads simulator state but never writes it, so a watched run is
+    // cycle-for-cycle identical to an unwatched one.
+    constexpr Cycle pollInterval = 1024;
+    ExecContext *exec = currentExecContext();
+    Cycle nextPoll = coreStats.cycles + pollInterval;
+
     const InstCount target = committed() + max_insts;
     InstCount lastCommitted = committed();
     Cycle lastProgress = coreStats.cycles;
@@ -401,6 +412,10 @@ Core::run(InstCount max_insts)
                          "(workload %s, variant %s)",
                          prog.name().c_str(),
                          variantName(cfg.variant));
+        }
+        if (exec && coreStats.cycles >= nextPoll) {
+            nextPoll = coreStats.cycles + pollInterval;
+            exec->poll(coreStats.cycles, committed());
         }
     }
 }

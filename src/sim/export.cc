@@ -1,8 +1,11 @@
 #include "sim/export.hh"
 
+#include <istream>
 #include <string>
 #include <string_view>
 #include <type_traits>
+
+#include "common/logging.hh"
 
 namespace elfsim {
 
@@ -74,6 +77,7 @@ writeRunResult(JsonWriter &w, const RunResult &r)
 {
     w.beginObject();
     r.forEachField(JsonFieldVisitor{w});
+    w.field("status", jobStatusName(r.status));
     w.field("interval_insts", r.intervalInsts);
     w.key("timeline");
     w.beginArray();
@@ -86,13 +90,58 @@ writeRunResult(JsonWriter &w, const RunResult &r)
     w.endObject();
 }
 
+namespace {
+
+/** visitFields visitor assigning each named member from a parsed
+ *  JSON object (the inverse of JsonFieldVisitor). */
+struct JsonFieldLoader
+{
+    const json::Value &obj;
+
+    void
+    operator()(const char *name, std::string &v) const
+    {
+        v = obj.at(name).asString();
+    }
+    void
+    operator()(const char *name, double &v) const
+    {
+        v = obj.at(name).asDouble();
+    }
+    void
+    operator()(const char *name, std::uint64_t &v) const
+    {
+        v = obj.at(name).asU64();
+    }
+};
+
+} // namespace
+
+RunResult
+runResultFromJson(const json::Value &obj)
+{
+    RunResult r;
+    RunResult::visitFields(r, JsonFieldLoader{obj});
+    if (!parseJobStatus(obj.at("status").asString(), r.status))
+        throw ParseError(
+            errorf("unknown job status '%s'",
+                   obj.at("status").asString().c_str()));
+    r.intervalInsts = obj.at("interval_insts").asU64();
+    const json::Value &timeline = obj.at("timeline");
+    r.timeline.resize(timeline.size());
+    for (std::size_t i = 0; i < timeline.size(); ++i)
+        IntervalSample::visitFields(r.timeline[i],
+                                    JsonFieldLoader{timeline[i]});
+    return r;
+}
+
 void
 writeSweepJson(std::ostream &os, const std::vector<RunResult> &results,
                const SweepTiming *timing)
 {
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "elfsim-results-v1");
+    w.field("schema", "elfsim-results-v2");
     if (timing) {
         w.key("timing");
         writeTiming(w, *timing);
@@ -117,11 +166,12 @@ writeResultsCsv(std::ostream &os, const std::vector<RunResult> &results)
     CsvWriter w(os);
     RunResult{}.forEachField(
         [&w](const char *name, const auto &) { w.cell(name); });
-    w.cell("interval_insts").cell("timeline_samples");
+    w.cell("status").cell("interval_insts").cell("timeline_samples");
     w.endRow();
     for (const RunResult &r : results) {
         r.forEachField(CsvCellVisitor{w});
-        w.cell(r.intervalInsts)
+        w.cell(jobStatusName(r.status))
+            .cell(r.intervalInsts)
             .cell(std::uint64_t(r.timeline.size()));
         w.endRow();
     }
@@ -135,11 +185,15 @@ writeThroughputJson(std::ostream &os,
 {
     ELFSIM_ASSERT(results.size() == job_seconds.size(),
                   "throughput export needs one wall-clock per result");
-    std::vector<double> mips;
+    std::vector<double> mips, okMips;
     mips.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
         const double s = job_seconds[i];
         mips.push_back(s > 0 ? double(results[i].insts) / s / 1e6 : 0);
+        // Failed or resumed cells carry no wall-clock; keep their
+        // zeros out of the geomean (which requires positives).
+        if (results[i].ok() && mips.back() > 0)
+            okMips.push_back(mips.back());
     }
 
     JsonWriter w(os);
@@ -147,7 +201,7 @@ writeThroughputJson(std::ostream &os,
     w.field("schema", "elfsim-throughput-v1");
     w.key("timing");
     writeTiming(w, timing);
-    w.field("geomean_mips", geomean(mips));
+    w.field("geomean_mips", geomean(okMips));
     w.key("throughput");
     w.beginArray();
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -166,6 +220,61 @@ writeThroughputJson(std::ostream &os,
     }
     w.endArray();
     w.endObject();
+}
+
+void
+writeManifestLine(std::ostream &os, const ManifestEntry &e)
+{
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("manifest", "elfsim-manifest-v1");
+    w.field("index", std::uint64_t(e.index));
+    w.field("key", std::string_view(e.key));
+    w.field("status", jobStatusName(e.result.status));
+    w.key("result");
+    writeRunResult(w, e.result);
+    w.endObject();
+    os << '\n';
+}
+
+std::vector<ManifestEntry>
+readManifest(std::istream &is)
+{
+    std::vector<ManifestEntry> entries;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        ManifestEntry e;
+        try {
+            const json::Value doc = json::parse(line);
+            if (doc.at("manifest").asString() != "elfsim-manifest-v1")
+                throw ParseError("unknown manifest schema");
+            e.index = std::size_t(doc.at("index").asU64());
+            e.key = doc.at("key").asString();
+            e.result = runResultFromJson(doc.at("result"));
+        } catch (const SimError &err) {
+            // A crash mid-append leaves a truncated last line; the
+            // cell it journaled simply re-runs.
+            ELFSIM_WARN("manifest line %zu skipped: %s", lineno,
+                        err.what());
+            continue;
+        }
+        // Last occurrence of an index wins (resumed sweeps append).
+        bool replaced = false;
+        for (ManifestEntry &prev : entries) {
+            if (prev.index == e.index) {
+                prev = std::move(e);
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced)
+            entries.push_back(std::move(e));
+    }
+    return entries;
 }
 
 void

@@ -11,34 +11,58 @@
  * JSON schema (validated by scripts/check_results.py):
  *
  *   {
- *     "schema": "elfsim-results-v1",
+ *     "schema": "elfsim-results-v2",
  *     "timing": { ... SweepTiming ... },      // optional
  *     "results": [
  *       { "workload": ..., "variant": ..., <summary scalars>,
+ *         "error": "", "attempts": N, "status": "ok",
  *         "interval_insts": N,
  *         "timeline": [ { <IntervalSample fields> }, ... ] },
  *       ...
  *     ]
  *   }
+ *
+ * v1 -> v2: every result gained "status" (ok / failed / timeout /
+ * cancelled), "error" (failure detail, empty when ok) and "attempts"
+ * (runs of the bounded retry policy, >= 1) — fault-tolerant sweeps
+ * degrade gracefully by marking a bad cell instead of aborting, so
+ * the schema must distinguish a zeroed failed cell from real data.
+ *
+ * The resume manifest (elfsim-manifest-v1) is JSONL: one compact
+ * object per completed cell, appended and flushed as cells finish so
+ * a killed sweep loses at most the in-flight cells:
+ *
+ *   {"manifest":"elfsim-manifest-v1","index":N,"key":"...",
+ *    "status":"ok","result":{ <writeRunResult object> }}
  */
 
 #ifndef ELFSIM_SIM_EXPORT_HH
 #define ELFSIM_SIM_EXPORT_HH
 
+#include <iosfwd>
+#include <optional>
 #include <ostream>
 #include <vector>
 
 #include "common/export.hh"
+#include "common/json.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 
 namespace elfsim {
 
-/** Serialize one result (summary + timeline) as a JSON object. */
+/** Serialize one result (summary + status + timeline) as a JSON
+ *  object. */
 void writeRunResult(JsonWriter &w, const RunResult &r);
 
+/** Rebuild a RunResult from a parsed writeRunResult object; throws
+ *  ParseError on missing or ill-typed fields. Round trip is
+ *  byte-exact: re-serializing the loaded result reproduces the
+ *  original text. */
+RunResult runResultFromJson(const json::Value &obj);
+
 /**
- * Serialize a whole result set as the elfsim-results-v1 document.
+ * Serialize a whole result set as the elfsim-results-v2 document.
  * @a timing may be null; everything else in the document depends only
  * on the simulated results, so two deterministic sweeps of the same
  * grid serialize byte-identically when timing is omitted.
@@ -81,6 +105,28 @@ void writeThroughputJson(std::ostream &os,
                          const std::vector<RunResult> &results,
                          const std::vector<double> &job_seconds,
                          const SweepTiming &timing);
+
+// --- crash-safe resume manifest (JSONL) ------------------------------
+
+/** One journaled sweep cell. */
+struct ManifestEntry
+{
+    std::size_t index = 0; ///< submission index in the sweep grid
+    std::string key;       ///< job identity (SweepRunner::jobKey)
+    RunResult result;
+};
+
+/** Append one completed cell as a single compact JSONL line; the
+ *  caller flushes (crash safety is per-line). */
+void writeManifestLine(std::ostream &os, const ManifestEntry &e);
+
+/**
+ * Read every well-formed manifest line from @a is. Malformed or
+ * truncated lines (a crash mid-append) are skipped with a warning —
+ * their cells simply re-run. When one index appears on several lines
+ * (a resumed sweep appends), the last occurrence wins.
+ */
+std::vector<ManifestEntry> readManifest(std::istream &is);
 
 } // namespace elfsim
 

@@ -9,8 +9,10 @@
 #define ELFSIM_SIM_RUNNER_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/error.hh"
 #include "sim/core.hh"
 
 namespace elfsim {
@@ -40,26 +42,35 @@ struct IntervalSample
                              ///< fetched in coupled mode
 
     /**
-     * Visit every field as ("name", value) — the single source of
-     * truth the exporters and tests enumerate instead of hand-listing
-     * fields. @a v must accept (const char *, std::uint64_t) and
-     * (const char *, double).
+     * Visit every field as ("name", member) — the single source of
+     * truth the exporters, the manifest loader, and the tests
+     * enumerate instead of hand-listing fields. @a self is an
+     * IntervalSample (const for export, mutable for loading); @a v
+     * must accept (const char *, std::uint64_t) and (const char *,
+     * double) — references when @a self is non-const.
      */
+    template <typename Self, typename V>
+    static void
+    visitFields(Self &self, V &&v)
+    {
+        v("start_inst", self.startInst);
+        v("insts", self.insts);
+        v("cycles", self.cycles);
+        v("ipc", self.ipc);
+        v("cond_mispredicts", self.condMispredicts);
+        v("target_mispredicts", self.targetMispredicts);
+        v("exec_flushes", self.execFlushes);
+        v("mem_order_flushes", self.memOrderFlushes);
+        v("decode_resteers", self.decodeResteers);
+        v("divergence_flushes", self.divergenceFlushes);
+        v("coupled_frac", self.coupledFrac);
+    }
+
     template <typename V>
     void
     forEachField(V &&v) const
     {
-        v("start_inst", startInst);
-        v("insts", insts);
-        v("cycles", cycles);
-        v("ipc", ipc);
-        v("cond_mispredicts", condMispredicts);
-        v("target_mispredicts", targetMispredicts);
-        v("exec_flushes", execFlushes);
-        v("mem_order_flushes", memOrderFlushes);
-        v("decode_resteers", decodeResteers);
-        v("divergence_flushes", divergenceFlushes);
-        v("coupled_frac", coupledFrac);
+        visitFields(*this, std::forward<V>(v));
     }
 };
 
@@ -100,48 +111,72 @@ struct RunResult
     double coupledCommittedFrac = 0;
     std::uint64_t pendingFlushWaits = 0;
 
+    /**
+     * Cell outcome under fault-tolerant sweeps (JobStatus::Ok for a
+     * clean run). When not ok, the metric fields above are zeroed,
+     * `error` carries the failure detail, and `attempts` counts how
+     * many times the bounded retry policy ran the cell.
+     */
+    JobStatus status = JobStatus::Ok;
+    std::string error;
+    std::uint64_t attempts = 1;
+
     /** Sampling period the timeline was captured with (0 = off). */
     InstCount intervalInsts = 0;
     /** Per-interval delta rows; empty unless intervalInsts > 0. */
     std::vector<IntervalSample> timeline;
 
     /**
-     * Visit every scalar field as ("name", value) in declaration
+     * Visit every scalar field as ("name", member) in declaration
      * order — the single source of truth for the JSON/CSV exporters,
-     * the bench table formatters, and test_sweep's determinism check.
-     * @a v must accept (const char *, const std::string &),
-     * (const char *, std::uint64_t) and (const char *, double).
+     * the bench table formatters, the manifest loader, and
+     * test_sweep's determinism check. @a self is a RunResult (const
+     * for export, mutable for loading); @a v must accept (const char
+     * *, std::string), (const char *, std::uint64_t) and (const char
+     * *, double) — references when @a self is non-const. `status`,
      * `intervalInsts` and `timeline` are serialized separately (see
      * sim/export.hh) since they are not summary scalars.
      */
+    template <typename Self, typename V>
+    static void
+    visitFields(Self &self, V &&v)
+    {
+        v("workload", self.workload);
+        v("variant", self.variant);
+        v("cycles", self.cycles);
+        v("insts", self.insts);
+        v("ipc", self.ipc);
+        v("branch_mpki", self.branchMpki);
+        v("cond_mpki", self.condMpki);
+        v("exec_flushes", self.execFlushes);
+        v("mem_order_flushes", self.memOrderFlushes);
+        v("decode_resteers", self.decodeResteers);
+        v("divergence_flushes", self.divergenceFlushes);
+        v("btb_hit_l0", self.btbHitL0);
+        v("btb_hit_l1", self.btbHitL1);
+        v("btb_hit_l2", self.btbHitL2);
+        v("l0i_miss_rate", self.l0iMissRate);
+        v("l1d_mpki", self.l1dMpki);
+        v("wrong_path_insts", self.wrongPathInsts);
+        v("inst_prefetches", self.instPrefetches);
+        v("avg_redirect_to_fetch", self.avgRedirectToFetch);
+        v("avg_coupled_insts", self.avgCoupledInsts);
+        v("coupled_periods", self.coupledPeriods);
+        v("coupled_committed_frac", self.coupledCommittedFrac);
+        v("pending_flush_waits", self.pendingFlushWaits);
+        v("error", self.error);
+        v("attempts", self.attempts);
+    }
+
     template <typename V>
     void
     forEachField(V &&v) const
     {
-        v("workload", workload);
-        v("variant", variant);
-        v("cycles", cycles);
-        v("insts", insts);
-        v("ipc", ipc);
-        v("branch_mpki", branchMpki);
-        v("cond_mpki", condMpki);
-        v("exec_flushes", execFlushes);
-        v("mem_order_flushes", memOrderFlushes);
-        v("decode_resteers", decodeResteers);
-        v("divergence_flushes", divergenceFlushes);
-        v("btb_hit_l0", btbHitL0);
-        v("btb_hit_l1", btbHitL1);
-        v("btb_hit_l2", btbHitL2);
-        v("l0i_miss_rate", l0iMissRate);
-        v("l1d_mpki", l1dMpki);
-        v("wrong_path_insts", wrongPathInsts);
-        v("inst_prefetches", instPrefetches);
-        v("avg_redirect_to_fetch", avgRedirectToFetch);
-        v("avg_coupled_insts", avgCoupledInsts);
-        v("coupled_periods", coupledPeriods);
-        v("coupled_committed_frac", coupledCommittedFrac);
-        v("pending_flush_waits", pendingFlushWaits);
+        visitFields(*this, std::forward<V>(v));
     }
+
+    /** Did this cell complete (possibly after retries)? */
+    bool ok() const { return status == JobStatus::Ok; }
 };
 
 /** Options for a run. */

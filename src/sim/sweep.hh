@@ -16,13 +16,25 @@
  * per-instance), and a job's optional RNG seed is derived from its
  * submission index — never from thread identity — so the results of a
  * grid do not depend on the number of worker threads.
+ *
+ * Fault tolerance: under the default SweepPolicy a job that panics,
+ * throws, hangs or overruns its deadline degrades to a failed cell
+ * (RunResult::status != Ok, metrics zeroed, error recorded) and the
+ * rest of the grid completes. Transient errors retry up to
+ * SweepPolicy::maxRetries extra attempts. A JSONL manifest journals
+ * each finished cell as it completes, so a killed sweep resumes with
+ * `resume = true` re-running only the unfinished cells — merged
+ * output is byte-identical to an uninterrupted run.
  */
 
 #ifndef ELFSIM_SIM_SWEEP_HH
 #define ELFSIM_SIM_SWEEP_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/runner.hh"
@@ -65,6 +77,45 @@ struct SweepTiming
     }
 };
 
+/** Fault-tolerance policy of a sweep. */
+struct SweepPolicy
+{
+    /**
+     * Catch per-job errors (including recoverable panics) and mark
+     * the cell failed instead of aborting the sweep. When false, the
+     * legacy strict behavior: the first error escapes run() — or
+     * aborts the process for a panic.
+     */
+    bool keepGoing = true;
+
+    /** Per-job wall-clock limit in seconds; 0 disables. An overrun
+     *  job is cancelled cooperatively and its cell marked timeout. */
+    double deadlineSeconds = 0;
+
+    /** Watchdog stall limit: cancel a job whose committed-instruction
+     *  heartbeat has not advanced for this many seconds; 0 disables.
+     *  Catches hangs long before a generous deadline would. */
+    double stallSeconds = 0;
+
+    /** Extra attempts for cells failing with a TransientError. */
+    unsigned maxRetries = 0;
+
+    /** JSONL journal of completed cells (crash-safe resume); empty
+     *  disables journaling. */
+    std::string manifestPath;
+
+    /** Reuse ok cells recorded in manifestPath (index and jobKey must
+     *  both match) and re-run only the rest. New completions append
+     *  to the manifest. */
+    bool resume = false;
+
+    bool
+    watchdogEnabled() const
+    {
+        return deadlineSeconds > 0 || stallSeconds > 0;
+    }
+};
+
 /** Thread-pooled grid runner with deterministic result merging. */
 class SweepRunner
 {
@@ -81,6 +132,12 @@ class SweepRunner
      */
     void setBaseSeed(std::uint64_t seed) { baseSeed = seed; }
 
+    /** Replace the fault-tolerance policy (defaults: keep going, no
+     *  watchdog, no retries, no manifest). */
+    void setPolicy(SweepPolicy p) { pol = std::move(p); }
+
+    const SweepPolicy &policy() const { return pol; }
+
     /**
      * Run every job and return results indexed by submission order.
      * With 1 thread (or a 1-job grid) the jobs run inline on the
@@ -96,6 +153,34 @@ class SweepRunner
     /** Results of the most recent run(), in submission order. */
     const std::vector<RunResult> &results() const { return lastResults; }
 
+    /** Cells of the most recent run() that did not complete ok. */
+    std::size_t failedCells() const;
+
+    /**
+     * Stable identity of grid cell @a i — workload, variant, window
+     * sizes and the effective RNG seed. A manifest entry is only
+     * reused on resume when both its index and its key match, so a
+     * stale manifest from a different grid never contaminates
+     * results.
+     */
+    std::string jobKey(const SweepJob &job, std::size_t i) const;
+
+    /**
+     * Install SIGINT/SIGTERM handlers that raise a process-wide
+     * interrupt flag. A running sweep notices (watchdog monitor
+     * cancels in-flight jobs; queued jobs degrade to cancelled cells)
+     * and run() returns with partial results, which the bench
+     * harnesses then flush — so a Ctrl-C mid-sweep still exports
+     * everything finished so far and the manifest stays resumable.
+     */
+    static void installSignalHandlers();
+
+    /** Has a SIGINT/SIGTERM arrived since clearInterrupt()? */
+    static bool interruptRequested();
+
+    /** Reset the interrupt flag (tests; start of a new sweep). */
+    static void clearInterrupt();
+
     /**
      * Per-job wall-clock seconds of the most recent run(), in
      * submission order (parallel to results()). This is what the
@@ -105,7 +190,7 @@ class SweepRunner
     const std::vector<double> &perJobSeconds() const { return jobSeconds; }
 
     /**
-     * Write the last run's results + timing as an elfsim-results-v1
+     * Write the last run's results + timing as an elfsim-results-v2
      * JSON document (sim/export.hh). The "results" portion depends
      * only on the simulated grid, never on thread count; "timing" is
      * the one wall-clock-dependent block.
@@ -134,6 +219,7 @@ class SweepRunner
   private:
     unsigned threads;
     std::uint64_t baseSeed = 0;
+    SweepPolicy pol;
     SweepTiming lastTiming;
     std::vector<RunResult> lastResults; ///< merged results, last run
     std::vector<double> jobSeconds; ///< per-job wall-clocks, last run

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hh"
+#include "common/json.hh"
+
+using namespace elfsim;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(json::parse("null").isNull());
+    EXPECT_TRUE(json::parse("true").asBool());
+    EXPECT_FALSE(json::parse("false").asBool());
+    EXPECT_EQ(json::parse("42").asU64(), 42u);
+    EXPECT_EQ(json::parse("18446744073709551615").asU64(),
+              18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(json::parse("-1.5e3").asDouble(), -1500.0);
+    EXPECT_EQ(json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, NumbersKeepExactText)
+{
+    // The loader relies on numbers surviving a round trip exactly:
+    // the raw token is kept and re-parsed on demand.
+    const json::Value v = json::parse("0.1");
+    EXPECT_DOUBLE_EQ(v.asDouble(), 0.1);
+    EXPECT_THROW(json::parse("0.5").asU64(), ParseError);
+    EXPECT_THROW(json::parse("-3").asU64(), ParseError);
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    const json::Value v = json::parse(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": false}})");
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_EQ(v.at("a")[0].asU64(), 1u);
+    EXPECT_EQ(v.at("a")[2].at("b").asString(), "c");
+    EXPECT_FALSE(v.at("d").at("e").asBool());
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_THROW(v.at("missing"), ParseError);
+}
+
+TEST(Json, DecodesStringEscapes)
+{
+    EXPECT_EQ(json::parse(R"("a\"b\\c\nd\te")").asString(),
+              "a\"b\\c\nd\te");
+    EXPECT_EQ(json::parse(R"("Aé")").asString(),
+              "A\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(json::parse(""), ParseError);
+    EXPECT_THROW(json::parse("{"), ParseError);
+    EXPECT_THROW(json::parse("[1,]"), ParseError);
+    EXPECT_THROW(json::parse("{\"a\" 1}"), ParseError);
+    EXPECT_THROW(json::parse("nul"), ParseError);
+    EXPECT_THROW(json::parse("01"), ParseError);
+    EXPECT_THROW(json::parse("1 trailing"), ParseError);
+    EXPECT_THROW(json::parse("\"unterminated"), ParseError);
+}
+
+TEST(Json, RejectsRunawayNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    EXPECT_THROW(json::parse(deep), ParseError);
+}
+
+TEST(Json, TypeMismatchesThrow)
+{
+    const json::Value v = json::parse("[1]");
+    EXPECT_THROW(v.asString(), ParseError);
+    EXPECT_THROW(v.asU64(), ParseError);
+    EXPECT_THROW(v.at("k"), ParseError);
+    EXPECT_NO_THROW(v[0]);
+}

@@ -311,7 +311,7 @@ TEST(Export, SweepJsonIsThreadCountInvariant)
     JsonParser parser(osSerial.str());
     const JVal doc = parser.parse();
     ASSERT_TRUE(parser.ok());
-    EXPECT_EQ(doc.at("schema").str, "elfsim-results-v1");
+    EXPECT_EQ(doc.at("schema").str, "elfsim-results-v2");
     ASSERT_EQ(doc.at("results").arr.size(), grid.size());
 }
 
