@@ -48,6 +48,9 @@ struct Options
     std::string manifestPath;    ///< --manifest / --resume journal
     bool resume = false;         ///< --resume: reuse finished cells
 
+    std::string traceCacheDir;   ///< --trace-cache artifact directory
+    bool noTrace = false;        ///< --no-trace: lazy reference path
+
     RunOptions
     runOptions() const
     {
@@ -89,6 +92,14 @@ printUsage(const char *argv0, std::FILE *to)
         "(crash-safe)\n"
         "  --resume PATH   like --manifest, but first reuse the ok "
         "cells already in it\n"
+        "  --trace-cache D persist compiled workload traces as "
+        "content-keyed files in D\n"
+        "                  (also $ELFSIM_TRACE_CACHE); campaigns "
+        "share one compile\n"
+        "  --no-trace      disable trace compilation (lazy "
+        "per-instruction generation;\n"
+        "                  also $ELFSIM_TRACE=0) — behaviour-"
+        "identical, just slower\n"
         "  --help          this text\n"
         "exit status: 0 ok, 1 export I/O error, 2 usage error, "
         "3 failed cells, 130 interrupted\n",
@@ -199,7 +210,11 @@ parseOptions(int argc, char **argv, Options defaults = {})
         else if (!std::strcmp(argv[i], "--resume")) {
             o.manifestPath = value(i);
             o.resume = true;
-        } else if (!std::strcmp(argv[i], "--help") ||
+        } else if (!std::strcmp(argv[i], "--trace-cache"))
+            o.traceCacheDir = value(i);
+        else if (!std::strcmp(argv[i], "--no-trace"))
+            o.noTrace = true;
+        else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             printUsage(argv[0], stdout);
             std::exit(0);
@@ -210,6 +225,12 @@ parseOptions(int argc, char **argv, Options defaults = {})
             std::exit(2);
         }
     }
+    // Configure the process-wide trace cache here so every bench gets
+    // the behaviour without per-harness plumbing.
+    if (o.noTrace)
+        TraceCache::instance().setEnabled(false);
+    if (!o.traceCacheDir.empty())
+        TraceCache::instance().setDirectory(o.traceCacheDir);
     return o;
 }
 

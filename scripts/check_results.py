@@ -9,8 +9,9 @@ Usage:
 
     scripts/check_results.py --compare A B
         Assert two documents carry identical simulated results,
-        ignoring the wall-clock-dependent "timing" block. Use this to
-        confirm --jobs 1 and --jobs N exports of the same grid match.
+        ignoring the wall-clock-dependent "timing" and "trace"
+        blocks. Use this to confirm --jobs 1 and --jobs N exports of
+        the same grid match.
 
     scripts/check_results.py --throughput FILE [--baseline BASE]
         Schema-check an elfsim-throughput-v1 document (written by
@@ -54,6 +55,11 @@ TIMELINE_FIELDS = (
     "start_inst", "insts", "cycles", "ipc", "cond_mispredicts",
     "target_mispredicts", "exec_flushes", "mem_order_flushes",
     "decode_resteers", "divergence_flushes", "coupled_frac",
+)
+# Optional trace-compilation activity block (sweep-wide, like timing).
+TRACE_FIELDS = (
+    "compiles", "cache_hits", "cache_misses", "bytes_mapped",
+    "compile_seconds",
 )
 
 
@@ -121,6 +127,14 @@ def check_document(path, doc, allow_failed=0):
         for k in ("jobs", "threads", "wall_seconds"):
             if not isinstance(timing.get(k), (int, float)):
                 fail(path, f"timing.{k} missing or not a number")
+
+    trace = doc.get("trace")
+    if trace is not None:
+        for k in TRACE_FIELDS:
+            if not isinstance(trace.get(k), (int, float)):
+                fail(path, f"trace.{k} missing or not a number")
+            if trace[k] < 0:
+                fail(path, f"trace.{k} is negative")
 
     if n_not_ok > allow_failed:
         for r in results:
@@ -208,7 +222,7 @@ def main():
     ap.add_argument("files", nargs="+", metavar="FILE")
     ap.add_argument("--compare", action="store_true",
                     help="compare exactly two documents, ignoring "
-                         "the 'timing' block")
+                         "the 'timing' and 'trace' blocks")
     ap.add_argument("--throughput", action="store_true",
                     help="validate elfsim-throughput-v1 documents "
                          "instead of results documents")
@@ -241,12 +255,13 @@ def main():
         if len(args.files) != 2:
             ap.error("--compare takes exactly two files")
         a, b = (dict(docs[p]) for p in args.files)
-        a.pop("timing", None)
-        b.pop("timing", None)
+        for d in (a, b):
+            d.pop("timing", None)
+            d.pop("trace", None)
         if a != b:
             fail(args.files[1],
                  f"results differ from {args.files[0]} "
-                 "(after ignoring 'timing')")
+                 "(after ignoring 'timing' and 'trace')")
         print(f"compare: identical results ({args.files[0]} vs "
               f"{args.files[1]})")
 

@@ -23,7 +23,15 @@ BIN="$BUILD/bench/bench_throughput"
 
 OUT="$BUILD/results"
 mkdir -p "$OUT"
-"$BIN" --stride 3 --jobs 1 --json "$OUT/perf_smoke.json"
+
+# Warm trace cache: repeat smokes map the compiled workload streams
+# from disk instead of regenerating them (content-keyed; safe to keep
+# across rebuilds).
+TRACE_CACHE="$BUILD/trace-cache"
+mkdir -p "$TRACE_CACHE"
+
+"$BIN" --stride 3 --jobs 1 --trace-cache "$TRACE_CACHE" \
+       --json "$OUT/perf_smoke.json"
 
 if [ -f BENCH_throughput.json ]; then
     python3 scripts/check_results.py --throughput \

@@ -32,6 +32,12 @@ ctest --test-dir build --output-on-failure
 RESULTS=build/results
 mkdir -p "$RESULTS"
 
+# One shared compiled-trace cache for the whole campaign: the first
+# bench touching a workload compiles and saves its trace, every later
+# bench maps the artifact (content-keyed, so stale files just miss).
+TRACE_CACHE=build/trace-cache
+mkdir -p "$TRACE_CACHE"
+
 # A bench killed mid-export leaves a truncated JSON behind; never let
 # such a partial artifact masquerade as results.
 CURRENT_ARTIFACT=""
@@ -58,7 +64,8 @@ for b in build/bench/*; do
             ;;
         bench_fig2_timing|bench_table1_workloads|bench_table2_config)
             # Characterization tables: no RunResults to export.
-            "$b" --jobs "$JOBS" ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
+            "$b" --jobs "$JOBS" --trace-cache "$TRACE_CACHE" \
+                 ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
             ;;
         bench_throughput)
             # Simulator-speed gate: separate schema + regression
@@ -68,6 +75,7 @@ for b in build/bench/*; do
             # release-native preset for host-tuned numbers).
             CURRENT_ARTIFACT="$RESULTS/$name.json"
             "$b" --jobs 1 --json "$RESULTS/$name.json" \
+                 --trace-cache "$TRACE_CACHE" \
                  ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
             if [ "$status" -eq 0 ]; then
                 CURRENT_ARTIFACT=""
@@ -84,6 +92,7 @@ for b in build/bench/*; do
         *)
             CURRENT_ARTIFACT="$RESULTS/$name.json"
             "$b" --jobs "$JOBS" --json "$RESULTS/$name.json" \
+                 --trace-cache "$TRACE_CACHE" \
                  ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
             if [ "$status" -eq 0 ]; then
                 ARTIFACTS+=("$RESULTS/$name.json")

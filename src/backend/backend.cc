@@ -8,6 +8,12 @@
 
 namespace elfsim {
 
+bool
+Backend::laterCycle(const CompletionEvent &a, const CompletionEvent &b)
+{
+    return a.cycle > b.cycle;
+}
+
 Backend::Backend(const BackendParams &params, MemHierarchy &mem,
                  MemDepPredictor &mdp)
     : params(params), mem(mem), mdp(mdp),
@@ -16,6 +22,12 @@ Backend::Backend(const BackendParams &params, MemHierarchy &mem,
 {
     iq.reserve(params.iqEntries);
     lsq.reserve(params.lsqEntries);
+    // Stale events of squashed instructions stay queued until their
+    // cycle passes (validation drops them), so size the heap for the
+    // issue rate times the longest completion latency, not just for
+    // the live ROB — steady state must never reallocate.
+    compHeap.reserve(std::size_t(params.robEntries) * 16);
+    compDue.reserve(std::size_t(params.robEntries) * 16);
 }
 
 bool
@@ -160,17 +172,21 @@ Backend::issue(Cycle now, Redirect &redirect)
     unsigned issued = 0;
     unsigned alu = 0, muldiv = 0, ldst = 0, simd = 0;
 
-    auto it = iq.begin();
-    while (it != iq.end() && issued < params.issueWidth) {
-        DynInst *di = &rob.atPos(it->pos);
-        ELFSIM_ASSERT(di->seq == it->seq, "IQ entry not in ROB");
-        if (di->issued) {
-            it = iq.erase(it);
+    // One compacting pass: entries that issue (or turned out stale)
+    // are dropped by not copying them to the write cursor — the
+    // age-ordered scan and the issue decisions are identical to the
+    // old erase-in-place loop, without its O(queue) tail shifts.
+    std::size_t w = 0, r = 0;
+    const std::size_t n = iq.size();
+    for (; r < n && issued < params.issueWidth; ++r) {
+        const SeqSlot slot = iq[r];
+        DynInst *di = &rob.atPos(slot.pos);
+        ELFSIM_ASSERT(di->seq == slot.seq, "IQ entry not in ROB");
+        if (di->issued)
             continue;
-        }
 
         if (!sourcesReady(*di)) {
-            ++it;
+            iq[w++] = slot;
             continue;
         }
 
@@ -178,7 +194,7 @@ Backend::issue(Cycle now, Redirect &redirect)
         if (di->isLoad() && di->waitStore != 0) {
             const DynInst &dep = rob.atPos(di->waitStorePos);
             if (dep.seq == di->waitStore && !dep.completed) {
-                ++it;
+                iq[w++] = slot;
                 continue;
             }
             di->waitStore = 0;
@@ -213,24 +229,53 @@ Backend::issue(Cycle now, Redirect &redirect)
             break;
         }
         if (!fuOk) {
-            ++it;
+            iq[w++] = slot;
             continue;
         }
 
         di->issued = true;
         const Cycle lat = di->isStore() ? 1 : execLatency(*di, now);
         di->completeCycle = now + params.issueToExec + lat - 1;
+        compHeap.push_back({di->completeCycle, slot.seq, slot.pos});
+        std::push_heap(compHeap.begin(), compHeap.end(), laterCycle);
         ++issued;
-        it = iq.erase(it);
     }
+    for (; r < n; ++r)
+        iq[w++] = iq[r];
+    iq.resize(w);
 }
 
 void
 Backend::complete(Cycle now, Redirect &redirect)
 {
-    rob.forEach([&](DynInst &di) {
-        if (!di.issued || di.completed || di.completeCycle > now)
-            return;
+    // Pop every event due by now. The batch is re-sorted to seq order
+    // so instructions complete in exactly the ROB (age) order the old
+    // full-ROB scan used.
+    compDue.clear();
+    while (!compHeap.empty() && compHeap.front().cycle <= now) {
+        std::pop_heap(compHeap.begin(), compHeap.end(), laterCycle);
+        compDue.push_back(compHeap.back());
+        compHeap.pop_back();
+    }
+    if (compDue.empty())
+        return;
+    std::sort(compDue.begin(), compDue.end(),
+              [](const CompletionEvent &a, const CompletionEvent &b) {
+                  return a.seq < b.seq;
+              });
+
+    for (const CompletionEvent &ev : compDue) {
+        // Validate against the live ROB: squashes leave ghost events,
+        // and a squashed-then-replayed instruction can even reuse the
+        // same seq and slot with a different completion cycle. Any
+        // mismatch means this event's instruction is gone; its
+        // replacement (if any) carries its own event.
+        if (!rob.livePos(ev.pos))
+            continue;
+        DynInst &di = rob.atPos(ev.pos);
+        if (di.seq != ev.seq || !di.issued || di.completed ||
+            di.completeCycle > now)
+            continue;
         di.completed = true;
 
         // Store-to-load order violation check: a younger load that
@@ -270,7 +315,7 @@ Backend::complete(Cycle now, Redirect &redirect)
             req.atCycle = now;
             mergeRedirect(redirect, req);
         }
-    });
+    }
 }
 
 void

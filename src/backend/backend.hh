@@ -139,6 +139,27 @@ class Backend
         std::uint32_t pos = 0;
     };
 
+    /**
+     * Scheduled completion of an issued instruction. Events are kept
+     * in a min-heap on @a cycle so complete() touches only the
+     * instructions finishing this cycle instead of scanning the whole
+     * ROB. Squashes leave stale events behind; an event is validated
+     * against the live ROB slot (position liveness + seq identity +
+     * completeCycle) before it fires, so ghosts of squashed — or
+     * squashed-and-replayed — instructions are simply dropped.
+     */
+    struct CompletionEvent
+    {
+        Cycle cycle = 0;
+        SeqNum seq = 0;
+        std::uint32_t pos = 0;
+    };
+
+    /** Heap comparator: std::*_heap max-heaps on it, so "later cycle
+     *  sorts down" yields a min-heap on completion cycle. */
+    static bool laterCycle(const CompletionEvent &a,
+                           const CompletionEvent &b);
+
     void dispatch(Cycle now);
     void issue(Cycle now, Redirect &redirect);
     void complete(Cycle now, Redirect &redirect);
@@ -159,6 +180,12 @@ class Backend
     BoundedQueue<DynInst> rob;        ///< program order, stable slots
     std::vector<SeqSlot> iq;          ///< waiting/unissued, in order
     std::vector<SeqSlot> lsq;         ///< loads+stores in flight
+
+    /** Pending completions, min-heap on cycle (std::*_heap). */
+    std::vector<CompletionEvent> compHeap;
+    /** Events due this cycle, sorted to ROB (seq) order. Member so
+     *  the per-tick batch never allocates in steady state. */
+    std::vector<CompletionEvent> compDue;
 
     /** Producer scoreboard per architectural register: seq and ROB
      *  ring position of the last writer. */

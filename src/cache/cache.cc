@@ -41,6 +41,17 @@ Cache::Cache(const CacheParams &params, MemoryLevel *next)
                   (unsigned long long)params.sizeBytes, params.assoc,
                   params.lineBytes);
     ELFSIM_ASSERT(params.interleaves >= 1, "need >= 1 interleave");
+
+    if (params.lineBytes > 0 &&
+        (params.lineBytes & (params.lineBytes - 1)) == 0) {
+        lineShift = 0;
+        while ((1u << lineShift) < params.lineBytes)
+            ++lineShift;
+    }
+    if ((numSets & (numSets - 1)) == 0) {
+        setMask = numSets - 1;
+        setMaskValid = true;
+    }
 }
 
 Cache::Line *

@@ -115,7 +115,7 @@ class Cache : public MemoryLevel
     unsigned
     bank(Addr addr) const
     {
-        return (addr / params.lineBytes) % params.interleaves;
+        return unsigned(lineAddr(addr) % params.interleaves);
     }
 
     /** Invalidate the whole cache (used between benchmark runs). */
@@ -141,8 +141,23 @@ class Cache : public MemoryLevel
         std::uint64_t lastUse = 0;
     };
 
-    Addr lineAddr(Addr addr) const { return addr / params.lineBytes; }
-    Addr setIndex(Addr line) const { return line % numSets; }
+    /**
+     * Line number / set index, on every lookup. Line size and set
+     * count are powers of two in every shipped configuration, so the
+     * hot path is a shift and a mask; the division fallback keeps
+     * odd geometries correct.
+     */
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return lineShift >= 0 ? addr >> lineShift
+                              : addr / params.lineBytes;
+    }
+    Addr
+    setIndex(Addr line) const
+    {
+        return setMaskValid ? line & setMask : line % numSets;
+    }
 
     /** Find the line; nullptr on miss. */
     Line *findLine(Addr line);
@@ -154,6 +169,11 @@ class Cache : public MemoryLevel
     CacheParams params;
     MemoryLevel *nextLevel;
     std::uint64_t numSets;
+    /** log2(lineBytes), or -1 when lineBytes is not a power of two. */
+    int lineShift = -1;
+    /** numSets - 1 when numSets is a power of two (see setMaskValid). */
+    Addr setMask = 0;
+    bool setMaskValid = false;
     std::vector<Line> lines; // numSets * assoc, set-major
     std::uint64_t useTick = 0;
 

@@ -122,10 +122,12 @@ FaultInjector::parse(const std::string &spec)
             s.kind = FaultKind::Hang;
         else if (site == "slow")
             s.kind = FaultKind::Slow;
+        else if (site == "tracecache")
+            s.kind = FaultKind::TraceCache;
         else
             throw ConfigError(errorf(
                 "unknown fault site '%s' (throw, panic, transient, "
-                "hang, slow)", site.c_str()));
+                "hang, slow, tracecache)", site.c_str()));
 
         const auto parseNum = [&](const std::string &v,
                                   const char *what) -> std::uint64_t {
@@ -162,6 +164,8 @@ void
 FaultInjector::poll(const ExecContext &ctx, std::uint64_t tick)
 {
     for (const FaultSpec &s : armedFaults) {
+        if (s.kind == FaultKind::TraceCache)
+            continue; // fires from the cache's read path, not here
         if (!s.anyJob && s.job != ctx.jobIndex)
             continue;
         if (tick < s.tick)
@@ -207,7 +211,27 @@ FaultInjector::fire(const FaultSpec &s, const ExecContext &ctx)
       case FaultKind::Slow:
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         return;
+      case FaultKind::TraceCache:
+        return; // handled by shouldCorruptTraceRead(), never fires here
     }
+}
+
+bool
+FaultInjector::shouldCorruptTraceRead() const
+{
+    for (const FaultSpec &s : armedFaults) {
+        if (s.kind != FaultKind::TraceCache)
+            continue;
+        if (s.anyJob)
+            return true;
+        const ExecContext *ctx = currentExecContext();
+        // Precompilation happens before any job context exists; a
+        // job-targeted spec still corrupts those shared loads so the
+        // fault cannot be dodged by the precompile pass.
+        if (!ctx || ctx->jobIndex == s.job)
+            return true;
+    }
+    return false;
 }
 
 } // namespace elfsim

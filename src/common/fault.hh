@@ -30,6 +30,12 @@
  *              (cell -> timeout; requires --stall or --deadline)
  *   slow       sleep 1 ms at every subsequent poll (cell -> timeout
  *              when a deadline is set, otherwise just slow)
+ *   tracecache corrupt compiled-trace cache reads: the TraceCache
+ *              behaves as if every matching on-disk artifact failed
+ *              its checksum, forcing the transparent recompile path
+ *              (cell -> ok, just slower; proves a poisoned cache can
+ *              never fail a cell). The <tick> field is ignored —
+ *              cache loads happen before simulated time starts.
  *
  * Injection is deterministic: it keys on simulated cycles and the
  * job's submission index, never on wall-clock or thread identity.
@@ -132,7 +138,7 @@ class ScopedExecContext
 };
 
 /** What an armed fault does when it fires. */
-enum class FaultKind { Throw, Panic, Transient, Hang, Slow };
+enum class FaultKind { Throw, Panic, Transient, Hang, Slow, TraceCache };
 
 /** One armed fault: fire @a kind in job @a job at cycle @a tick. */
 struct FaultSpec
@@ -164,6 +170,15 @@ class FaultInjector
 
     /** Deterministic hook called from ExecContext::poll. */
     void poll(const ExecContext &ctx, std::uint64_t tick);
+
+    /**
+     * Hook for the TraceCache's disk-read path: true when a
+     * 'tracecache' fault is armed for the job on this thread (or for
+     * every job, or when no job context is installed — precompilation
+     * runs before any job starts). The tick field is ignored; see the
+     * file comment.
+     */
+    bool shouldCorruptTraceRead() const;
 
   private:
     FaultInjector() = default;

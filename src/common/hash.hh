@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Streaming content hashing for cache keys and payload checksums.
+ *
+ * FNV-1a over 64 bits: simple, fast enough for megabyte payloads, and
+ * — unlike std::hash — stable across standard libraries and process
+ * runs, which an on-disk cache key must be. Not cryptographic; the
+ * trace cache uses it to detect staleness and corruption, not to
+ * resist adversaries.
+ */
+
+#ifndef ELFSIM_COMMON_HASH_HH
+#define ELFSIM_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace elfsim {
+
+/** Incremental FNV-1a 64-bit hasher. */
+class Fnv1a
+{
+  public:
+    /** Fold a raw byte range into the hash. */
+    Fnv1a &
+    bytes(const void *data, std::size_t len)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        std::uint64_t x = state;
+        for (std::size_t i = 0; i < len; ++i) {
+            x ^= p[i];
+            x *= prime;
+        }
+        state = x;
+        return *this;
+    }
+
+    /** Fold one unsigned 64-bit value (endianness-independent). */
+    Fnv1a &
+    u64(std::uint64_t v)
+    {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        return bytes(b, sizeof(b));
+    }
+
+    /** Fold a double by its bit pattern. */
+    Fnv1a &
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        return u64(bits);
+    }
+
+    /** Fold a string's characters (length included, so "ab"+"c" and
+     *  "a"+"bc" hash differently). */
+    Fnv1a &
+    str(std::string_view s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return state; }
+
+  private:
+    static constexpr std::uint64_t offsetBasis = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t prime = 0x100000001b3ull;
+
+    std::uint64_t state = offsetBasis;
+};
+
+/** One-shot convenience: FNV-1a of a byte range. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len)
+{
+    return Fnv1a().bytes(data, len).value();
+}
+
+} // namespace elfsim
+
+#endif // ELFSIM_COMMON_HASH_HH

@@ -112,6 +112,20 @@ class BoundedQueue
     T &atPos(std::size_t pos) { return buf[pos]; }
     const T &atPos(std::size_t pos) const { return buf[pos]; }
 
+    /**
+     * @return true iff buffer position @a pos currently holds a live
+     * element. A popped or squashed slot keeps its stale contents, so
+     * holders of a stable position must check liveness (plus seq
+     * identity) before trusting it.
+     */
+    bool
+    livePos(std::size_t pos) const
+    {
+        const std::size_t rel = pos >= head ? pos - head
+                                            : pos + cap - head;
+        return rel < count;
+    }
+
     /** Push a new youngest element and return its buffer position. */
     std::size_t
     pushPos(T v)

@@ -8,7 +8,8 @@
 
 namespace elfsim {
 
-Core::Core(const SimConfig &cfg, const Program &prog)
+Core::Core(const SimConfig &cfg, const Program &prog,
+           std::shared_ptr<const CompiledTrace> trace)
     : cfg(cfg), prog(prog)
 {
     // A non-zero run seed re-derives the stochastic-allocation seeds
@@ -20,7 +21,8 @@ Core::Core(const SimConfig &cfg, const Program &prog)
             mix64(this->cfg.rngSeed, 0x17a6);
     }
 
-    oracle = std::make_unique<OracleStream>(prog);
+    oracle = std::make_unique<OracleStream>(
+        prog, defaultOracleWindowCap, std::move(trace));
     walker = std::make_unique<WrongPathWalker>(prog);
     instSupply = std::make_unique<InstSupply>(*oracle, *walker);
     mem = std::make_unique<MemHierarchy>(cfg.mem);

@@ -59,7 +59,15 @@ struct CoreStats
 class Core
 {
   public:
-    Core(const SimConfig &cfg, const Program &prog);
+    /**
+     * @param trace Optional compiled architectural trace for @a prog
+     *        (see workload/compiled_trace.hh), shared read-only with
+     *        every other core simulating the same content; null keeps
+     *        the oracle stream fully lazy. Behaviour-neutral either
+     *        way — the compiled stream is the lazy stream.
+     */
+    Core(const SimConfig &cfg, const Program &prog,
+         std::shared_ptr<const CompiledTrace> trace = nullptr);
 
     /** Advance one cycle. */
     void tick();

@@ -70,6 +70,18 @@ writeTiming(JsonWriter &w, const SweepTiming &t)
     w.endObject();
 }
 
+void
+writeTraceStats(JsonWriter &w, const TraceStats &t)
+{
+    w.beginObject();
+    w.field("compiles", t.compiles);
+    w.field("cache_hits", t.cacheHits);
+    w.field("cache_misses", t.cacheMisses);
+    w.field("bytes_mapped", t.bytesMapped);
+    w.field("compile_seconds", t.compileSeconds);
+    w.endObject();
+}
+
 } // namespace
 
 void
@@ -137,7 +149,7 @@ runResultFromJson(const json::Value &obj)
 
 void
 writeSweepJson(std::ostream &os, const std::vector<RunResult> &results,
-               const SweepTiming *timing)
+               const SweepTiming *timing, const TraceStats *trace)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -145,6 +157,10 @@ writeSweepJson(std::ostream &os, const std::vector<RunResult> &results,
     if (timing) {
         w.key("timing");
         writeTiming(w, *timing);
+    }
+    if (trace) {
+        w.key("trace");
+        writeTraceStats(w, *trace);
     }
     w.key("results");
     w.beginArray();

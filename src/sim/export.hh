@@ -13,6 +13,7 @@
  *   {
  *     "schema": "elfsim-results-v2",
  *     "timing": { ... SweepTiming ... },      // optional
+ *     "trace":  { ... TraceStats ... },       // optional
  *     "results": [
  *       { "workload": ..., "variant": ..., <summary scalars>,
  *         "error": "", "attempts": N, "status": "ok",
@@ -27,6 +28,12 @@
  * (runs of the bounded retry policy, >= 1) — fault-tolerant sweeps
  * degrade gracefully by marking a bad cell instead of aborting, so
  * the schema must distinguish a zeroed failed cell from real data.
+ *
+ * The optional "trace" block records the sweep's trace-compilation
+ * activity (compiles, cache_hits, cache_misses, bytes_mapped,
+ * compile_seconds). Like "timing" it is host-dependent bookkeeping,
+ * so the deterministic byte-identity guarantee covers documents
+ * written without it (writeResultsJson).
  *
  * The resume manifest (elfsim-manifest-v1) is JSONL: one compact
  * object per completed cell, appended and flushed as cells finish so
@@ -48,6 +55,7 @@
 #include "common/json.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "workload/trace_cache.hh"
 
 namespace elfsim {
 
@@ -63,13 +71,14 @@ RunResult runResultFromJson(const json::Value &obj);
 
 /**
  * Serialize a whole result set as the elfsim-results-v2 document.
- * @a timing may be null; everything else in the document depends only
- * on the simulated results, so two deterministic sweeps of the same
- * grid serialize byte-identically when timing is omitted.
+ * @a timing and @a trace may be null; everything else in the document
+ * depends only on the simulated results, so two deterministic sweeps
+ * of the same grid serialize byte-identically when both are omitted.
  */
 void writeSweepJson(std::ostream &os,
                     const std::vector<RunResult> &results,
-                    const SweepTiming *timing = nullptr);
+                    const SweepTiming *timing = nullptr,
+                    const TraceStats *trace = nullptr);
 
 /** Results-only convenience: writeSweepJson without timing. */
 void writeResultsJson(std::ostream &os,

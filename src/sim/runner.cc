@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "workload/trace_cache.hh"
 
 namespace elfsim {
 
@@ -75,7 +76,14 @@ RunResult
 runSimulation(const Program &prog, const SimConfig &cfg,
               const RunOptions &opts)
 {
-    Core core(cfg, prog);
+    // The trace only needs to cover the committed-instruction budget;
+    // fetch-ahead past it falls through to the lazy tail, which is
+    // stream-identical by construction.
+    std::shared_ptr<const CompiledTrace> trace = opts.trace;
+    if (!trace)
+        trace = TraceCache::instance().acquire(
+            prog, opts.warmupInsts + opts.measureInsts);
+    Core core(cfg, prog, std::move(trace));
 
     // Warmup: predictors, BTB, and caches train; stats that matter
     // are measured as deltas across the measurement window.

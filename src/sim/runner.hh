@@ -8,6 +8,7 @@
 #ifndef ELFSIM_SIM_RUNNER_HH
 #define ELFSIM_SIM_RUNNER_HH
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -193,6 +194,16 @@ struct RunOptions
      * exact same sequence either way.
      */
     InstCount intervalInsts = 0;
+
+    /**
+     * Compiled architectural trace to back the oracle stream with
+     * (callers holding one — the sweep engine — pass it so every cell
+     * of a workload shares the same buffer). When null, runSimulation
+     * asks the process-wide TraceCache, which compiles the stream
+     * once per distinct program and is a no-op when trace compilation
+     * is disabled. Behaviour-neutral in all cases.
+     */
+    std::shared_ptr<const CompiledTrace> trace;
 };
 
 /**

@@ -221,6 +221,25 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
     // deque: JobWatch holds atomics and must never move.
     std::deque<JobWatch> watches(grid.size());
 
+    // Precompile: acquire each pending cell's compiled trace before
+    // any per-job timer starts. The TraceCache memoizes by content,
+    // so a grid of V variants over W workloads compiles (or loads)
+    // exactly W traces and every cell shares them read-only; the
+    // compilation cost never lands in jobSeconds. Null entries (cache
+    // disabled) leave those cells on the lazy reference path.
+    const TraceStats traceStart = TraceCache::instance().stats();
+    std::vector<std::shared_ptr<const CompiledTrace>> traces(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (done[i] || !grid[i].program)
+            continue;
+        traces[i] = grid[i].opts.trace
+                        ? grid[i].opts.trace
+                        : TraceCache::instance().acquire(
+                              *grid[i].program,
+                              grid[i].opts.warmupInsts +
+                                  grid[i].opts.measureInsts);
+    }
+
     const auto sweepStart = std::chrono::steady_clock::now();
 
     auto runOne = [&](std::size_t i) {
@@ -231,6 +250,7 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
             // exec context still goes up (control-less) so injected
             // faults fire here too.
             SweepJob job = grid[i];
+            job.opts.trace = traces[i];
             if (baseSeed)
                 job.cfg.rngSeed = mix64(baseSeed, i + 1);
             ExecContext ctx;
@@ -255,6 +275,7 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
 
         for (std::uint64_t attempt = 1;; ++attempt) {
             SweepJob job = grid[i];
+            job.opts.trace = traces[i];
             if (baseSeed)
                 job.cfg.rngSeed = mix64(baseSeed, i + 1);
 
@@ -367,6 +388,8 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
     if (monitor.joinable())
         monitor.join();
 
+    lastTraceStats = TraceCache::instance().stats().delta(traceStart);
+
     lastTiming = SweepTiming{};
     lastTiming.jobs = static_cast<unsigned>(grid.size());
     lastTiming.threads = threads;
@@ -398,7 +421,7 @@ void
 SweepRunner::writeJson(const std::string &path) const
 {
     std::ofstream os = openOrDie(path);
-    writeSweepJson(os, lastResults, &lastTiming);
+    writeSweepJson(os, lastResults, &lastTiming, &lastTraceStats);
 }
 
 void
@@ -452,6 +475,20 @@ SweepRunner::printTimingSummary(std::ostream &os) const
     for (double s : jobSeconds)
         d.sample(s);
     g.dump(os);
+
+    const TraceStats &tr = lastTraceStats;
+    stats::StatGroup tg("trace");
+    tg.addCounter("compiles", "traces built from the generator") +=
+        tr.compiles;
+    tg.addCounter("cache_hits", "memo or on-disk artifact reuse") +=
+        tr.cacheHits;
+    tg.addCounter("cache_misses", "acquisitions that had to compile") +=
+        tr.cacheMisses;
+    tg.addCounter("bytes_mapped", "trace file bytes mapped from disk") +=
+        tr.bytesMapped;
+    tg.addFormula("compile_seconds", "wall-clock spent compiling",
+                  [&tr] { return tr.compileSeconds; });
+    tg.dump(os);
 }
 
 } // namespace elfsim

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "sim/runner.hh"
+#include "workload/trace_cache.hh"
 
 namespace elfsim {
 
@@ -142,6 +143,13 @@ class SweepRunner
      * Run every job and return results indexed by submission order.
      * With 1 thread (or a 1-job grid) the jobs run inline on the
      * calling thread — the serial reference path.
+     *
+     * Before the per-job timers start, each distinct (program
+     * content, instruction budget) pair in the grid has its compiled
+     * trace acquired once from the process-wide TraceCache; every
+     * cell of a workload then shares the same immutable buffer, and
+     * compilation cost never lands in perJobSeconds(). A disabled
+     * TraceCache makes this a no-op (fully lazy cells).
      */
     std::vector<RunResult> run(const std::vector<SweepJob> &grid);
 
@@ -149,6 +157,10 @@ class SweepRunner
 
     /** Timing of the most recent run(). */
     const SweepTiming &timing() const { return lastTiming; }
+
+    /** Trace-compilation activity during the most recent run()
+     *  (TraceCache counter deltas captured across run()). */
+    const TraceStats &traceStats() const { return lastTraceStats; }
 
     /** Results of the most recent run(), in submission order. */
     const std::vector<RunResult> &results() const { return lastResults; }
@@ -221,6 +233,7 @@ class SweepRunner
     std::uint64_t baseSeed = 0;
     SweepPolicy pol;
     SweepTiming lastTiming;
+    TraceStats lastTraceStats;  ///< TraceCache activity, last run
     std::vector<RunResult> lastResults; ///< merged results, last run
     std::vector<double> jobSeconds; ///< per-job wall-clocks, last run
 };

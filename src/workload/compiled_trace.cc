@@ -1,0 +1,369 @@
+#include "workload/compiled_trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ELFSIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace elfsim {
+
+namespace {
+
+constexpr char traceMagic[16] = "elfsim-trace-v1"; // includes the NUL
+
+/** Fixed-size part of the file, through the checksum field. */
+constexpr std::size_t headerBytes = 16 + 8 * 8;
+
+/** Header scalar fields, in file order (after the magic). */
+struct TraceHeader
+{
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+    std::uint64_t callDepth = 0;
+    std::uint64_t condN = 0;
+    std::uint64_t indN = 0;
+    std::uint64_t memN = 0;
+    std::uint64_t endPC = 0;
+    std::uint64_t checksum = 0;
+};
+
+std::uint64_t
+takenWordsFor(std::uint64_t count)
+{
+    return (count + 63) / 64;
+}
+
+/** Total file size implied by the header (no overflow for the
+ *  sanity-capped field values enforced by the loader). */
+std::uint64_t
+expectedFileSize(const TraceHeader &h)
+{
+    const std::uint64_t u64s = h.callDepth + h.condN + h.indN + h.memN +
+                               takenWordsFor(h.count) + 2 * h.count;
+    return headerBytes + 8 * u64s + 4 * h.count;
+}
+
+/**
+ * Checksum of the semantic content: every header scalar except the
+ * checksum itself, then the raw section bytes. @a sections is the
+ * contiguous region following the header.
+ */
+std::uint64_t
+contentChecksum(const TraceHeader &h, const void *sections,
+                std::size_t section_bytes)
+{
+    Fnv1a hash;
+    hash.u64(h.key)
+        .u64(h.count)
+        .u64(h.callDepth)
+        .u64(h.condN)
+        .u64(h.indN)
+        .u64(h.memN)
+        .u64(h.endPC);
+    hash.bytes(sections, section_bytes);
+    return hash.value();
+}
+
+/** RAII holder keeping a loaded file image alive for the views. */
+struct FileBacking
+{
+    void *map = nullptr;       ///< mmap base (null for heap images)
+    std::size_t mapLen = 0;
+    std::vector<char> heap;    ///< read() fallback image
+
+    const char *
+    data() const
+    {
+        return map ? static_cast<const char *>(map) : heap.data();
+    }
+    std::size_t size() const { return map ? mapLen : heap.size(); }
+
+    ~FileBacking()
+    {
+#ifdef ELFSIM_HAVE_MMAP
+        if (map)
+            ::munmap(map, mapLen);
+#endif
+    }
+};
+
+/** Map (or read) a whole file; null result means "cannot open". */
+std::shared_ptr<FileBacking>
+openFileImage(const std::string &path)
+{
+    auto backing = std::make_shared<FileBacking>();
+#ifdef ELFSIM_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        struct stat st;
+        if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+            void *p = ::mmap(nullptr, std::size_t(st.st_size), PROT_READ,
+                             MAP_PRIVATE, fd, 0);
+            if (p != MAP_FAILED) {
+                backing->map = p;
+                backing->mapLen = std::size_t(st.st_size);
+                ::close(fd);
+                return backing;
+            }
+        }
+        ::close(fd);
+    }
+#endif
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return nullptr;
+    in.seekg(0, std::ios::end);
+    const std::streamoff len = in.tellg();
+    in.seekg(0, std::ios::beg);
+    backing->heap.resize(len > 0 ? std::size_t(len) : 0);
+    if (len > 0 &&
+        !in.read(backing->heap.data(), std::streamsize(len)))
+        return nullptr;
+    return backing;
+}
+
+} // namespace
+
+std::uint64_t
+CompiledTrace::key(const Program &prog, InstCount count)
+{
+    Fnv1a h;
+    h.str(traceMagic); // format version participates in the key
+    h.u64(prog.codeBase()).u64(prog.entryPC()).u64(count);
+
+    const std::vector<StaticInst> &image = prog.instructions();
+    h.u64(image.size());
+    for (const StaticInst &si : image) {
+        h.u64(si.pc)
+            .u64(std::uint64_t(si.cls))
+            .u64(std::uint64_t(si.branch))
+            .u64(si.directTarget)
+            .u64(si.destReg)
+            .u64(si.srcRegs[0])
+            .u64(si.srcRegs[1])
+            .u64(si.behavior);
+    }
+
+    const BehaviorSet &b = prog.behaviors();
+    h.u64(b.numConds());
+    for (std::size_t i = 0; i < b.numConds(); ++i) {
+        const CondSpec &c = b.cond(std::uint32_t(i));
+        h.u64(std::uint64_t(c.kind))
+            .f64(c.takenProb)
+            .u64(c.period)
+            .u64(c.seed)
+            .f64(c.patternBias);
+    }
+    h.u64(b.numIndirects());
+    for (std::size_t i = 0; i < b.numIndirects(); ++i) {
+        const IndirectSpec &t = b.indirect(std::uint32_t(i));
+        h.u64(std::uint64_t(t.kind)).u64(t.period).u64(t.seed);
+        h.u64(t.targets.size());
+        for (Addr a : t.targets)
+            h.u64(a);
+    }
+    h.u64(b.numMems());
+    for (std::size_t i = 0; i < b.numMems(); ++i) {
+        const MemSpec &m = b.mem(std::uint32_t(i));
+        h.u64(std::uint64_t(m.kind))
+            .u64(m.regionBase)
+            .u64(m.regionSize)
+            .u64(m.stride)
+            .u64(m.seed);
+    }
+    return h.value();
+}
+
+std::shared_ptr<const CompiledTrace>
+CompiledTrace::compile(const Program &prog, InstCount count)
+{
+    std::shared_ptr<CompiledTrace> t(new CompiledTrace);
+    t->count_ = count;
+    t->key_ = key(prog, count);
+
+    t->ownTaken_.assign(takenWordsFor(count), 0);
+    t->ownNextPC_.resize(count);
+    t->ownMemAddr_.resize(count);
+    t->ownSiIdx_.resize(count);
+
+    const StaticInst *imageBase = prog.instructions().data();
+    OracleGen gen;
+    gen.reset(prog);
+    for (InstCount i = 0; i < count; ++i) {
+        const OracleInst oi = gen.step(prog);
+        t->ownSiIdx_[i] = std::uint32_t(oi.si - imageBase);
+        if (oi.taken)
+            t->ownTaken_[i >> 6] |= std::uint64_t(1) << (i & 63);
+        t->ownNextPC_[i] = oi.nextPC;
+        t->ownMemAddr_[i] = oi.memAddr;
+    }
+    t->end_ = std::move(gen);
+
+    t->takenWords_ = t->ownTaken_.data();
+    t->nextPC_ = t->ownNextPC_.data();
+    t->memAddr_ = t->ownMemAddr_.data();
+    t->siIdx_ = t->ownSiIdx_.data();
+    return t;
+}
+
+std::size_t
+CompiledTrace::payloadBytes() const
+{
+    return 8 * (takenWordsFor(count_) + 2 * count_) + 4 * count_;
+}
+
+void
+CompiledTrace::save(const std::string &path) const
+{
+    TraceHeader h;
+    h.key = key_;
+    h.count = count_;
+    h.callDepth = end_.callStack.size();
+    h.condN = end_.condCount.size();
+    h.indN = end_.indCount.size();
+    h.memN = end_.memCount.size();
+    h.endPC = end_.pc;
+
+    // Assemble the section region once so the checksum and the write
+    // see the exact same bytes.
+    std::vector<char> sections;
+    sections.reserve(std::size_t(expectedFileSize(h)) - headerBytes);
+    const auto appendU64s = [&sections](const std::uint64_t *p,
+                                        std::size_t n) {
+        const char *raw = reinterpret_cast<const char *>(p);
+        sections.insert(sections.end(), raw, raw + 8 * n);
+    };
+    appendU64s(end_.callStack.data(), h.callDepth);
+    appendU64s(end_.condCount.data(), h.condN);
+    appendU64s(end_.indCount.data(), h.indN);
+    appendU64s(end_.memCount.data(), h.memN);
+    appendU64s(takenWords_, takenWordsFor(count_));
+    appendU64s(nextPC_, count_);
+    appendU64s(memAddr_, count_);
+    const char *siRaw = reinterpret_cast<const char *>(siIdx_);
+    sections.insert(sections.end(), siRaw, siRaw + 4 * count_);
+
+    h.checksum = contentChecksum(h, sections.data(), sections.size());
+
+    // Write to a private temp file and rename into place: readers of
+    // a shared cache directory only ever see complete files.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(
+#ifdef ELFSIM_HAVE_MMAP
+                              std::uint64_t(::getpid())
+#else
+                              std::uint64_t(0)
+#endif
+        );
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw IoError(errorf("cannot open '%s' for writing",
+                                 tmp.c_str()));
+        os.write(traceMagic, sizeof(traceMagic));
+        const std::uint64_t scalars[] = {h.key,  h.count, h.callDepth,
+                                         h.condN, h.indN,  h.memN,
+                                         h.endPC, h.checksum};
+        os.write(reinterpret_cast<const char *>(scalars),
+                 sizeof(scalars));
+        os.write(sections.data(), std::streamsize(sections.size()));
+        if (!os)
+            throw IoError(errorf("write to '%s' failed", tmp.c_str()));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw IoError(errorf("cannot rename '%s' into '%s'",
+                             tmp.c_str(), path.c_str()));
+    }
+}
+
+std::shared_ptr<const CompiledTrace>
+CompiledTrace::load(const std::string &path, std::uint64_t expect_key)
+{
+    std::shared_ptr<FileBacking> backing = openFileImage(path);
+    if (!backing)
+        throw IoError(errorf("cannot read trace file '%s'",
+                             path.c_str()));
+
+    const char *data = backing->data();
+    const std::size_t size = backing->size();
+    if (size < headerBytes)
+        throw ParseError(errorf("trace file '%s' truncated "
+                                "(%zu bytes, header needs %zu)",
+                                path.c_str(), size, headerBytes));
+    if (std::memcmp(data, traceMagic, sizeof(traceMagic)) != 0)
+        throw ParseError(errorf("trace file '%s' has a bad magic "
+                                "(not an elfsim-trace-v1 file)",
+                                path.c_str()));
+
+    TraceHeader h;
+    std::memcpy(&h.key, data + 16, 8 * 8); // scalars are contiguous
+    if (h.key != expect_key)
+        throw ParseError(errorf(
+            "trace file '%s' is stale: key %016llx, expected %016llx",
+            path.c_str(), (unsigned long long)h.key,
+            (unsigned long long)expect_key));
+
+    // Field sanity before any size arithmetic (caps far above real
+    // values keep a corrupt length from overflowing the size check).
+    constexpr std::uint64_t fieldCap = std::uint64_t(1) << 32;
+    if (h.count >= fieldCap || h.callDepth > OracleGen::maxCallDepth ||
+        h.condN >= fieldCap || h.indN >= fieldCap || h.memN >= fieldCap)
+        throw ParseError(errorf("trace file '%s' has implausible "
+                                "section lengths", path.c_str()));
+    if (size != expectedFileSize(h))
+        throw ParseError(errorf(
+            "trace file '%s' size mismatch (%zu bytes, header "
+            "implies %llu)", path.c_str(), size,
+            (unsigned long long)expectedFileSize(h)));
+
+    const char *sections = data + headerBytes;
+    const std::size_t sectionBytes = size - headerBytes;
+    if (contentChecksum(h, sections, sectionBytes) != h.checksum)
+        throw ParseError(errorf("trace file '%s' failed its checksum "
+                                "(corrupt or torn write)",
+                                path.c_str()));
+
+    std::shared_ptr<CompiledTrace> t(new CompiledTrace);
+    t->count_ = h.count;
+    t->key_ = h.key;
+    t->backing_ = backing;
+    t->mappedBytes_ = backing->map ? backing->mapLen : 0;
+
+    const std::uint64_t *u64s =
+        reinterpret_cast<const std::uint64_t *>(sections);
+    const auto takeU64s = [&u64s](std::vector<std::uint64_t> &out,
+                                  std::size_t n) {
+        out.assign(u64s, u64s + n);
+        u64s += n;
+    };
+    t->end_.pc = h.endPC;
+    t->end_.callStack.reserve(OracleGen::maxCallDepth);
+    t->end_.callStack.assign(u64s, u64s + h.callDepth);
+    u64s += h.callDepth;
+    takeU64s(t->end_.condCount, h.condN);
+    takeU64s(t->end_.indCount, h.indN);
+    takeU64s(t->end_.memCount, h.memN);
+
+    t->takenWords_ = u64s;
+    u64s += takenWordsFor(h.count);
+    t->nextPC_ = u64s;
+    u64s += h.count;
+    t->memAddr_ = u64s;
+    u64s += h.count;
+    t->siIdx_ = reinterpret_cast<const std::uint32_t *>(u64s);
+    return t;
+}
+
+} // namespace elfsim

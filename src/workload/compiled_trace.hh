@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Compiled architectural-trace artifact.
+ *
+ * A CompiledTrace materializes the first N instructions of a
+ * workload's dynamic stream — the exact sequence OracleStream would
+ * generate lazily — into a flat, index-addressable structure-of-arrays
+ * buffer: static-instruction index, taken bitset, next PC, and bound
+ * memory address. Building it costs one pass of the shared OracleGen
+ * kernel; afterwards every simulation cell of a sweep (and every bench
+ * in a campaign, via the on-disk TraceCache) reads the same immutable
+ * buffer instead of re-evaluating conditional-outcome specs, indirect
+ * target specs, and memory hash chains per instruction per cell.
+ *
+ * The trace also records the generator state *after* instruction N
+ * (PC, call stack, spec instance counters) so a consumer that runs
+ * past the compiled prefix resumes lazy generation seamlessly — the
+ * compiled and lazy streams are indistinguishable at every index.
+ *
+ * On-disk format ("elfsim-trace-v1", native-endian, 8-byte words):
+ *
+ *   char     magic[16]   "elfsim-trace-v1\0"
+ *   u64      key         content hash (program image + behaviour
+ *                        specs + instruction count + format version)
+ *   u64      count       compiled instructions
+ *   u64      callDepth, condN, indN, memN   end-state array lengths
+ *   u64      endPC       generator PC after instruction count
+ *   u64      checksum    FNV-1a of the other header scalars plus
+ *                        every section byte after this field
+ *   u64[]    callStack, condCount, indCount, memCount  (end state)
+ *   u64[]    takenWords  ceil(count / 64) packed outcome bits
+ *   u64[]    nextPC      count entries
+ *   u64[]    memAddr     count entries (invalidAddr for non-mem ops)
+ *   u32[]    siIdx       count entries (index into the program image)
+ *
+ * The file size is fully determined by the header, so truncation is
+ * detected before the checksum is even computed; a bad magic, a stale
+ * key, a size mismatch, or a checksum mismatch all raise ParseError,
+ * which the TraceCache treats as "recompile", never as a failed cell.
+ */
+
+#ifndef ELFSIM_WORKLOAD_COMPILED_TRACE_HH
+#define ELFSIM_WORKLOAD_COMPILED_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/oracle_stream.hh"
+#include "workload/program.hh"
+
+namespace elfsim {
+
+/** Immutable compiled prefix of a workload's architectural stream. */
+class CompiledTrace
+{
+  public:
+    /** Run the generation kernel for @a count instructions of
+     *  @a prog and materialize the results. */
+    static std::shared_ptr<const CompiledTrace>
+    compile(const Program &prog, InstCount count);
+
+    /**
+     * Content hash identifying a (program, instruction count) pair:
+     * the static image, every behaviour spec, the entry point, the
+     * requested length, and the format version. Two programs with
+     * identical content share a key (and therefore a cache file)
+     * regardless of their names or addresses in memory.
+     */
+    static std::uint64_t key(const Program &prog, InstCount count);
+
+    /** Compiled instructions. */
+    InstCount size() const { return count_; }
+
+    /** The content hash this trace was compiled (or loaded) under. */
+    std::uint64_t cacheKey() const { return key_; }
+
+    // 0-based accessors into the flat buffers (index < size()).
+    std::uint32_t siIndex(InstCount i) const { return siIdx_[i]; }
+    bool
+    taken(InstCount i) const
+    {
+        return (takenWords_[i >> 6] >> (i & 63)) & 1;
+    }
+    Addr nextPC(InstCount i) const { return nextPC_[i]; }
+    Addr memAddr(InstCount i) const { return memAddr_[i]; }
+
+    /** Generator state after the last compiled instruction (lazy-tail
+     *  resume point). */
+    const OracleGen &endState() const { return end_; }
+
+    /** Size of the instruction arrays in bytes (stat reporting). */
+    std::size_t payloadBytes() const;
+
+    /** Bytes served by a file mapping (0 for compiled/heap-loaded). */
+    std::size_t mappedBytes() const { return mappedBytes_; }
+
+    /**
+     * Write the trace to @a path atomically (temp file + rename), so
+     * concurrent processes sharing one cache directory never observe
+     * a torn file. Throws IoError on filesystem failure.
+     */
+    void save(const std::string &path) const;
+
+    /**
+     * Load a trace from @a path, mmap when possible (falling back to
+     * a plain read), verifying magic, version, size, checksum, and
+     * that the stored key equals @a expect_key. Throws ParseError on
+     * any mismatch or corruption, IoError if the file cannot be read.
+     */
+    static std::shared_ptr<const CompiledTrace>
+    load(const std::string &path, std::uint64_t expect_key);
+
+    CompiledTrace(const CompiledTrace &) = delete;
+    CompiledTrace &operator=(const CompiledTrace &) = delete;
+
+  private:
+    CompiledTrace() = default;
+
+    InstCount count_ = 0;
+    std::uint64_t key_ = 0;
+    OracleGen end_;
+
+    // Array views: into the owned vectors after compile(), into the
+    // backing file (or its heap copy) after load().
+    const std::uint64_t *takenWords_ = nullptr;
+    const Addr *nextPC_ = nullptr;
+    const Addr *memAddr_ = nullptr;
+    const std::uint32_t *siIdx_ = nullptr;
+
+    std::vector<std::uint64_t> ownTaken_;
+    std::vector<Addr> ownNextPC_;
+    std::vector<Addr> ownMemAddr_;
+    std::vector<std::uint32_t> ownSiIdx_;
+
+    /** Keeps a file mapping (or heap image) alive for the views. */
+    std::shared_ptr<void> backing_;
+    std::size_t mappedBytes_ = 0;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_WORKLOAD_COMPILED_TRACE_HH

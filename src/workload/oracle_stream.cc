@@ -1,48 +1,25 @@
 #include "workload/oracle_stream.hh"
 
+#include "workload/compiled_trace.hh"
+
 namespace elfsim {
 
-OracleStream::OracleStream(const Program &prog, std::size_t window_cap)
-    : prog(prog), windowCap(window_cap), window(window_cap),
-      pc(prog.entryPC()),
-      condCount(prog.behaviors().numConds(), 0),
-      indCount(prog.behaviors().numIndirects(), 0),
-      memCount(prog.behaviors().numMems(), 0)
+void
+OracleGen::reset(const Program &prog)
 {
+    pc = prog.entryPC();
     // The call stack is capped at maxCallDepth; pre-sizing it keeps
     // deep call chains from growing the vector mid-simulation.
+    callStack.clear();
     callStack.reserve(maxCallDepth);
+    condCount.assign(prog.behaviors().numConds(), 0);
+    indCount.assign(prog.behaviors().numIndirects(), 0);
+    memCount.assign(prog.behaviors().numMems(), 0);
 }
 
-const OracleInst &
-OracleStream::at(SeqNum idx)
+OracleInst
+OracleGen::step(const Program &prog)
 {
-    ELFSIM_ASSERT(idx >= baseIdx,
-                  "oracle index %llu older than window base %llu",
-                  (unsigned long long)idx, (unsigned long long)baseIdx);
-    while (idx >= baseIdx + window.size())
-        generateOne();
-    return window.at(idx - baseIdx);
-}
-
-void
-OracleStream::retireUpTo(SeqNum idx)
-{
-    while (!window.empty() && baseIdx <= idx) {
-        window.dropFront();
-        ++baseIdx;
-    }
-    if (window.empty() && baseIdx <= idx)
-        baseIdx = idx + 1;
-}
-
-void
-OracleStream::generateOne()
-{
-    ELFSIM_ASSERT(window.size() < windowCap,
-                  "oracle window overflow (%zu insts unretired)",
-                  window.size());
-
     const StaticInst *si = prog.instAt(pc);
     ELFSIM_ASSERT(si != nullptr,
                   "architectural path left the program image at 0x%llx",
@@ -105,8 +82,74 @@ OracleStream::generateOne()
     }
 
     oi.nextPC = next;
-    window.push(oi);
     pc = next;
+    return oi;
+}
+
+OracleStream::OracleStream(const Program &prog, std::size_t window_cap,
+                           std::shared_ptr<const CompiledTrace> trace)
+    : prog(prog), windowCap(window_cap), window(window_cap),
+      trace(std::move(trace))
+{
+    gen.reset(prog);
+}
+
+OracleStream::~OracleStream() = default;
+
+const OracleInst &
+OracleStream::at(SeqNum idx)
+{
+    ELFSIM_ASSERT(idx >= baseIdx,
+                  "oracle index %llu older than window base %llu",
+                  (unsigned long long)idx, (unsigned long long)baseIdx);
+    while (idx >= baseIdx + window.size())
+        generateOne();
+    return window.at(idx - baseIdx);
+}
+
+void
+OracleStream::retireUpTo(SeqNum idx)
+{
+    while (!window.empty() && baseIdx <= idx) {
+        window.dropFront();
+        ++baseIdx;
+    }
+    if (window.empty() && baseIdx <= idx)
+        baseIdx = idx + 1;
+}
+
+void
+OracleStream::generateOne()
+{
+    ELFSIM_ASSERT(window.size() < windowCap,
+                  "oracle window overflow (%zu insts unretired)",
+                  window.size());
+
+    if (trace) {
+        if (genCursor < trace->size()) {
+            // Hot path with a compiled backing store: four linear
+            // reads from the shared immutable buffer, no spec
+            // evaluation and no hashing.
+            OracleInst oi;
+            oi.si = &prog.instructions()[trace->siIndex(genCursor)];
+            oi.taken = trace->taken(genCursor);
+            oi.nextPC = trace->nextPC(genCursor);
+            oi.memAddr = trace->memAddr(genCursor);
+            window.push(oi);
+            ++genCursor;
+            return;
+        }
+        if (!tailAdopted) {
+            // Fell off the compiled prefix (fetch runs a little ahead
+            // of the instruction budget the trace was sized for):
+            // resume the lazy generator from the trace's end state.
+            gen = trace->endState();
+            tailAdopted = true;
+        }
+    }
+
+    window.push(gen.step(prog));
+    ++genCursor;
 }
 
 } // namespace elfsim

@@ -2,13 +2,24 @@
  * @file
  * Architectural (committed-path) instruction stream generator.
  *
- * The OracleStream lazily produces the dynamic instruction stream the
- * program will actually commit, in program order, binding branch
- * outcomes, branch targets, and memory addresses from the behaviour
- * specs. It keeps a window from the oldest uncommitted instruction to
- * the newest generated one so that pipeline flushes can *replay*
- * already-generated instructions deterministically — the generator
- * state never needs to rewind.
+ * The OracleStream produces the dynamic instruction stream the program
+ * will actually commit, in program order, binding branch outcomes,
+ * branch targets, and memory addresses from the behaviour specs. It
+ * keeps a window from the oldest uncommitted instruction to the newest
+ * generated one so that pipeline flushes can *replay* already-generated
+ * instructions deterministically — the generator state never needs to
+ * rewind.
+ *
+ * Instructions come from one of two backing stores:
+ *
+ *   - the lazy generator (OracleGen): spec evaluation per instruction,
+ *     exactly as the window fills — the reference path;
+ *   - a CompiledTrace (workload/compiled_trace.hh): the same stream
+ *     materialized once into a flat immutable buffer and shared
+ *     read-only by every core simulating the same workload. The hot
+ *     path becomes linear reads; past the end of the trace the stream
+ *     resumes the lazy generator from the trace's saved end state, so
+ *     the two stores are indistinguishable to the consumer.
  *
  * The front-end walks this stream while on the correct path; when a
  * prediction disagrees with the oracle outcome the front-end keeps
@@ -20,6 +31,7 @@
 #define ELFSIM_WORKLOAD_ORACLE_STREAM_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/logging.hh"
@@ -28,6 +40,8 @@
 #include "workload/program.hh"
 
 namespace elfsim {
+
+class CompiledTrace;
 
 /** One architectural dynamic instruction. */
 struct OracleInst
@@ -41,7 +55,34 @@ struct OracleInst
     Addr memAddr = invalidAddr;
 };
 
-/** Lazily generated, replayable architectural instruction window. */
+/**
+ * Resumable architectural-stream generator state: the PC, the call
+ * stack, and the per-spec execution-instance counters. step() advances
+ * exactly one instruction. This is the single generation kernel —
+ * OracleStream's lazy path and CompiledTrace::compile both run it, so
+ * a compiled trace is identical to the lazy stream by construction.
+ */
+struct OracleGen
+{
+    Addr pc = invalidAddr;
+    std::vector<Addr> callStack;
+    std::vector<std::uint64_t> condCount;
+    std::vector<std::uint64_t> indCount;
+    std::vector<std::uint64_t> memCount;
+
+    /** Reset to @a prog's entry with zeroed instance counters. */
+    void reset(const Program &prog);
+
+    /** Generate the next architectural instruction and advance. */
+    OracleInst step(const Program &prog);
+
+    static constexpr std::size_t maxCallDepth = 4096;
+};
+
+/** Default in-flight window guard (see OracleStream constructor). */
+constexpr std::size_t defaultOracleWindowCap = 1u << 16;
+
+/** Replayable architectural instruction window. */
 class OracleStream
 {
   public:
@@ -49,9 +90,18 @@ class OracleStream
      * @param prog Program to execute.
      * @param window_cap Maximum in-flight (uncommitted) window; a
      *        guard against callers forgetting to retire.
+     * @param trace Optional compiled backing store for @a prog (same
+     *        program content); null generates lazily. The trace is
+     *        shared read-only and must cover a prefix of the stream —
+     *        beyond its end the stream continues lazily from the
+     *        trace's saved generator state.
      */
-    explicit OracleStream(const Program &prog,
-                          std::size_t window_cap = 1u << 16);
+    explicit OracleStream(
+        const Program &prog,
+        std::size_t window_cap = defaultOracleWindowCap,
+        std::shared_ptr<const CompiledTrace> trace = nullptr);
+
+    ~OracleStream();
 
     /**
      * Architectural instruction at 1-based index @a idx. Generates
@@ -79,6 +129,9 @@ class OracleStream
     /** The program being executed. */
     const Program &program() const { return prog; }
 
+    /** The compiled backing store, or null when fully lazy. */
+    const CompiledTrace *backingTrace() const { return trace.get(); }
+
   private:
     void generateOne();
 
@@ -88,13 +141,15 @@ class OracleStream
     BoundedQueue<OracleInst> window;
     SeqNum baseIdx = 1;
 
-    Addr pc;
-    std::vector<Addr> callStack;
-    std::vector<std::uint64_t> condCount;
-    std::vector<std::uint64_t> indCount;
-    std::vector<std::uint64_t> memCount;
-
-    static constexpr std::size_t maxCallDepth = 4096;
+    /** Compiled prefix shared across cores (may be null). */
+    std::shared_ptr<const CompiledTrace> trace;
+    /** 0-based index of the next instruction to generate. */
+    InstCount genCursor = 0;
+    /** Lazy generator: the whole stream when trace is null, the tail
+     *  past the compiled prefix otherwise. */
+    OracleGen gen;
+    /** Has gen adopted the trace's end state for the tail? */
+    bool tailAdopted = false;
 };
 
 } // namespace elfsim

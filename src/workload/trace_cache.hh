@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Process-wide cache of compiled architectural traces.
+ *
+ * The TraceCache is the sharing point of the trace-compilation layer:
+ * every consumer that wants a workload's compiled stream asks it, and
+ * each distinct (program content, instruction count) pair is compiled
+ * at most once per process — the in-memory memo hands the same
+ * immutable CompiledTrace to every sweep cell and every bench.
+ *
+ * With a cache directory configured (--trace-cache DIR on the benches,
+ * $ELFSIM_TRACE_CACHE, or TraceCache::setDirectory), traces also
+ * persist across processes as content-keyed "elfsim-trace-v1" files:
+ * the first process of a campaign compiles and saves, the rest map the
+ * file read-only. Staleness and corruption are detected by the file's
+ * key and checksum; any load failure logs a warning and falls back to
+ * recompiling, so a poisoned cache can slow a run down but never fail
+ * it (the 'tracecache' fault-injection site tests exactly this).
+ *
+ * Tracing defaults to ON (in-memory memoization only). Set
+ * $ELFSIM_TRACE=0 (or 'off') or call setEnabled(false) to force every
+ * stream back to lazy per-instruction generation — the reference path
+ * the compiled stream is tested against.
+ */
+
+#ifndef ELFSIM_WORKLOAD_TRACE_CACHE_HH
+#define ELFSIM_WORKLOAD_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "workload/compiled_trace.hh"
+#include "workload/program.hh"
+
+namespace elfsim {
+
+/** Monotonic counters of trace-compilation activity (additive). */
+struct TraceStats
+{
+    std::uint64_t compiles = 0;    ///< traces built from the generator
+    std::uint64_t cacheHits = 0;   ///< memo or on-disk artifact reuse
+    std::uint64_t cacheMisses = 0; ///< acquisitions that had to compile
+    std::uint64_t bytesMapped = 0; ///< file bytes mapped from disk
+    double compileSeconds = 0.0;   ///< wall-clock spent compiling
+
+    /** Counters accumulated since the @a since snapshot. */
+    TraceStats
+    delta(const TraceStats &since) const
+    {
+        TraceStats d;
+        d.compiles = compiles - since.compiles;
+        d.cacheHits = cacheHits - since.cacheHits;
+        d.cacheMisses = cacheMisses - since.cacheMisses;
+        d.bytesMapped = bytesMapped - since.bytesMapped;
+        d.compileSeconds = compileSeconds - since.compileSeconds;
+        return d;
+    }
+};
+
+/** Process-wide compiled-trace provider (see file comment). */
+class TraceCache
+{
+  public:
+    /** The process-wide cache, configured from $ELFSIM_TRACE_CACHE
+     *  (directory) and $ELFSIM_TRACE (0/off disables) on first use. */
+    static TraceCache &instance();
+
+    /**
+     * The compiled trace for the first @a count instructions of
+     * @a prog: memoized, loaded from the cache directory, or compiled
+     * (and saved back, best-effort) — in that order. Returns null when
+     * trace compilation is disabled. Thread-safe; concurrent callers
+     * asking for the same content get the same object.
+     */
+    std::shared_ptr<const CompiledTrace>
+    acquire(const Program &prog, InstCount count);
+
+    /** Set (or clear, with "") the on-disk cache directory. */
+    void setDirectory(std::string dir);
+    std::string directory() const;
+
+    /** Globally enable/disable trace compilation. */
+    void setEnabled(bool on);
+    bool enabled() const;
+
+    /**
+     * Cache-file path @a prog/@a count would use, empty when no
+     * directory is configured (tests poison this file to exercise the
+     * corrupt-artifact recovery path).
+     */
+    std::string filePath(const Program &prog, InstCount count) const;
+
+    /** Snapshot of the activity counters. */
+    TraceStats stats() const;
+
+    /** Drop memoized traces and zero the counters (tests). Does not
+     *  touch the on-disk artifacts. */
+    void clearMemory();
+
+  private:
+    /** Reads $ELFSIM_TRACE_CACHE / $ELFSIM_TRACE (see instance()). */
+    TraceCache();
+
+    std::string pathForKey(const std::string &name,
+                           std::uint64_t key) const;
+
+    mutable std::mutex mtx;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const CompiledTrace>> memo;
+    std::string dir;
+    bool on = true;
+    TraceStats counters;
+};
+
+} // namespace elfsim
+
+#endif // ELFSIM_WORKLOAD_TRACE_CACHE_HH

@@ -10,6 +10,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -20,6 +21,7 @@
 #include "sim/export.hh"
 #include "sim/sweep.hh"
 #include "workload/builders.hh"
+#include "workload/trace_cache.hh"
 
 using namespace elfsim;
 
@@ -100,6 +102,11 @@ TEST(FaultSpec, ParseAcceptsValidSpecs)
     EXPECT_EQ(many[1].kind, FaultKind::Transient);
     EXPECT_EQ(many[2].kind, FaultKind::Slow);
     EXPECT_EQ(many[2].tick, 9u);
+
+    const auto tc = FaultInjector::parse("tracecache:*:0");
+    ASSERT_EQ(tc.size(), 1u);
+    EXPECT_EQ(tc[0].kind, FaultKind::TraceCache);
+    EXPECT_TRUE(tc[0].anyJob);
 }
 
 TEST(FaultSpec, ParseRejectsMalformedSpecs)
@@ -406,6 +413,53 @@ TEST(Fault, InterruptCancelsQueuedJobs)
         EXPECT_EQ(r.attempts, 0u);
     }
     EXPECT_EQ(runner.failedCells(), grid.size());
+}
+
+// A poisoned on-disk trace cache must degrade to a transparent
+// recompile — slower, never a failed cell, and cycle-identical output.
+TEST(Fault, PoisonedTraceCacheRecompilesInsteadOfFailing)
+{
+    Program a = microRandomBranchLoop(8, 0.4);
+    Program b = microSequentialLoop(30, 16);
+    const std::vector<SweepJob> grid = {
+        makeVariantJob(a, FrontendVariant::Dcf, smallWindow()),
+        makeVariantJob(b, FrontendVariant::UElf, smallWindow()),
+    };
+
+    TraceCache &cache = TraceCache::instance();
+    const std::string prevDir = cache.directory();
+    const std::string dir = testing::TempDir() + "elfsim_poisoned_tc";
+    {
+        // Start cold even if a previous run left artifacts behind.
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+    cache.setDirectory(dir);
+    cache.clearMemory();
+
+    // Clean reference sweep; also populates the on-disk artifacts.
+    SweepRunner clean(1);
+    const std::vector<RunResult> expect = clean.run(grid);
+    EXPECT_EQ(clean.traceStats().compiles, 2u);
+
+    // Every subsequent acquisition must now see the injected
+    // corruption on its disk read (the memo is dropped so the disk
+    // path actually runs).
+    cache.clearMemory();
+    ArmedFaults armed("tracecache:*:0");
+    SweepRunner runner(1);
+    const std::vector<RunResult> got = runner.run(grid);
+
+    EXPECT_EQ(runner.failedCells(), 0u);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        expectIdentical(got[i], expect[i]);
+    // The corrupted reads were demoted to recompiles, not hits.
+    EXPECT_EQ(runner.traceStats().compiles, 2u);
+    EXPECT_EQ(runner.traceStats().bytesMapped, 0u);
+
+    cache.setDirectory(prevDir);
+    cache.clearMemory();
 }
 
 TEST(Export, FailedCellsSurviveTheV2Document)

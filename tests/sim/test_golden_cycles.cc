@@ -19,6 +19,7 @@
 
 #include "sim/runner.hh"
 #include "workload/catalog.hh"
+#include "workload/trace_cache.hh"
 
 using namespace elfsim;
 
@@ -65,7 +66,8 @@ constexpr FrontendVariant allVariants[] = {
     FrontendVariant::UElf,
 };
 
-TEST(GoldenCycles, EveryVariantMatchesPreOptimizationCounts)
+void
+runAllGoldens(const char *mode)
 {
     RunOptions opts;
     opts.warmupInsts = 20000;
@@ -84,12 +86,43 @@ TEST(GoldenCycles, EveryVariantMatchesPreOptimizationCounts)
             EXPECT_STREQ(r.workload.c_str(), want.workload);
             EXPECT_STREQ(r.variant.c_str(), want.variant);
             EXPECT_EQ(r.cycles, want.cycles)
-                << want.workload << " / " << want.variant;
+                << want.workload << " / " << want.variant << " ("
+                << mode << ")";
             EXPECT_EQ(r.insts, want.insts)
-                << want.workload << " / " << want.variant;
+                << want.workload << " / " << want.variant << " ("
+                << mode << ")";
         }
     }
     EXPECT_EQ(g, std::size(goldens));
+}
+
+/** RAII enable/disable of the process-wide trace cache. */
+struct ScopedTraceEnable
+{
+    bool prev;
+    explicit ScopedTraceEnable(bool on)
+        : prev(TraceCache::instance().enabled())
+    {
+        TraceCache::instance().setEnabled(on);
+    }
+    ~ScopedTraceEnable() { TraceCache::instance().setEnabled(prev); }
+};
+
+// The default path: oracle streams backed by compiled traces (the
+// TraceCache is on unless $ELFSIM_TRACE disables it).
+TEST(GoldenCycles, EveryVariantMatchesPreOptimizationCounts)
+{
+    ScopedTraceEnable traces(true);
+    runAllGoldens("compiled traces");
+}
+
+// The reference path: per-instruction lazy generation. Matching the
+// same goldens as the compiled path proves trace compilation is
+// behavior-neutral across every variant and workload family.
+TEST(GoldenCycles, LazyGenerationMatchesTheSameGoldens)
+{
+    ScopedTraceEnable traces(false);
+    runAllGoldens("lazy generation");
 }
 
 } // namespace
