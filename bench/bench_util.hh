@@ -26,6 +26,7 @@
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "workload/catalog.hh"
+#include "workload/checkpoint_store.hh"
 
 namespace elfsim {
 namespace bench {
@@ -51,6 +52,13 @@ struct Options
     std::string traceCacheDir;   ///< --trace-cache artifact directory
     bool noTrace = false;        ///< --no-trace: lazy reference path
 
+    // Sampled execution (sim/runner.hh RunOptions sampling fields).
+    InstCount samplePeriodInsts = 0; ///< --sample-period; 0 = full run
+    InstCount sampleLengthInsts = 0; ///< --sample-length per period
+    InstCount sampleWarmupInsts = 0; ///< --sample-warmup per period
+    std::string ckptCacheDir;    ///< --ckpt-cache artifact directory
+    bool noCkpt = false;         ///< --no-ckpt: always fast-forward
+
     RunOptions
     runOptions() const
     {
@@ -58,6 +66,9 @@ struct Options
         o.warmupInsts = quick ? warmupInsts / 4 : warmupInsts;
         o.measureInsts = quick ? measureInsts / 4 : measureInsts;
         o.intervalInsts = intervalInsts;
+        o.samplePeriodInsts = samplePeriodInsts;
+        o.sampleLengthInsts = sampleLengthInsts;
+        o.sampleWarmupInsts = sampleWarmupInsts;
         return o;
     }
 };
@@ -100,6 +111,28 @@ printUsage(const char *argv0, std::FILE *to)
         "per-instruction generation;\n"
         "                  also $ELFSIM_TRACE=0) — behaviour-"
         "identical, just slower\n"
+        "  --sample-period N  sampled execution: partition the total "
+        "budget into\n"
+        "                  periods of N insts, fast-forwarding "
+        "(functional warming)\n"
+        "                  between detailed windows (0 = full "
+        "detailed run)\n"
+        "  --sample-length N  measured detailed insts per period "
+        "(required with\n"
+        "                  --sample-period; length + warmup must fit "
+        "the period)\n"
+        "  --sample-warmup N  detailed-but-unmeasured insts before "
+        "each measured\n"
+        "                  window (drains the post-fast-forward "
+        "transient)\n"
+        "  --ckpt-cache D  persist warm-state checkpoints as content-"
+        "keyed files in D\n"
+        "                  (also $ELFSIM_CKPT_CACHE); sampled re-runs "
+        "skip fast-forward\n"
+        "  --no-ckpt       disable checkpoint artifacts (also "
+        "$ELFSIM_CKPT=0) —\n"
+        "                  behaviour-identical, just always fast-"
+        "forwards\n"
         "  --help          this text\n"
         "exit status: 0 ok, 1 export I/O error, 2 usage error, "
         "3 failed cells, 130 interrupted\n",
@@ -214,6 +247,19 @@ parseOptions(int argc, char **argv, Options defaults = {})
             o.traceCacheDir = value(i);
         else if (!std::strcmp(argv[i], "--no-trace"))
             o.noTrace = true;
+        else if (!std::strcmp(argv[i], "--sample-period"))
+            o.samplePeriodInsts =
+                parseCount(argv[0], "--sample-period", value(i));
+        else if (!std::strcmp(argv[i], "--sample-length"))
+            o.sampleLengthInsts =
+                parseCount(argv[0], "--sample-length", value(i));
+        else if (!std::strcmp(argv[i], "--sample-warmup"))
+            o.sampleWarmupInsts =
+                parseCount(argv[0], "--sample-warmup", value(i));
+        else if (!std::strcmp(argv[i], "--ckpt-cache"))
+            o.ckptCacheDir = value(i);
+        else if (!std::strcmp(argv[i], "--no-ckpt"))
+            o.noCkpt = true;
         else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             printUsage(argv[0], stdout);
@@ -225,12 +271,46 @@ parseOptions(int argc, char **argv, Options defaults = {})
             std::exit(2);
         }
     }
+    // A contradictory sampling schedule is a usage error, caught here
+    // with a precise message rather than deep in the runner.
+    const auto usageError = [&](const char *msg) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], msg);
+        std::exit(2);
+    };
+    if (o.samplePeriodInsts == 0) {
+        if (o.sampleLengthInsts > 0 || o.sampleWarmupInsts > 0)
+            usageError("--sample-length/--sample-warmup need "
+                       "--sample-period");
+    } else {
+        if (o.sampleLengthInsts == 0)
+            usageError("--sample-period needs --sample-length > 0 "
+                       "(the measured window)");
+        if (o.sampleLengthInsts > o.samplePeriodInsts)
+            usageError("--sample-length exceeds --sample-period: the "
+                       "measured window must fit in the period");
+        if (o.sampleWarmupInsts >= o.samplePeriodInsts)
+            usageError("--sample-warmup must be smaller than "
+                       "--sample-period");
+        if (o.sampleWarmupInsts + o.sampleLengthInsts >
+            o.samplePeriodInsts)
+            usageError("--sample-warmup + --sample-length exceed "
+                       "--sample-period: the detailed window must fit "
+                       "in the period");
+        if (o.intervalInsts > 0)
+            usageError("--interval and --sample-period are mutually "
+                       "exclusive (a sampled run's timeline is its "
+                       "measured windows)");
+    }
     // Configure the process-wide trace cache here so every bench gets
     // the behaviour without per-harness plumbing.
     if (o.noTrace)
         TraceCache::instance().setEnabled(false);
     if (!o.traceCacheDir.empty())
         TraceCache::instance().setDirectory(o.traceCacheDir);
+    if (o.noCkpt)
+        CheckpointStore::instance().setEnabled(false);
+    if (!o.ckptCacheDir.empty())
+        CheckpointStore::instance().setDirectory(o.ckptCacheDir);
     return o;
 }
 

@@ -10,8 +10,10 @@ Usage:
     scripts/check_results.py --compare A B
         Assert two documents carry identical simulated results,
         ignoring the wall-clock-dependent "timing" and "trace"
-        blocks. Use this to confirm --jobs 1 and --jobs N exports of
-        the same grid match.
+        blocks and each result's "sampling" block (its ckpt_* counters
+        depend on checkpoint-cache warmth, not on the simulation).
+        Use this to confirm --jobs 1 and --jobs N exports of the same
+        grid match.
 
     scripts/check_results.py --throughput FILE [--baseline BASE]
         Schema-check an elfsim-throughput-v1 document (written by
@@ -60,6 +62,13 @@ TIMELINE_FIELDS = (
 TRACE_FIELDS = (
     "compiles", "cache_hits", "cache_misses", "bytes_mapped",
     "compile_seconds",
+)
+# Optional per-result sampled-execution block (present iff the cell
+# ran in sampled mode; sim/runner.hh SamplingInfo).
+SAMPLING_FIELDS = (
+    "period_insts", "length_insts", "warmup_insts", "windows",
+    "total_insts", "measured_insts", "ipc_rel_err_95",
+    "est_total_cycles", "ckpt_hits", "ckpt_misses", "ckpt_saves",
 )
 
 
@@ -121,6 +130,37 @@ def check_document(path, doc, allow_failed=0):
                 fail(path, f"{where}: timeline insts do not sum to insts")
             if sum(row["cycles"] for row in timeline) != r["cycles"]:
                 fail(path, f"{where}: timeline cycles do not sum to cycles")
+
+        sampling = r.get("sampling")
+        if sampling is not None:
+            for k in SAMPLING_FIELDS:
+                if not isinstance(sampling.get(k), (int, float)):
+                    fail(path, f"{where}.sampling.{k} missing")
+                if sampling[k] < 0:
+                    fail(path, f"{where}.sampling.{k} is negative")
+            if sampling["windows"] < 1:
+                fail(path, f"{where}.sampling: no measured windows")
+            if (sampling["length_insts"] == 0 or
+                    sampling["warmup_insts"] + sampling["length_insts"]
+                    > sampling["period_insts"]):
+                fail(path, f"{where}.sampling: schedule does not fit "
+                           "its period")
+            if (sampling["total_insts"] !=
+                    sampling["windows"] * sampling["period_insts"]):
+                fail(path, f"{where}.sampling: total_insts is not "
+                           "windows * period_insts")
+            if sampling["measured_insts"] != r["insts"]:
+                fail(path, f"{where}.sampling: measured_insts does "
+                           "not match the result's insts")
+            if interval != sampling["length_insts"]:
+                fail(path, f"{where}: interval_insts does not match "
+                           "the sample length")
+            if len(timeline) != sampling["windows"]:
+                fail(path, f"{where}: one timeline row per measured "
+                           "window expected")
+            if sampling["est_total_cycles"] < r["cycles"]:
+                fail(path, f"{where}.sampling: extrapolated cycles "
+                           "below the measured cycles")
 
     timing = doc.get("timing")
     if timing is not None:
@@ -222,7 +262,8 @@ def main():
     ap.add_argument("files", nargs="+", metavar="FILE")
     ap.add_argument("--compare", action="store_true",
                     help="compare exactly two documents, ignoring "
-                         "the 'timing' and 'trace' blocks")
+                         "the 'timing', 'trace' and per-result "
+                         "'sampling' blocks")
     ap.add_argument("--throughput", action="store_true",
                     help="validate elfsim-throughput-v1 documents "
                          "instead of results documents")
@@ -258,10 +299,13 @@ def main():
         for d in (a, b):
             d.pop("timing", None)
             d.pop("trace", None)
+            # ckpt_* counters track cache warmth, not simulation.
+            for r in d.get("results", []):
+                r.pop("sampling", None)
         if a != b:
             fail(args.files[1],
                  f"results differ from {args.files[0]} "
-                 "(after ignoring 'timing' and 'trace')")
+                 "(after ignoring 'timing', 'trace' and 'sampling')")
         print(f"compare: identical results ({args.files[0]} vs "
               f"{args.files[1]})")
 

@@ -35,8 +35,13 @@ mkdir -p "$RESULTS"
 # One shared compiled-trace cache for the whole campaign: the first
 # bench touching a workload compiles and saves its trace, every later
 # bench maps the artifact (content-keyed, so stale files just miss).
-TRACE_CACHE=build/trace-cache
-mkdir -p "$TRACE_CACHE"
+# Caches live under a subdirectory named after the artifact format
+# version (elfsim-trace-v1 / elfsim-ckpt-v1), so artifacts written by
+# a checkout with a different format can never be picked up here —
+# keep the path in sync with the magic string when bumping a format.
+TRACE_CACHE=build/trace-cache/elfsim-trace-v1
+CKPT_CACHE=build/ckpt-cache/elfsim-ckpt-v1
+mkdir -p "$TRACE_CACHE" "$CKPT_CACHE"
 
 # A bench killed mid-export leaves a truncated JSON behind; never let
 # such a partial artifact masquerade as results.
@@ -74,8 +79,9 @@ for b in build/bench/*; do
             # (scripts/perf_smoke.sh is the quick variant; build the
             # release-native preset for host-tuned numbers).
             CURRENT_ARTIFACT="$RESULTS/$name.json"
-            "$b" --jobs 1 --json "$RESULTS/$name.json" \
+            "$b" --jobs 1 --sampled --json "$RESULTS/$name.json" \
                  --trace-cache "$TRACE_CACHE" \
+                 --ckpt-cache "$CKPT_CACHE" \
                  ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
             if [ "$status" -eq 0 ]; then
                 CURRENT_ARTIFACT=""

@@ -126,6 +126,10 @@ class Backend
     const BackendStats &stats() const { return st; }
     const BackendParams &config() const { return params; }
 
+    /** Overwrite the cumulative statistics (warm-state restore; the
+     *  pipeline itself is empty at every checkpoint boundary). */
+    void restoreStats(const BackendStats &stats) { st = stats; }
+
   private:
     /**
      * IQ/LSQ entry: the instruction's seq plus its stable ROB ring

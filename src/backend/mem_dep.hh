@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace elfsim {
@@ -42,6 +43,32 @@ class MemDepPredictor
     void reset();
 
     std::uint64_t trainings() const { return trainCount; }
+
+    /** Serialize the violation table (warm-state checkpoints). */
+    void
+    saveState(Serializer &s) const
+    {
+        s.u64(table.size());
+        for (const Entry &e : table) {
+            s.u64(e.loadPC);
+            s.u64(e.storePC);
+            s.u32(e.uses);
+        }
+        s.u64(trainCount);
+    }
+
+    void
+    loadState(Deserializer &d)
+    {
+        if (d.u64() != table.size())
+            throw ParseError("mem_dep: geometry mismatch");
+        for (Entry &e : table) {
+            e.loadPC = d.u64();
+            e.storePC = d.u64();
+            e.uses = d.u32();
+        }
+        trainCount = d.u64();
+    }
 
   private:
     struct Entry

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/error.hh"
 #include "common/sat_counter.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -52,6 +53,26 @@ class Bimodal
     storageBytes() const
     {
         return params.entries * params.counterBits / 8.0;
+    }
+
+    /** Serialize the counter table (warm-state checkpoints). */
+    template <class S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(table.size());
+        for (const SatCounter &c : table)
+            s.u16(std::uint16_t(c.raw()));
+    }
+
+    template <class D>
+    void
+    loadState(D &d)
+    {
+        if (d.u64() != table.size())
+            throw ParseError("bimodal: geometry mismatch");
+        for (SatCounter &c : table)
+            c.set(d.u16());
     }
 
   private:

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace elfsim {
@@ -62,6 +63,32 @@ class BranchTargetCache
     storageBytes() const
     {
         return params.entries * (8.0 + params.tagBits / 8.0);
+    }
+
+    /** Serialize the full table (warm-state checkpoints). */
+    template <class S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(table.size());
+        for (const Entry &e : table) {
+            s.boolean(e.valid);
+            s.u32(e.tag);
+            s.u64(e.target);
+        }
+    }
+
+    template <class D>
+    void
+    loadState(D &d)
+    {
+        if (d.u64() != table.size())
+            throw ParseError("btc: geometry mismatch");
+        for (Entry &e : table) {
+            e.valid = d.boolean();
+            e.tag = d.u32();
+            e.target = d.u64();
+        }
     }
 
   private:

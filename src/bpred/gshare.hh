@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "common/error.hh"
 #include "common/sat_counter.hh"
 #include "common/types.hh"
 
@@ -74,6 +75,28 @@ class Gshare
     storageBytes() const
     {
         return params.entries * params.counterBits / 8.0;
+    }
+
+    /** Serialize counters and the commit-time history. */
+    template <class S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(table.size());
+        for (const SatCounter &c : table)
+            s.u16(std::uint16_t(c.raw()));
+        s.u32(history);
+    }
+
+    template <class D>
+    void
+    loadState(D &d)
+    {
+        if (d.u64() != table.size())
+            throw ParseError("gshare: geometry mismatch");
+        for (SatCounter &c : table)
+            c.set(d.u16());
+        history = d.u32() & ((1u << params.historyBits) - 1);
     }
 
   private:

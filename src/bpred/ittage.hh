@@ -18,6 +18,7 @@
 #include "common/history.hh"
 #include "common/random.hh"
 #include "common/sat_counter.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace elfsim {
@@ -85,6 +86,13 @@ class Ittage
 
     double storageBytes() const;
 
+    /** Serialize the full warm state (tables, histories, RNG). */
+    void saveState(Serializer &s) const;
+
+    /** Restore state written by saveState against the same geometry.
+     *  Throws ParseError on any layout mismatch. */
+    void loadState(Deserializer &d);
+
     const IttageParams &config() const { return params; }
 
   private:
@@ -115,6 +123,11 @@ class Ittage
 
     IttagePrediction predictWith(const HistState &h, Addr pc) const;
     void push(HistState &h, Addr pc, bool bit);
+    void saveHist(Serializer &s, const HistState &h) const;
+    void loadHist(Deserializer &d, HistState &h);
+    void saveEntries(Serializer &s, const std::vector<Entry> &v) const;
+    void loadEntries(Deserializer &d, std::vector<Entry> &v,
+                     const char *what);
     std::uint32_t tableIndex(const HistState &h, Addr pc,
                              unsigned t) const;
     std::uint16_t tableTag(const HistState &h, Addr pc,

@@ -106,6 +106,27 @@ class PredictorBank
     /** Total storage in bytes (Table II reporting). */
     double storageBytes() const;
 
+    /** Serialize every predictor's warm state. */
+    void
+    saveState(Serializer &s) const
+    {
+        tagePred.saveState(s);
+        ittagePred.saveState(s);
+        l0Ind.saveState(s);
+        specRasStack.saveState(s);
+        archRasStack.saveState(s);
+    }
+
+    void
+    loadState(Deserializer &d)
+    {
+        tagePred.loadState(d);
+        ittagePred.loadState(d);
+        l0Ind.loadState(d);
+        specRasStack.loadState(d);
+        archRasStack.loadState(d);
+    }
+
   private:
     PredictorBankParams params;
     Tage tagePred;

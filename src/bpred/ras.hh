@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace elfsim {
@@ -87,6 +88,33 @@ class ReturnAddressStack
 
     /** Storage cost in bytes (64-bit addresses). */
     double storageBytes() const { return numEntries * 8.0; }
+
+    /** Serialize the whole stack (warm-state checkpoints need every
+     *  entry, unlike the O(1) pipeline Snapshot). */
+    template <class S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(stack.size());
+        for (Addr a : stack)
+            s.u64(a);
+        s.u32(tos);
+        s.u32(depth);
+    }
+
+    template <class D>
+    void
+    loadState(D &d)
+    {
+        if (d.u64() != stack.size())
+            throw ParseError("ras: geometry mismatch");
+        for (Addr &a : stack)
+            a = d.u64();
+        tos = d.u32() % numEntries;
+        depth = d.u32();
+        if (depth > numEntries)
+            throw ParseError("ras: depth out of range");
+    }
 
   private:
     std::vector<Addr> stack;

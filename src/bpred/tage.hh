@@ -24,6 +24,7 @@
 #include "common/history.hh"
 #include "common/random.hh"
 #include "common/sat_counter.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace elfsim {
@@ -109,6 +110,13 @@ class Tage
     /** Storage cost in bytes. */
     double storageBytes() const;
 
+    /** Serialize the full warm state (tables, histories, RNG). */
+    void saveState(Serializer &s) const;
+
+    /** Restore state written by saveState against the same geometry.
+     *  Throws ParseError on any layout mismatch. */
+    void loadState(Deserializer &d);
+
     const TageParams &config() const { return params; }
 
   private:
@@ -140,6 +148,8 @@ class Tage
 
     TagePrediction predictWith(const HistState &h, Addr pc) const;
     void push(HistState &h, Addr pc, bool bit);
+    void saveHist(Serializer &s, const HistState &h) const;
+    void loadHist(Deserializer &d, HistState &h);
     std::uint32_t tableIndex(const HistState &h, Addr pc,
                              unsigned t) const;
     std::uint16_t tableTag(const HistState &h, Addr pc,

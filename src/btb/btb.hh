@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "btb/btb_entry.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -60,6 +61,10 @@ class BtbLevel
     const BtbLevelParams &config() const { return params; }
     std::uint64_t hits() const { return hitCount; }
     std::uint64_t misses() const { return missCount; }
+
+    /** Serialize contents, recency state, and hit/miss counters. */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
 
   private:
     struct Way
@@ -143,6 +148,10 @@ class MultiBtb
 
     BtbLevel &level(unsigned l) { return levels[l]; }
     const MultiBtbParams &config() const { return params; }
+
+    /** Serialize all levels plus the hierarchy's probe counters. */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
 
   private:
     MultiBtbParams params;

@@ -58,6 +58,10 @@ class BtbBuilder
     /** Number of amendment rebuilds (split case). */
     std::uint64_t amendments() const { return amendCount; }
 
+    /** Serialize the observed-taken set and region-tracking state. */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+
   private:
     void establish(Addr start_pc);
 

@@ -152,4 +152,70 @@ Cache::invalidateAll()
         l = Line{};
 }
 
+namespace {
+
+void
+saveCounter(Serializer &s, const stats::Counter &c)
+{
+    s.u64(c.raw());
+}
+
+void
+loadCounter(Deserializer &d, stats::Counter &c)
+{
+    c.reset();
+    c += d.u64();
+}
+
+} // namespace
+
+void
+FixedLatencyMemory::saveState(Serializer &s) const
+{
+    saveCounter(s, accessCount);
+}
+
+void
+FixedLatencyMemory::loadState(Deserializer &d)
+{
+    loadCounter(d, accessCount);
+}
+
+void
+Cache::saveState(Serializer &s) const
+{
+    s.u64(lines.size());
+    for (const Line &l : lines) {
+        s.u64(l.tag);
+        s.boolean(l.valid);
+        s.u64(l.readyCycle);
+        s.u64(l.lastUse);
+    }
+    s.u64(useTick);
+    saveCounter(s, hitCount);
+    saveCounter(s, missCount);
+    saveCounter(s, inflightHitCount);
+    saveCounter(s, prefetchCount);
+    saveCounter(s, prefetchUnusedDropCount);
+}
+
+void
+Cache::loadState(Deserializer &d)
+{
+    if (d.u64() != lines.size())
+        throw ParseError("cache: geometry mismatch");
+    for (Line &l : lines) {
+        l.tag = d.u64();
+        l.valid = d.boolean();
+        l.readyCycle = d.u64();
+        l.lastUse = d.u64();
+    }
+    useTick = d.u64();
+    loadCounter(d, hitCount);
+    loadCounter(d, missCount);
+    loadCounter(d, inflightHitCount);
+    loadCounter(d, prefetchCount);
+    loadCounter(d, prefetchUnusedDropCount);
+}
+
 } // namespace elfsim

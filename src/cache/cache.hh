@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -60,6 +61,10 @@ class FixedLatencyMemory : public MemoryLevel
     /** Access statistics. */
     const stats::StatGroup &statGroup() const { return statsGroup; }
     std::uint64_t accesses() const { return accessCount.raw(); }
+
+    /** Serialize the access counter (warm-state checkpoints). */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
 
   private:
     std::string memName;
@@ -131,6 +136,12 @@ class Cache : public MemoryLevel
     {
         return hitCount.raw() + missCount.raw();
     }
+
+    /** Serialize contents, recency state, and statistics. readyCycle
+     *  values are absolute cycles, so the consumer must checkpoint the
+     *  core cycle counter alongside. */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
 
   private:
     struct Line

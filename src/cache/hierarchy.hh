@@ -87,6 +87,10 @@ class MemHierarchy
     void forEachStatGroup(
         const std::function<void(const stats::StatGroup &)> &fn) const;
 
+    /** Serialize every level plus prefetcher and memory counters. */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+
   private:
     std::unique_ptr<FixedLatencyMemory> mem;
     std::unique_ptr<Cache> l3Cache;

@@ -55,4 +55,35 @@ StridePrefetcher::reset()
         e = Entry{};
 }
 
+void
+StridePrefetcher::saveState(Serializer &s) const
+{
+    s.u64(table.size());
+    for (const Entry &e : table) {
+        s.u64(e.tag);
+        s.u64(e.lastAddr);
+        s.u64(std::uint64_t(e.stride));
+        s.u32(e.conf);
+    }
+    s.u64(issuedCount.raw());
+    s.u64(trainCount.raw());
+}
+
+void
+StridePrefetcher::loadState(Deserializer &d)
+{
+    if (d.u64() != table.size())
+        throw ParseError("stride_pf: geometry mismatch");
+    for (Entry &e : table) {
+        e.tag = d.u64();
+        e.lastAddr = d.u64();
+        e.stride = std::int64_t(d.u64());
+        e.conf = d.u32();
+    }
+    issuedCount.reset();
+    issuedCount += d.u64();
+    trainCount.reset();
+    trainCount += d.u64();
+}
+
 } // namespace elfsim

@@ -43,6 +43,10 @@ class StridePrefetcher
     const stats::StatGroup &statGroup() const { return statsGroup; }
     std::uint64_t issued() const { return issuedCount.raw(); }
 
+    /** Serialize the learned stride table and counters. */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+
   private:
     struct Entry
     {

@@ -124,10 +124,12 @@ FaultInjector::parse(const std::string &spec)
             s.kind = FaultKind::Slow;
         else if (site == "tracecache")
             s.kind = FaultKind::TraceCache;
+        else if (site == "ckptcache")
+            s.kind = FaultKind::CkptCache;
         else
             throw ConfigError(errorf(
                 "unknown fault site '%s' (throw, panic, transient, "
-                "hang, slow, tracecache)", site.c_str()));
+                "hang, slow, tracecache, ckptcache)", site.c_str()));
 
         const auto parseNum = [&](const std::string &v,
                                   const char *what) -> std::uint64_t {
@@ -164,7 +166,8 @@ void
 FaultInjector::poll(const ExecContext &ctx, std::uint64_t tick)
 {
     for (const FaultSpec &s : armedFaults) {
-        if (s.kind == FaultKind::TraceCache)
+        if (s.kind == FaultKind::TraceCache ||
+            s.kind == FaultKind::CkptCache)
             continue; // fires from the cache's read path, not here
         if (!s.anyJob && s.job != ctx.jobIndex)
             continue;
@@ -212,7 +215,8 @@ FaultInjector::fire(const FaultSpec &s, const ExecContext &ctx)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         return;
       case FaultKind::TraceCache:
-        return; // handled by shouldCorruptTraceRead(), never fires here
+      case FaultKind::CkptCache:
+        return; // handled by shouldCorrupt*Read(), never fires here
     }
 }
 
@@ -228,6 +232,21 @@ FaultInjector::shouldCorruptTraceRead() const
         // Precompilation happens before any job context exists; a
         // job-targeted spec still corrupts those shared loads so the
         // fault cannot be dodged by the precompile pass.
+        if (!ctx || ctx->jobIndex == s.job)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::shouldCorruptCkptRead() const
+{
+    for (const FaultSpec &s : armedFaults) {
+        if (s.kind != FaultKind::CkptCache)
+            continue;
+        if (s.anyJob)
+            return true;
+        const ExecContext *ctx = currentExecContext();
         if (!ctx || ctx->jobIndex == s.job)
             return true;
     }

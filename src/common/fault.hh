@@ -36,6 +36,11 @@
  *              (cell -> ok, just slower; proves a poisoned cache can
  *              never fail a cell). The <tick> field is ignored —
  *              cache loads happen before simulated time starts.
+ *   ckptcache  corrupt warm-state checkpoint reads: the
+ *              CheckpointStore behaves as if every matching artifact
+ *              failed its checksum, forcing the transparent
+ *              fast-forward fallback (cell -> ok, just slower). The
+ *              <tick> field is ignored, like tracecache.
  *
  * Injection is deterministic: it keys on simulated cycles and the
  * job's submission index, never on wall-clock or thread identity.
@@ -138,7 +143,16 @@ class ScopedExecContext
 };
 
 /** What an armed fault does when it fires. */
-enum class FaultKind { Throw, Panic, Transient, Hang, Slow, TraceCache };
+enum class FaultKind
+{
+    Throw,
+    Panic,
+    Transient,
+    Hang,
+    Slow,
+    TraceCache,
+    CkptCache
+};
 
 /** One armed fault: fire @a kind in job @a job at cycle @a tick. */
 struct FaultSpec
@@ -179,6 +193,10 @@ class FaultInjector
      * file comment.
      */
     bool shouldCorruptTraceRead() const;
+
+    /** Same hook for the CheckpointStore's disk-read path ('ckptcache'
+     *  faults; identical matching rules). */
+    bool shouldCorruptCkptRead() const;
 
   private:
     FaultInjector() = default;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace elfsim {
@@ -68,6 +69,30 @@ class GlobalHistory
     void restore(unsigned p) { ptr = p & mask; }
 
     unsigned length() const { return len; }
+
+    /** Serialize the full bit buffer and pointer (warm-state
+     *  checkpoints need the bits, not just the pointer). */
+    template <class S>
+    void
+    saveState(S &s) const
+    {
+        s.u32(ptr);
+        s.u64(bits.size());
+        for (std::uint8_t b : bits)
+            s.u8(b);
+    }
+
+    template <class D>
+    void
+    loadState(D &d)
+    {
+        ptr = d.u32() & mask;
+        std::uint64_t n = d.u64();
+        if (n != bits.size())
+            throw ParseError("checkpoint: history geometry mismatch");
+        for (auto &b : bits)
+            b = d.u8();
+    }
 
   private:
     std::vector<std::uint8_t> bits;

@@ -73,6 +73,12 @@ class Rng
         state = s ? s : 0x9e3779b97f4a7c15ull;
     }
 
+    /**
+     * Raw generator state, for warm-state checkpoints. xorshift64*
+     * state is never zero, so seed(rawState()) is an exact restore.
+     */
+    std::uint64_t rawState() const { return state; }
+
   private:
     std::uint64_t state;
 };

@@ -71,6 +71,25 @@ class CoupledPredictors
     /** Total storage in bytes (< 2KB; Table II reporting). */
     double storageBytes() const;
 
+    /** Serialize all coupled structures (warm-state checkpoints). */
+    void
+    saveState(Serializer &s) const
+    {
+        bimodalPred.saveState(s);
+        gsharePred.saveState(s);
+        btcPred.saveState(s);
+        rasStack.saveState(s);
+    }
+
+    void
+    loadState(Deserializer &d)
+    {
+        bimodalPred.loadState(d);
+        gsharePred.loadState(d);
+        btcPred.loadState(d);
+        rasStack.loadState(d);
+    }
+
   private:
     CoupledCondKind condKind;
     Bimodal bimodalPred;

@@ -163,6 +163,10 @@ class ElfController : public DecodeObserver
     const DivergenceTracker &divergence() const { return divTracker; }
     const ElfStats &stats() const { return st; }
 
+    /** Overwrite the cumulative statistics (warm-state restore; the
+     *  engines are restarted via applyRedirect at the boundary). */
+    void restoreStats(const ElfStats &stats) { st = stats; }
+
   private:
     void processFaqWhileCoupled(Cycle now);
     void switchToDecoupled(Cycle now);

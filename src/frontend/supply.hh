@@ -69,6 +69,21 @@ class InstSupply
     /** Total wrong-path instructions materialized. */
     std::uint64_t wrongPathInsts() const { return wrongPathCount; }
 
+    /**
+     * Restore counters from a warm-state checkpoint. The sequence
+     * counter salts wrong-path memory addresses, so byte-identical
+     * resumed runs must restore it, not just the cursor.
+     */
+    void
+    restoreCounters(SeqNum seq_counter, std::uint64_t wrong_path_insts)
+    {
+        seqCounter = seq_counter;
+        wrongPathCount = wrong_path_insts;
+    }
+
+    /** Raw sequence counter (checkpoint payload; see restoreCounters). */
+    SeqNum seqCount() const { return seqCounter; }
+
   private:
     OracleStream &oracle;
     WrongPathWalker &walker;

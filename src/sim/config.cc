@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "common/hash.hh"
+
 namespace elfsim {
 
 SimConfig
@@ -94,6 +96,108 @@ printConfig(std::ostream &os, const SimConfig &cfg)
                 "-entry target queues x 2");
         row("ELF total storage", kb(cp.storageBytes()));
     }
+}
+
+std::uint64_t
+configFingerprint(const SimConfig &cfg)
+{
+    Fnv1a h;
+    // The version string means a semantic change to any parameter's
+    // interpretation can invalidate old fingerprints deliberately.
+    h.str("elfsim-config-fp-v1");
+
+    h.u64(std::uint64_t(cfg.variant));
+    h.u64(cfg.fetch.width).u64(cfg.fetch.fetchToDecode);
+    h.u64(cfg.bp1ToFe)
+        .u64(cfg.faqEntries)
+        .u64(cfg.checkpointEntries)
+        .u64(cfg.fetchBufferEntries)
+        .u64(cfg.maxInstPrefetch);
+
+    const auto cache = [&h](const CacheParams &c) {
+        h.u64(c.sizeBytes)
+            .u64(c.assoc)
+            .u64(c.lineBytes)
+            .u64(c.hitLatency)
+            .u64(c.interleaves);
+    };
+    cache(cfg.mem.l0i);
+    cache(cfg.mem.l1i);
+    cache(cfg.mem.l1d);
+    cache(cfg.mem.l2);
+    cache(cfg.mem.l3);
+    h.u64(cfg.mem.memLatency).u64(cfg.mem.dataPrefetch ? 1 : 0);
+    h.u64(cfg.mem.stridePf.tableEntries)
+        .u64(cfg.mem.stridePf.degree)
+        .u64(cfg.mem.stridePf.distance)
+        .u64(cfg.mem.stridePf.confThreshold);
+
+    const TageParams &t = cfg.preds.tage;
+    h.u64(t.numTables)
+        .u64(t.baseEntriesLog2)
+        .u64(t.tableEntriesLog2)
+        .u64(t.tagBits)
+        .u64(t.ctrBits)
+        .u64(t.minHist)
+        .u64(t.maxHist)
+        .u64(t.uResetPeriod)
+        .u64(t.allocSeed);
+    const IttageParams &it = cfg.preds.ittage;
+    h.u64(it.numTables)
+        .u64(it.tableEntriesLog2)
+        .u64(it.baseEntriesLog2)
+        .u64(it.tagBits)
+        .u64(it.minHist)
+        .u64(it.maxHist)
+        .u64(it.uResetPeriod)
+        .u64(it.allocSeed);
+    h.u64(cfg.preds.l0Indirect.entries)
+        .u64(cfg.preds.l0Indirect.tagBits)
+        .u64(cfg.preds.rasEntries);
+
+    const auto btbLevel = [&h](const BtbLevelParams &l) {
+        h.u64(l.entries).u64(l.assoc).u64(l.latency);
+    };
+    btbLevel(cfg.btb.l0);
+    btbLevel(cfg.btb.l1);
+    btbLevel(cfg.btb.l2);
+
+    const BackendParams &b = cfg.backend;
+    h.u64(b.robEntries)
+        .u64(b.iqEntries)
+        .u64(b.lsqEntries)
+        .u64(b.dispatchWidth)
+        .u64(b.issueWidth)
+        .u64(b.commitWidth)
+        .u64(b.numAlu)
+        .u64(b.numMulDiv)
+        .u64(b.numLdSt)
+        .u64(b.numSimd)
+        .u64(b.numStData)
+        .u64(b.decodeToDispatch)
+        .u64(b.issueToExec)
+        .u64(b.mulLatency)
+        .u64(b.divLatency)
+        .u64(b.fpLatency);
+
+    h.u64(cfg.divergence.vecEntries).u64(cfg.divergence.targetEntries);
+
+    const CoupledPredictorParams &cp = cfg.coupledPreds;
+    h.u64(cp.bimodal.entries)
+        .u64(cp.bimodal.counterBits)
+        .u64(cp.btc.entries)
+        .u64(cp.btc.tagBits)
+        .u64(cp.rasEntries)
+        .u64(std::uint64_t(cp.condKind))
+        .u64(cp.gshare.entries)
+        .u64(cp.gshare.counterBits)
+        .u64(cp.gshare.historyBits);
+
+    h.u64(std::uint64_t(cfg.payloadPolicy))
+        .u64(cfg.condElfRequireSaturation ? 1 : 0)
+        .u64(cfg.rngSeed)
+        .u64(cfg.decodeBtbFill ? 1 : 0);
+    return h.value();
 }
 
 } // namespace elfsim

@@ -76,6 +76,15 @@ struct SimConfig
 /** Build a config for a given front-end variant (Table II elsewhere). */
 SimConfig makeConfig(FrontendVariant variant);
 
+/**
+ * Content hash of every numeric/enum knob in @a cfg (names and other
+ * cosmetic strings excluded). Two configs with the same fingerprint
+ * build behaviourally identical cores; warm-state checkpoint keys
+ * hash it so an artifact can never be restored into a differently
+ * configured machine.
+ */
+std::uint64_t configFingerprint(const SimConfig &cfg);
+
 /** Print the Table II-style configuration report. */
 void printConfig(std::ostream &os, const SimConfig &cfg);
 

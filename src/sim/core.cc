@@ -72,6 +72,8 @@ Core::onCommit(const DynInst &di)
     builder->retire(*di.si, di.taken, di.actualNext);
     oracle->retireUpTo(di.oracleIdx);
     ckpts->retireUpTo(di.seq);
+    lastCommitSeq = di.seq;
+    lastCommitOracleIdx = di.oracleIdx;
     if (commitObserver)
         commitObserver(di);
 }
@@ -345,6 +347,233 @@ Core::tick()
     controller->prefetchTick(now, fetched == 0);
     applyPatches(redirect, now);
     applyRedirect(redirect);
+}
+
+void
+Core::squashToCommitted()
+{
+    // A flush whose survivor is the last committed instruction: every
+    // in-flight instruction is younger and goes away, so the usual
+    // history replay degenerates to resetSpecToArch().
+    backendUnit->squashYoungerThan(lastCommitSeq);
+    while (!fetchToDecode->empty() &&
+           fetchToDecode->back().seq > lastCommitSeq)
+        fetchToDecode->popBack(1);
+    ckpts->squashYoungerThan(lastCommitSeq);
+    bank->resetSpecToArch();
+    heldRedirect = Redirect{};
+    measureRedirectCycle = 0;
+    instSupply->redirect(lastCommitOracleIdx + 1);
+    faq->clear();
+    controller->applyRedirect(coreStats.cycles,
+                              oracle->pcAt(lastCommitOracleIdx + 1));
+}
+
+void
+Core::fastForward(InstCount n)
+{
+    ELFSIM_ASSERT(backendUnit->empty() && fetchToDecode->empty(),
+                  "fast-forward with in-flight instructions "
+                  "(squashToCommitted first)");
+
+    const Addr lineMask = ~(Addr(cfg.mem.l0i.lineBytes) - 1);
+    Addr lastLine = invalidAddr;
+    Addr resumePC = invalidAddr;
+
+    // Long fast-forwards must stay observable: publish the stream
+    // position as the heartbeat and give watchdogs / fault injection
+    // their deterministic hook, like Core::run does.
+    constexpr InstCount pollInterval = 16384;
+    ExecContext *exec = currentExecContext();
+
+    for (InstCount i = 0; i < n; ++i) {
+        if (exec && (i & (pollInterval - 1)) == 0)
+            exec->poll(coreStats.cycles, lastCommitOracleIdx);
+        const SeqNum idx = lastCommitOracleIdx + 1;
+        const OracleInst &oi = oracle->at(idx);
+        const StaticInst &si = *oi.si;
+
+        // One synthetic cycle per instruction: the caches' absolute
+        // readyCycle/LRU bookkeeping needs a monotonic clock shared
+        // with the detailed windows.
+        ++coreStats.cycles;
+        const Cycle now = coreStats.cycles;
+
+        // Warm the instruction side once per cache line (sequential
+        // fetch within a line is free in the detailed model too).
+        const Addr line = si.pc & lineMask;
+        if (line != lastLine) {
+            mem->instFetch(si.pc, now);
+            lastLine = line;
+        }
+        if (si.isMemInst())
+            mem->dataAccess(si.pc, oi.memAddr, si.isStore(), now);
+
+        if (si.branch != BranchKind::None) {
+            // Train exactly like commit of an unpredicted branch:
+            // invalid TAGE/ITTAGE predictions make commitBranch
+            // re-predict on the architectural history before training.
+            bank->commitBranch(si.pc, si.branch, oi.taken, oi.nextPC,
+                               TagePrediction{}, IttagePrediction{},
+                               historyVisible(si));
+            controller->coupledPredictors().trainCommit(
+                si.pc, si.branch, oi.taken, oi.nextPC,
+                FetchMode::Coupled);
+            if (oi.taken) {
+                // Model the DCF probing the BTB at the target: warms
+                // hit/promotion state for the upcoming regions.
+                btbHier->lookup(oi.nextPC);
+                lastLine = invalidAddr;
+            }
+        }
+        builder->retire(si, oi.taken, oi.nextPC);
+        oracle->retireUpTo(idx);
+        lastCommitOracleIdx = idx;
+        resumePC = oi.nextPC;
+    }
+
+    // Capture the generator resume state for checkpointing *now*:
+    // this is the only moment the live generator state corresponds
+    // exactly to consumedInsts() — the restart below (and any pcAt)
+    // generates ahead and advances it.
+    ffGenStateValid =
+        oracle->windowEmpty() && oracle->genStateKnown();
+    if (ffGenStateValid)
+        ffGenState = oracle->genState();
+
+    // Restart the front-end at the new position, exactly like a
+    // flush into it. Speculative state re-derives from architectural.
+    bank->resetSpecToArch();
+    instSupply->redirect(lastCommitOracleIdx + 1);
+    faq->clear();
+    if (resumePC == invalidAddr)
+        resumePC = oracle->pcAt(lastCommitOracleIdx + 1);
+    controller->applyRedirect(coreStats.cycles, resumePC);
+}
+
+void
+Core::saveWarmState(Serializer &s) const
+{
+    // Cumulative counters first. The cycle counter must travel with
+    // the caches: their readyCycle values are absolute cycles.
+    s.u64(coreStats.cycles);
+    s.u64(coreStats.execFlushes);
+    s.u64(coreStats.memOrderFlushes);
+    s.u64(coreStats.decodeResteers);
+    s.u64(coreStats.divergenceFlushes);
+    s.u64(coreStats.pendingFlushWaits);
+    s.u64(coreStats.stallResteers);
+    s.u64(coreStats.redirectToFetchTotal);
+    s.u64(coreStats.redirectToFetchCount);
+
+    const BackendStats &bs = backendUnit->stats();
+    s.u64(bs.committed);
+    s.u64(bs.committedBranches);
+    s.u64(bs.condMispredicts);
+    s.u64(bs.targetMispredicts);
+    s.u64(bs.memOrderFlushes);
+    s.u64(bs.robFullCycles);
+    s.u64(bs.coupledCommitted);
+
+    const ElfStats &es = controller->stats();
+    s.u64(es.coupledCycles);
+    s.u64(es.decoupledCycles);
+    s.u64(es.coupledPeriods);
+    s.u64(es.coupledInsts);
+    s.u64(es.switches);
+    s.u64(es.divergenceFlushes);
+    s.u64(es.trustFetcherFlushes);
+    s.u64(es.instPrefetches);
+
+    // The sequence counter salts wrong-path memory addresses; resumed
+    // runs must continue it, not restart it.
+    s.u64(instSupply->seqCount());
+    s.u64(instSupply->wrongPathInsts());
+
+    // Warm structures.
+    bank->saveState(s);
+    btbHier->saveState(s);
+    builder->saveState(s);
+    mem->saveState(s);
+    memDep->saveState(s);
+    controller->coupledPredictors().saveState(s);
+}
+
+void
+Core::loadWarmState(Deserializer &d, InstCount position,
+                    const OracleGen *gen_state)
+{
+    ELFSIM_ASSERT(backendUnit->empty() && fetchToDecode->empty(),
+                  "warm-state restore with in-flight instructions");
+
+    CoreStats cs;
+    cs.cycles = d.u64();
+    cs.execFlushes = d.u64();
+    cs.memOrderFlushes = d.u64();
+    cs.decodeResteers = d.u64();
+    cs.divergenceFlushes = d.u64();
+    cs.pendingFlushWaits = d.u64();
+    cs.stallResteers = d.u64();
+    cs.redirectToFetchTotal = d.u64();
+    cs.redirectToFetchCount = d.u64();
+
+    BackendStats bs;
+    bs.committed = d.u64();
+    bs.committedBranches = d.u64();
+    bs.condMispredicts = d.u64();
+    bs.targetMispredicts = d.u64();
+    bs.memOrderFlushes = d.u64();
+    bs.robFullCycles = d.u64();
+    bs.coupledCommitted = d.u64();
+
+    ElfStats es;
+    es.coupledCycles = d.u64();
+    es.decoupledCycles = d.u64();
+    es.coupledPeriods = d.u64();
+    es.coupledInsts = d.u64();
+    es.switches = d.u64();
+    es.divergenceFlushes = d.u64();
+    es.trustFetcherFlushes = d.u64();
+    es.instPrefetches = d.u64();
+
+    const SeqNum seqCounter = d.u64();
+    const std::uint64_t wrongPathInsts = d.u64();
+
+    bank->loadState(d);
+    btbHier->loadState(d);
+    builder->loadState(d);
+    mem->loadState(d);
+    memDep->loadState(d);
+    controller->coupledPredictors().loadState(d);
+    d.expectEnd();
+
+    coreStats = cs;
+    backendUnit->restoreStats(bs);
+    instSupply->restoreCounters(seqCounter, wrongPathInsts);
+    lastCommitSeq = seqCounter;
+    lastCommitOracleIdx = position;
+
+    // Reposition the stream and restart the engines exactly like a
+    // flush into the checkpoint position. The window may still hold
+    // instructions generated ahead of the commit point (fetch runs
+    // ahead); drop them — they replay from the new position.
+    if (!oracle->windowEmpty())
+        oracle->retireUpTo(oracle->newest());
+    if (gen_state)
+        oracle->seekTo(position + 1, *gen_state);
+    else
+        oracle->seekTo(position + 1);
+    instSupply->redirect(position + 1);
+    heldRedirect = Redirect{};
+    measureRedirectCycle = 0;
+    faq->clear();
+    controller->applyRedirect(coreStats.cycles,
+                              oracle->pcAt(position + 1));
+    // The checkpoint was saved *after* the equivalent restart, so its
+    // counters already include that restart's bookkeeping (e.g. the
+    // ELF coupled-period bump); restoring them after applyRedirect
+    // cancels the double count.
+    controller->restoreStats(es);
 }
 
 void

@@ -12,6 +12,7 @@
 
 #include "backend/backend.hh"
 #include "bpred/checkpoint.hh"
+#include "common/serialize.hh"
 #include "bpred/predictor_bank.hh"
 #include "btb/btb.hh"
 #include "btb/btb_builder.hh"
@@ -106,6 +107,63 @@ class Core
         commitObserver = std::move(obs);
     }
 
+    // --- sampled simulation (see sim/runner.cc) ----------------------
+
+    /**
+     * Squash everything younger than the last committed instruction
+     * and restart the front-end at the next architectural index —
+     * a flush into the committed state. Afterwards the pipeline is
+     * quiesced: the machine holds only warm structural state.
+     */
+    void squashToCommitted();
+
+    /**
+     * Functional warming: consume @a n architectural instructions,
+     * updating only the predictors (TAGE/ITTAGE/BTB/RAS, coupled
+     * predictors) and the cache hierarchy — no fetch/rename/ROB/IQ
+     * timing. Requires a quiesced pipeline (squashToCommitted).
+     * committed() does not advance; consumedInsts() does.
+     */
+    void fastForward(InstCount n);
+
+    /**
+     * Architectural stream position: instructions consumed so far,
+     * by detailed commit or by fast-forward.
+     */
+    InstCount consumedInsts() const { return lastCommitOracleIdx; }
+
+    /** The architectural stream (checkpoint resume bookkeeping). */
+    OracleStream &oracleStream() { return *oracle; }
+
+    /**
+     * Oracle-generator resume state captured at the end of the last
+     * fastForward(), at the exact moment the stream position equaled
+     * consumedInsts() (any later access generates ahead and advances
+     * the live generator). Valid only when the generator was active
+     * there — i.e. past the compiled prefix, or fully lazy.
+     */
+    bool ffResumeStateValid() const { return ffGenStateValid; }
+    const OracleGen &ffResumeState() const { return ffGenState; }
+
+    /**
+     * Serialize the complete warm state — every structure
+     * fastForward() warms plus every cumulative counter the reporters
+     * read — such that loadWarmState() on a freshly constructed Core
+     * (same config, same program) resumes byte-identically.
+     */
+    void saveWarmState(Serializer &s) const;
+
+    /**
+     * Restore a saveWarmState() payload and reposition the stream so
+     * the next instruction consumed is @a position + 1. @a gen_state
+     * (nullable) is the checkpointed oracle-generator resume state;
+     * required only when @a position lies past the compiled prefix.
+     * Throws ParseError on any payload/geometry mismatch — callers
+     * treat that as "checkpoint unusable, fast-forward instead".
+     */
+    void loadWarmState(Deserializer &d, InstCount position,
+                       const OracleGen *gen_state);
+
   private:
     bool cplEngineActiveForDump() const;
 
@@ -154,6 +212,14 @@ class Core
     Cycle measureRedirectCycle = 0;
 
     std::function<void(const DynInst &)> commitObserver;
+
+    /** Last committed instruction (sampling squash/resume points). */
+    SeqNum lastCommitSeq = 0;
+    SeqNum lastCommitOracleIdx = 0;
+
+    /** See ffResumeState(). */
+    OracleGen ffGenState;
+    bool ffGenStateValid = false;
 
     CoreStats coreStats;
 };

@@ -108,6 +108,11 @@ void writeTimelineCsv(std::ostream &os,
  *     ]
  *   }
  *
+ * Rows from sampled runs (RunResult::sampled) report *effective*
+ * throughput: sim_insts is the whole stream covered (fast-forward +
+ * detailed windows), sim_cycles the extrapolated total, so mips is
+ * effective simulated MIPS — the figure the sampled perf gate reads.
+ *
  * @a job_seconds must parallel @a results (SweepRunner::perJobSeconds).
  */
 void writeThroughputJson(std::ostream &os,

@@ -75,6 +75,62 @@ struct IntervalSample
     }
 };
 
+/**
+ * Extrapolation summary of a sampled run (RunOptions sampling fields).
+ * The companion RunResult's `cycles`/`insts`/`ipc` cover only the
+ * measured windows; this block scales them to the whole stream and
+ * bounds the sampling error: the true whole-run IPC lies within
+ * `ipc * (1 ± ipcRelErr95)` with ~95% confidence. The bound is the
+ * Student-t confidence half-width on the per-window IPC mean
+ * (treating windows as independent draws — valid because window
+ * placement is stratified random) plus a systematic allowance for
+ * functional-warming infidelity (fast-forward cannot reproduce
+ * wrong-path cache and predictor effects), scaled by the
+ * fast-forwarded fraction of each period.
+ */
+struct SamplingInfo
+{
+    InstCount periodInsts = 0;   ///< sampling period P
+    InstCount lengthInsts = 0;   ///< measured window per period (L)
+    InstCount warmupInsts = 0;   ///< detailed unmeasured warmup (W)
+    std::uint64_t windows = 0;   ///< periods simulated (n)
+    InstCount totalInsts = 0;    ///< stream insts covered (n * P)
+    InstCount measuredInsts = 0; ///< measured-window insts (n * L)
+    double ipcRelErr95 = 0;      ///< 95% relative error bound on IPC
+    double estTotalCycles = 0;   ///< cycles extrapolated to totalInsts
+
+    // Checkpoint-store activity for this run (local to the cell, so
+    // parallel sweep jobs report deterministic per-cell numbers).
+    std::uint64_t ckptHits = 0;
+    std::uint64_t ckptMisses = 0;
+    std::uint64_t ckptSaves = 0;
+
+    /** Field visitor; see IntervalSample::visitFields. */
+    template <typename Self, typename V>
+    static void
+    visitFields(Self &self, V &&v)
+    {
+        v("period_insts", self.periodInsts);
+        v("length_insts", self.lengthInsts);
+        v("warmup_insts", self.warmupInsts);
+        v("windows", self.windows);
+        v("total_insts", self.totalInsts);
+        v("measured_insts", self.measuredInsts);
+        v("ipc_rel_err_95", self.ipcRelErr95);
+        v("est_total_cycles", self.estTotalCycles);
+        v("ckpt_hits", self.ckptHits);
+        v("ckpt_misses", self.ckptMisses);
+        v("ckpt_saves", self.ckptSaves);
+    }
+
+    template <typename V>
+    void
+    forEachField(V &&v) const
+    {
+        visitFields(*this, std::forward<V>(v));
+    }
+};
+
 /** Aggregated results of one simulation run (measurement window). */
 struct RunResult
 {
@@ -126,6 +182,16 @@ struct RunResult
     InstCount intervalInsts = 0;
     /** Per-interval delta rows; empty unless intervalInsts > 0. */
     std::vector<IntervalSample> timeline;
+
+    /**
+     * True when this result came from a sampled run: the summary
+     * scalars cover only the measured windows, the timeline holds one
+     * row per window (startInst = absolute stream position), and
+     * `sampling` carries the whole-run extrapolation. Serialized
+     * separately from visitFields, like `timeline`.
+     */
+    bool sampled = false;
+    SamplingInfo sampling;
 
     /**
      * Visit every scalar field as ("name", member) in declaration
@@ -196,12 +262,39 @@ struct RunOptions
     InstCount intervalInsts = 0;
 
     /**
+     * Sampled execution (SMARTS-style, without stream rewind): > 0
+     * partitions the total budget (warmupInsts + measureInsts) into
+     * periods of this many instructions. Each period fast-forwards
+     * through functional warming (predictors + caches only), then
+     * runs `sampleWarmupInsts` detailed unmeasured instructions, then
+     * measures `sampleLengthInsts` detailed instructions. Summary
+     * stats cover the measured windows; RunResult::sampling carries
+     * the whole-run extrapolation and its error bound. Mutually
+     * exclusive with intervalInsts. Warm-state checkpoints are
+     * saved/restored through CheckpointStore when it is usable, so
+     * re-runs skip the fast-forward entirely.
+     */
+    InstCount samplePeriodInsts = 0;
+    /** Measured detailed window per period; required > 0 when
+     *  sampling. sampleWarmupInsts + sampleLengthInsts must fit in
+     *  the period. */
+    InstCount sampleLengthInsts = 0;
+    /** Detailed-but-unmeasured pipeline warmup per period (drains the
+     *  cold-pipeline transient after the fast-forward). */
+    InstCount sampleWarmupInsts = 0;
+
+    /** Is sampled execution enabled? */
+    bool sampled() const { return samplePeriodInsts > 0; }
+
+    /**
      * Compiled architectural trace to back the oracle stream with
      * (callers holding one — the sweep engine — pass it so every cell
      * of a workload shares the same buffer). When null, runSimulation
      * asks the process-wide TraceCache, which compiles the stream
      * once per distinct program and is a no-op when trace compilation
-     * is disabled. Behaviour-neutral in all cases.
+     * is disabled. Behaviour-neutral in all cases. Sampled runs never
+     * ask the TraceCache (compiling a 100M-instruction stream would
+     * cost gigabytes); they honor a caller-provided trace.
      */
     std::shared_ptr<const CompiledTrace> trace;
 };

@@ -142,6 +142,13 @@ SweepRunner::jobKey(const SweepJob &job, std::size_t i) const
     k += "|w" + std::to_string(job.opts.warmupInsts);
     k += "|m" + std::to_string(job.opts.measureInsts);
     k += "|i" + std::to_string(job.opts.intervalInsts);
+    // Sampling schedule is part of a cell's identity: a sampled and a
+    // full run of the same grid slot must never share manifest cells.
+    if (job.opts.sampled()) {
+        k += "|p" + std::to_string(job.opts.samplePeriodInsts);
+        k += "|l" + std::to_string(job.opts.sampleLengthInsts);
+        k += "|u" + std::to_string(job.opts.sampleWarmupInsts);
+    }
     k += "|s" + std::to_string(seed);
     return k;
 }
@@ -228,10 +235,18 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
     // compilation cost never lands in jobSeconds. Null entries (cache
     // disabled) leave those cells on the lazy reference path.
     const TraceStats traceStart = TraceCache::instance().stats();
+    const CkptStats ckptStart = CheckpointStore::instance().stats();
     std::vector<std::shared_ptr<const CompiledTrace>> traces(grid.size());
     for (std::size_t i = 0; i < grid.size(); ++i) {
         if (done[i] || !grid[i].program)
             continue;
+        // Sampled cells stay lazy: compiling their whole (typically
+        // 10M+ instruction) stream would dwarf the run itself. Their
+        // warm state comes from the CheckpointStore instead.
+        if (grid[i].opts.sampled()) {
+            traces[i] = grid[i].opts.trace;
+            continue;
+        }
         traces[i] = grid[i].opts.trace
                         ? grid[i].opts.trace
                         : TraceCache::instance().acquire(
@@ -389,6 +404,7 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
         monitor.join();
 
     lastTraceStats = TraceCache::instance().stats().delta(traceStart);
+    lastCkptStats = CheckpointStore::instance().stats().delta(ckptStart);
 
     lastTiming = SweepTiming{};
     lastTiming.jobs = static_cast<unsigned>(grid.size());
@@ -489,6 +505,21 @@ SweepRunner::printTimingSummary(std::ostream &os) const
     tg.addFormula("compile_seconds", "wall-clock spent compiling",
                   [&tr] { return tr.compileSeconds; });
     tg.dump(os);
+
+    const CkptStats &ck = lastCkptStats;
+    stats::StatGroup cg("ckpt");
+    cg.addCounter("hits", "warm-state checkpoints restored") +=
+        ck.hits;
+    cg.addCounter("misses", "lookups that fast-forwarded instead") +=
+        ck.misses;
+    cg.addCounter("saves", "checkpoint artifacts written") += ck.saves;
+    cg.addCounter("load_failures",
+                  "corrupt/stale artifacts skipped") += ck.loadFailures;
+    cg.addCounter("bytes_read", "artifact bytes restored") +=
+        ck.bytesRead;
+    cg.addCounter("bytes_written", "artifact bytes persisted") +=
+        ck.bytesWritten;
+    cg.dump(os);
 }
 
 } // namespace elfsim

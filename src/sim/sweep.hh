@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "sim/runner.hh"
+#include "workload/checkpoint_store.hh"
 #include "workload/trace_cache.hh"
 
 namespace elfsim {
@@ -162,6 +163,10 @@ class SweepRunner
      *  (TraceCache counter deltas captured across run()). */
     const TraceStats &traceStats() const { return lastTraceStats; }
 
+    /** Checkpoint-store activity during the most recent run()
+     *  (CheckpointStore counter deltas captured across run()). */
+    const CkptStats &ckptStats() const { return lastCkptStats; }
+
     /** Results of the most recent run(), in submission order. */
     const std::vector<RunResult> &results() const { return lastResults; }
 
@@ -234,6 +239,7 @@ class SweepRunner
     SweepPolicy pol;
     SweepTiming lastTiming;
     TraceStats lastTraceStats;  ///< TraceCache activity, last run
+    CkptStats lastCkptStats;    ///< CheckpointStore activity, last run
     std::vector<RunResult> lastResults; ///< merged results, last run
     std::vector<double> jobSeconds; ///< per-job wall-clocks, last run
 };

@@ -119,6 +119,44 @@ OracleStream::retireUpTo(SeqNum idx)
 }
 
 void
+OracleStream::seekTo(SeqNum next_idx)
+{
+    ELFSIM_ASSERT(window.empty(),
+                  "oracle seek with %zu unretired instructions",
+                  window.size());
+    ELFSIM_ASSERT(next_idx >= 1, "oracle seek to index 0");
+    const InstCount pos = next_idx - 1;
+    ELFSIM_ASSERT((trace && pos <= trace->size()) || pos == 0,
+                  "oracle seek past the compiled prefix needs a "
+                  "generator state");
+    baseIdx = next_idx;
+    genCursor = pos;
+    tailAdopted = false;
+    if (pos == 0)
+        gen.reset(prog);
+}
+
+void
+OracleStream::seekTo(SeqNum next_idx, const OracleGen &state)
+{
+    ELFSIM_ASSERT(window.empty(),
+                  "oracle seek with %zu unretired instructions",
+                  window.size());
+    ELFSIM_ASSERT(next_idx >= 1, "oracle seek to index 0");
+    const InstCount pos = next_idx - 1;
+    baseIdx = next_idx;
+    genCursor = pos;
+    if (trace && pos <= trace->size()) {
+        // Inside the compiled prefix the arrays are authoritative;
+        // the generator re-adopts the trace end state at the edge.
+        tailAdopted = false;
+        return;
+    }
+    gen = state;
+    tailAdopted = trace != nullptr;
+}
+
+void
 OracleStream::generateOne()
 {
     ELFSIM_ASSERT(window.size() < windowCap,

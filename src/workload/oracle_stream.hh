@@ -76,6 +76,30 @@ struct OracleGen
     /** Generate the next architectural instruction and advance. */
     OracleInst step(const Program &prog);
 
+    /** Serialize the resume state (checkpoint artifacts). */
+    template <class S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(pc);
+        s.u64Vec(callStack);
+        s.u64Vec(condCount);
+        s.u64Vec(indCount);
+        s.u64Vec(memCount);
+    }
+
+    template <class D>
+    void
+    loadState(D &d)
+    {
+        pc = d.u64();
+        callStack = d.u64Vec(maxCallDepth);
+        callStack.reserve(maxCallDepth);
+        condCount = d.u64Vec();
+        indCount = d.u64Vec();
+        memCount = d.u64Vec();
+    }
+
     static constexpr std::size_t maxCallDepth = 4096;
 };
 
@@ -125,6 +149,33 @@ class OracleStream
 
     /** Retire (drop) all instructions with index <= @a idx. */
     void retireUpTo(SeqNum idx);
+
+    /**
+     * Reposition the stream so the next instruction served is the
+     * 1-based index @a next_idx. Requires an empty in-flight window
+     * and a position covered by the compiled prefix (or position 0).
+     */
+    void seekTo(SeqNum next_idx);
+
+    /**
+     * Reposition to @a next_idx resuming lazy generation from
+     * @a state (a checkpointed OracleGen). Inside the compiled prefix
+     * the arrays stay authoritative and @a state is ignored.
+     */
+    void seekTo(SeqNum next_idx, const OracleGen &state);
+
+    /** 0-based position of the next instruction to generate. */
+    InstCount genPosition() const { return genCursor; }
+
+    /** True iff the in-flight window is empty (safe to seek). */
+    bool windowEmpty() const { return window.empty(); }
+
+    /** True iff genState() is live at genPosition() — the lazy
+     *  generator is active (no trace, or the tail was adopted). */
+    bool genStateKnown() const { return !trace || tailAdopted; }
+
+    /** The lazy generator's resume state (see genStateKnown()). */
+    const OracleGen &genState() const { return gen; }
 
     /** The program being executed. */
     const Program &program() const { return prog; }

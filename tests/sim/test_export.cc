@@ -17,10 +17,12 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/json.hh"
 #include "sim/export.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
 #include "workload/builders.hh"
+#include "workload/checkpoint_store.hh"
 
 using namespace elfsim;
 
@@ -283,6 +285,87 @@ TEST(Export, RoundTripsEveryRunResultField)
                 EXPECT_EQ(row.at(name).num, double(val));
             });
     }
+}
+
+TEST(Export, SamplingBlockPresentOnlyForSampledRuns)
+{
+    // Hermetic: counters must not depend on ambient cache warmth.
+    const bool prevCkpt = CheckpointStore::instance().enabled();
+    CheckpointStore::instance().setEnabled(false);
+
+    Program p = microRandomBranchLoop(8, 0.4);
+    RunOptions so;
+    so.warmupInsts = 0;
+    so.measureInsts = 100000;
+    so.samplePeriodInsts = 10000;
+    so.sampleLengthInsts = 2500;
+    so.sampleWarmupInsts = 500;
+    const RunResult s =
+        runSimulation(p, makeConfig(FrontendVariant::UElf), so);
+    const RunResult f = runSimulation(
+        p, makeConfig(FrontendVariant::UElf), smallWindow());
+    CheckpointStore::instance().setEnabled(prevCkpt);
+
+    // A full run emits the exact pre-sampling schema: no block.
+    {
+        JsonParser parser(toJson(f));
+        const JVal doc = parser.parse();
+        ASSERT_TRUE(parser.ok());
+        EXPECT_FALSE(doc.has("sampling"));
+    }
+
+    JsonParser parser(toJson(s));
+    const JVal doc = parser.parse();
+    ASSERT_TRUE(parser.ok());
+    ASSERT_TRUE(doc.has("sampling"));
+    const JVal &blk = doc.at("sampling");
+    ASSERT_EQ(blk.kind, JVal::Obj);
+    // Every extrapolation field survives with its exported name and
+    // value, bit-exact.
+    std::size_t fields = 0;
+    s.sampling.forEachField(
+        [&blk, &fields](const char *name, const auto &val) {
+            SCOPED_TRACE(name);
+            ++fields;
+            ASSERT_TRUE(blk.has(name));
+            EXPECT_EQ(blk.at(name).num, double(val));
+        });
+    EXPECT_GE(fields, 11u);
+    EXPECT_EQ(blk.at("period_insts").num, 10000.0);
+    EXPECT_EQ(blk.at("length_insts").num, 2500.0);
+    EXPECT_EQ(blk.at("warmup_insts").num, 500.0);
+    EXPECT_EQ(blk.at("windows").num, 10.0);
+    EXPECT_EQ(blk.at("total_insts").num, 100000.0);
+    EXPECT_EQ(blk.at("measured_insts").num, double(s.insts));
+}
+
+TEST(Export, SamplingBlockRoundTripsThroughRunResultFromJson)
+{
+    const bool prevCkpt = CheckpointStore::instance().enabled();
+    CheckpointStore::instance().setEnabled(false);
+
+    Program p = microSequentialLoop(30, 16);
+    RunOptions so;
+    so.warmupInsts = 0;
+    so.measureInsts = 100000;
+    so.samplePeriodInsts = 10000;
+    so.sampleLengthInsts = 2500;
+    so.sampleWarmupInsts = 500;
+    const RunResult s =
+        runSimulation(p, makeConfig(FrontendVariant::UElf), so);
+    const RunResult f = runSimulation(
+        p, makeConfig(FrontendVariant::UElf), smallWindow());
+    CheckpointStore::instance().setEnabled(prevCkpt);
+
+    // Parse the export back: the restored result re-exports
+    // byte-identically, sampled flag and extrapolation block intact.
+    const RunResult s2 = runResultFromJson(json::parse(toJson(s)));
+    EXPECT_TRUE(s2.sampled);
+    EXPECT_EQ(toJson(s2), toJson(s));
+
+    const RunResult f2 = runResultFromJson(json::parse(toJson(f)));
+    EXPECT_FALSE(f2.sampled);
+    EXPECT_EQ(toJson(f2), toJson(f));
 }
 
 TEST(Export, SweepJsonIsThreadCountInvariant)
