@@ -13,65 +13,16 @@
  *     can exploit.
  *
  * Run on the high-MPKI MCTS proxy (flush-sensitive) and the server-1
- * proxy (footprint-sensitive).
+ * proxy (footprint-sensitive). The rows live in
+ * bench_specs.hh::ablationDcfSpec as ConfigSpec overrides.
  */
 
-#include <deque>
-#include <string>
 #include <vector>
 
+#include "bench_specs.hh"
 #include "bench_util.hh"
 
 using namespace elfsim;
-
-namespace {
-
-struct Row
-{
-    std::string label;
-    SimConfig cfg;
-};
-
-/** Baseline first; every other row prints relative to it. */
-std::vector<Row>
-studyRows()
-{
-    const SimConfig base = makeConfig(FrontendVariant::Dcf);
-    std::vector<Row> rows;
-    rows.push_back({"baseline (Table II DCF)", base});
-    for (Cycle depth : {Cycle(0), Cycle(1), Cycle(5), Cycle(8)}) {
-        SimConfig c = base;
-        c.bp1ToFe = depth;
-        rows.push_back({"BP1->FE depth = " + std::to_string(depth) +
-                            " cycles",
-                        c});
-    }
-    {
-        SimConfig c = base;
-        c.btb.l0.entries = 1; // effectively no L0 BTB
-        c.btb.l0.assoc = 0;
-        rows.push_back({"no L0 BTB (every taken pays BP2 bubble)", c});
-    }
-    {
-        SimConfig c = base;
-        c.btb.l0.entries = 96;
-        c.btb.l0.assoc = 0;
-        rows.push_back({"4x L0 BTB (96 entries)", c});
-    }
-    {
-        SimConfig c = base;
-        c.maxInstPrefetch = 0; // FAQ-directed prefetch off
-        rows.push_back({"no FAQ-directed I-prefetch", c});
-    }
-    {
-        SimConfig c = base;
-        c.faqEntries = 4;
-        rows.push_back({"shallow FAQ (4 entries)", c});
-    }
-    return rows;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -80,35 +31,33 @@ main(int argc, char **argv)
     bench::banner("Ablations — decoupled fetcher design choices",
                   "DCF IPC relative to the Table II baseline");
 
-    // One grid covers both studies so the pool stays saturated.
-    const char *workloads[] = {"641.leela", "srv1.subtest_1"};
-    const std::vector<Row> rows = studyRows();
+    const SweepSpec spec = bench::finalizeSpec(
+        bench::ablationDcfSpec(opt.runOptions()), opt, argv[0]);
+    const ExpandedSweep ex = expandSweep(spec);
 
-    std::deque<Program> programs;
-    std::vector<SweepJob> grid;
-    for (const char *name : workloads) {
-        programs.push_back(buildWorkload(*findWorkload(name)));
-        for (const Row &row : rows) {
-            SweepJob j;
-            j.program = &programs.back();
-            j.cfg = row.cfg;
-            j.opts = opt.runOptions();
-            grid.push_back(j);
-        }
+    SweepRunner runner(bench::specJobs(opt, spec));
+    bench::armRunner(runner, spec);
+    const std::vector<RunResult> res = runner.run(ex.jobs);
+
+    if (!opt.specPath.empty()) {
+        bench::printResultsTable(res, ex.labels);
+        bench::exportResults(opt, runner);
+        bench::printSweepTiming(runner);
+        return bench::exitCode(runner);
     }
 
-    SweepRunner runner(opt.jobs);
-    bench::applyFaultPolicy(runner, opt);
-    const std::vector<RunResult> res = runner.run(grid);
-
-    for (std::size_t s = 0; s < std::size(workloads); ++s) {
-        const std::size_t first = s * rows.size();
+    // One grid covers both workloads; rows per workload = the config
+    // rows of the native spec's single group.
+    const std::size_t nRows = spec.groups[0].configs.size();
+    for (std::size_t s = 0; s * nRows < res.size(); ++s) {
+        const std::size_t first = s * nRows;
         const double baseIpc = res[first].ipc;
-        std::printf("\n[%s]  baseline DCF IPC %.3f\n", workloads[s],
-                    baseIpc);
+        std::printf("\n[%s]  baseline DCF IPC %.3f\n",
+                    res[first].workload.c_str(), baseIpc);
         std::printf("  %-42s %10s\n", "configuration", "rel. IPC");
-        for (std::size_t i = 1; i < rows.size(); ++i)
-            std::printf("  %-42s %10.3f\n", rows[i].label.c_str(),
+        for (std::size_t i = 1; i < nRows; ++i)
+            std::printf("  %-42s %10.3f\n",
+                        ex.labels[first + i].c_str(),
                         res[first + i].ipc / baseIpc);
     }
 

@@ -12,11 +12,14 @@
  *  4. Divergence-tracking capacity (64-entry bitvectors / 16-entry
  *     target queues in Table II).
  *  5. FAQ depth (32 in Table II).
+ *
+ * The rows live in bench_specs.hh::ablationElfSpec as ConfigSpec
+ * overrides.
  */
 
-#include <string>
 #include <vector>
 
+#include "bench_specs.hh"
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -29,92 +32,23 @@ main(int argc, char **argv)
                   "U-ELF IPC relative to the default U-ELF "
                   "configuration, on the high-MPKI MCTS proxy");
 
-    const WorkloadSpec *w = findWorkload("641.leela");
-    Program p = buildWorkload(*w);
+    const SweepSpec spec = bench::finalizeSpec(
+        bench::ablationElfSpec(opt.runOptions()), opt, argv[0]);
+    const ExpandedSweep ex = expandSweep(spec);
 
-    const SimConfig base = makeConfig(FrontendVariant::UElf);
+    SweepRunner runner(bench::specJobs(opt, spec));
+    bench::armRunner(runner, spec);
+    const std::vector<RunResult> res = runner.run(ex.jobs);
 
-    struct Row
-    {
-        std::string label;
-        SimConfig cfg;
-    };
-    std::vector<Row> rows;
-    rows.push_back({"U-ELF (default)", base});
-    rows.push_back({"DCF baseline", makeConfig(FrontendVariant::Dcf)});
-    {
-        SimConfig c = base;
-        c.payloadPolicy = PayloadPolicy::RobHead;
-        rows.push_back(
-            {"payloads wait for ROB head (IV-D1 baseline)", c});
+    if (!opt.specPath.empty()) {
+        bench::printResultsTable(res, ex.labels);
+    } else {
+        const double baseIpc = res[0].ipc;
+        std::printf("%-44s %10s\n", "configuration", "rel. IPC");
+        for (std::size_t i = 0; i < res.size(); ++i)
+            std::printf("%-44s %10.3f\n", ex.labels[i].c_str(),
+                        res[i].ipc / baseIpc);
     }
-    {
-        SimConfig c = base;
-        c.payloadPolicy = PayloadPolicy::Ideal;
-        rows.push_back({"idealized free checkpoints", c});
-    }
-    {
-        SimConfig c = base;
-        c.condElfRequireSaturation = false;
-        rows.push_back({"no saturation filter (speculate always)", c});
-    }
-    {
-        SimConfig c = base;
-        c.coupledPreds.bimodal.entries = 8192;
-        rows.push_back({"4x coupled bimodal (8K entries)", c});
-    }
-    {
-        SimConfig c = base;
-        c.coupledPreds.bimodal.entries = 512;
-        rows.push_back({"1/4 coupled bimodal (512)", c});
-    }
-    {
-        SimConfig c = base;
-        c.divergence.vecEntries = 16;
-        c.divergence.targetEntries = 4;
-        rows.push_back(
-            {"1/4 divergence tracking (16-entry vectors)", c});
-    }
-    {
-        SimConfig c = base;
-        c.faqEntries = 8;
-        rows.push_back({"shallow FAQ (8 entries)", c});
-    }
-    {
-        SimConfig c = base;
-        c.faqEntries = 128;
-        rows.push_back({"deep FAQ (128 entries)", c});
-    }
-    {
-        SimConfig c = base;
-        c.coupledPreds.condKind = CoupledCondKind::Gshare;
-        rows.push_back({"extension: gshare coupled predictor", c});
-    }
-    {
-        SimConfig c = base;
-        c.decodeBtbFill = true;
-        rows.push_back(
-            {"extension: decode-time BTB fill (Boomerang)", c});
-    }
-
-    std::vector<SweepJob> grid;
-    for (const Row &row : rows) {
-        SweepJob j;
-        j.program = &p;
-        j.cfg = row.cfg;
-        j.opts = opt.runOptions();
-        grid.push_back(j);
-    }
-
-    SweepRunner runner(opt.jobs);
-    bench::applyFaultPolicy(runner, opt);
-    const std::vector<RunResult> res = runner.run(grid);
-    const double baseIpc = res[0].ipc;
-
-    std::printf("%-44s %10s\n", "configuration", "rel. IPC");
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        std::printf("%-44s %10.3f\n", rows[i].label.c_str(),
-                    res[i].ipc / baseIpc);
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return bench::exitCode(runner);

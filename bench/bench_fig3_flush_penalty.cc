@@ -13,8 +13,8 @@
 
 #include <vector>
 
+#include "bench_specs.hh"
 #include "bench_util.hh"
-#include "workload/builders.hh"
 
 using namespace elfsim;
 
@@ -27,29 +27,27 @@ main(int argc, char **argv)
         "Measured cycles from a mispredict flush to the first fetched "
         "instruction (paper: DCF = coupled + 3)");
 
-    Program p = microRandomBranchLoop(8, 0.5);
+    const SweepSpec spec = bench::finalizeSpec(
+        bench::fig3Spec(opt.runOptions()), opt, argv[0]);
+    const ExpandedSweep ex = expandSweep(spec);
 
-    const FrontendVariant variants[] = {
-        FrontendVariant::NoDcf, FrontendVariant::Dcf,
-        FrontendVariant::LElf, FrontendVariant::UElf};
+    SweepRunner runner(bench::specJobs(opt, spec));
+    bench::armRunner(runner, spec);
+    const std::vector<RunResult> res = runner.run(ex.jobs);
 
-    std::vector<SweepJob> grid;
-    for (FrontendVariant v : variants)
-        grid.push_back(makeVariantJob(p, v, opt.runOptions()));
-
-    SweepRunner runner(opt.jobs);
-    bench::applyFaultPolicy(runner, opt);
-    const std::vector<RunResult> res = runner.run(grid);
-
-    std::printf("%-10s %22s %14s\n", "frontend",
-                "redirect->fetch(cyc)", "rel. to NoDCF");
-    const double base = res[0].avgRedirectToFetch;
-    for (const RunResult &r : res)
-        std::printf("%-10s %22.2f %+14.2f\n", r.variant.c_str(),
-                    r.avgRedirectToFetch,
-                    r.avgRedirectToFetch - base);
-    std::printf("\npaper: DCF pays +3 cycles (BP1/BP2/FAQ); ELF "
-                "re-enters coupled mode and hides them.\n");
+    if (!opt.specPath.empty()) {
+        bench::printResultsTable(res, ex.labels);
+    } else {
+        std::printf("%-10s %22s %14s\n", "frontend",
+                    "redirect->fetch(cyc)", "rel. to NoDCF");
+        const double base = res[0].avgRedirectToFetch;
+        for (const RunResult &r : res)
+            std::printf("%-10s %22.2f %+14.2f\n", r.variant.c_str(),
+                        r.avgRedirectToFetch,
+                        r.avgRedirectToFetch - base);
+        std::printf("\npaper: DCF pays +3 cycles (BP1/BP2/FAQ); ELF "
+                    "re-enters coupled mode and hides them.\n");
+    }
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return bench::exitCode(runner);

@@ -6,9 +6,9 @@
  * quoted in Section VI-A.
  */
 
-#include <deque>
 #include <vector>
 
+#include "bench_specs.hh"
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -23,36 +23,34 @@ main(int argc, char **argv)
         "fetcher (high-MPKI cases); server 1 collapses without the "
         "FAQ's instruction prefetch");
 
-    const std::vector<std::string> names = elfRelevantWorkloads();
-    std::deque<Program> programs;
-    std::vector<SweepJob> grid;
-    for (const std::string &name : names) {
-        programs.push_back(buildWorkload(*findWorkload(name)));
-        for (FrontendVariant v :
-             {FrontendVariant::Dcf, FrontendVariant::NoDcf})
-            grid.push_back(
-                makeVariantJob(programs.back(), v, opt.runOptions()));
+    const SweepSpec spec = bench::finalizeSpec(
+        bench::fig6Spec(opt.runOptions()), opt, argv[0]);
+    const ExpandedSweep ex = expandSweep(spec);
+
+    SweepRunner runner(bench::specJobs(opt, spec));
+    bench::armRunner(runner, spec);
+    const std::vector<RunResult> res = runner.run(ex.jobs);
+
+    if (!opt.specPath.empty()) {
+        bench::printResultsTable(res, ex.labels);
+    } else {
+        std::printf("%-18s %10s %10s %12s %10s\n", "workload",
+                    "DCF IPC", "NoDCF rel", "branch MPKI",
+                    "BTB L0/L1/L2");
+        for (std::size_t i = 0; i + 1 < res.size(); i += 2) {
+            const RunResult &dcf = res[i];
+            const RunResult &nod = res[i + 1];
+            std::printf(
+                "%-18s %10.3f %10.3f %12.1f %4.0f/%2.0f/%2.0f%%\n",
+                dcf.workload.c_str(), dcf.ipc, nod.ipc / dcf.ipc,
+                dcf.branchMpki, 100 * dcf.btbHitL0,
+                100 * dcf.btbHitL1, 100 * dcf.btbHitL2);
+            std::fflush(stdout);
+        }
+        std::printf("\npaper shape: NoDCF ~0.6 on server 1 (prefetch "
+                    "loss); NoDCF can exceed 1.0 only when MPKI is "
+                    "high and the footprint is small.\n");
     }
-
-    SweepRunner runner(opt.jobs);
-    bench::applyFaultPolicy(runner, opt);
-    const std::vector<RunResult> res = runner.run(grid);
-
-    std::printf("%-18s %10s %10s %12s %10s\n", "workload", "DCF IPC",
-                "NoDCF rel", "branch MPKI", "BTB L0/L1/L2");
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        const RunResult &dcf = res[2 * i];
-        const RunResult &nod = res[2 * i + 1];
-        std::printf("%-18s %10.3f %10.3f %12.1f %4.0f/%2.0f/%2.0f%%\n",
-                    names[i].c_str(), dcf.ipc, nod.ipc / dcf.ipc,
-                    dcf.branchMpki, 100 * dcf.btbHitL0,
-                    100 * dcf.btbHitL1, 100 * dcf.btbHitL2);
-        std::fflush(stdout);
-    }
-    std::printf("\npaper shape: NoDCF ~0.6 on server 1 (prefetch "
-                "loss); NoDCF can exceed 1.0 only when MPKI is high "
-                "and the footprint is small.\n");
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return bench::exitCode(runner);

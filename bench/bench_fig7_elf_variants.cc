@@ -4,9 +4,9 @@
  * (RET/IND/COND-ELF) relative to the DCF baseline.
  */
 
-#include <deque>
 #include <vector>
 
+#include "bench_specs.hh"
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -21,37 +21,29 @@ main(int argc, char **argv)
         "(srv2.subtest_2); COND-ELF can lose on bimodal-hostile "
         "patterns (620.omnetpp)");
 
-    const FrontendVariant variants[] = {
-        FrontendVariant::Dcf, FrontendVariant::LElf,
-        FrontendVariant::RetElf, FrontendVariant::IndElf,
-        FrontendVariant::CondElf};
+    const SweepSpec spec = bench::finalizeSpec(
+        bench::fig7Spec(opt.runOptions()), opt, argv[0]);
+    const ExpandedSweep ex = expandSweep(spec);
 
-    const std::vector<std::string> names = elfRelevantWorkloads();
-    std::deque<Program> programs;
-    std::vector<SweepJob> grid;
-    for (const std::string &name : names) {
-        programs.push_back(buildWorkload(*findWorkload(name)));
-        for (FrontendVariant v : variants)
-            grid.push_back(
-                makeVariantJob(programs.back(), v, opt.runOptions()));
-    }
+    SweepRunner runner(bench::specJobs(opt, spec));
+    bench::armRunner(runner, spec);
+    const std::vector<RunResult> res = runner.run(ex.jobs);
 
-    SweepRunner runner(opt.jobs);
-    bench::applyFaultPolicy(runner, opt);
-    const std::vector<RunResult> res = runner.run(grid);
-
-    std::printf("%-18s %8s %8s %8s %8s %8s\n", "workload", "DCF IPC",
-                "L-ELF", "RET", "IND", "COND");
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        const RunResult &dcf = res[5 * i];
-        std::printf("%-18s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
-                    names[i].c_str(), dcf.ipc,
-                    res[5 * i + 1].ipc / dcf.ipc,
-                    res[5 * i + 2].ipc / dcf.ipc,
-                    res[5 * i + 3].ipc / dcf.ipc,
-                    res[5 * i + 4].ipc / dcf.ipc);
-        std::fflush(stdout);
+    if (!opt.specPath.empty()) {
+        bench::printResultsTable(res, ex.labels);
+    } else {
+        std::printf("%-18s %8s %8s %8s %8s %8s\n", "workload",
+                    "DCF IPC", "L-ELF", "RET", "IND", "COND");
+        for (std::size_t i = 0; i + 4 < res.size(); i += 5) {
+            const RunResult &dcf = res[i];
+            std::printf("%-18s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                        dcf.workload.c_str(), dcf.ipc,
+                        res[i + 1].ipc / dcf.ipc,
+                        res[i + 2].ipc / dcf.ipc,
+                        res[i + 3].ipc / dcf.ipc,
+                        res[i + 4].ipc / dcf.ipc);
+            std::fflush(stdout);
+        }
     }
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);

@@ -4,9 +4,9 @@
  * average number of instructions fetched per coupled period.
  */
 
-#include <deque>
 #include <vector>
 
+#include "bench_specs.hh"
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -21,40 +21,36 @@ main(int argc, char **argv)
         "U-ELF speculates further in coupled mode than L-ELF; more "
         "coupled instructions = more hidden restart latency");
 
-    const std::vector<std::string> names = elfRelevantWorkloads();
-    std::deque<Program> programs;
-    std::vector<SweepJob> grid;
-    for (const std::string &name : names) {
-        programs.push_back(buildWorkload(*findWorkload(name)));
-        for (FrontendVariant v :
-             {FrontendVariant::Dcf, FrontendVariant::LElf,
-              FrontendVariant::UElf})
-            grid.push_back(
-                makeVariantJob(programs.back(), v, opt.runOptions()));
+    const SweepSpec spec = bench::finalizeSpec(
+        bench::fig8Spec(opt.runOptions()), opt, argv[0]);
+    const ExpandedSweep ex = expandSweep(spec);
+
+    SweepRunner runner(bench::specJobs(opt, spec));
+    bench::armRunner(runner, spec);
+    const std::vector<RunResult> res = runner.run(ex.jobs);
+
+    if (!opt.specPath.empty()) {
+        bench::printResultsTable(res, ex.labels);
+    } else {
+        std::printf("%-18s %8s | %8s %8s | %8s %8s | %6s\n",
+                    "workload", "DCF IPC", "L-ELF", "cpl/per",
+                    "U-ELF", "cpl/per", "U div");
+        for (std::size_t i = 0; i + 2 < res.size(); i += 3) {
+            const RunResult &dcf = res[i];
+            const RunResult &l = res[i + 1];
+            const RunResult &u = res[i + 2];
+            std::printf(
+                "%-18s %8.3f | %8.3f %8.1f | %8.3f %8.1f | %6llu\n",
+                dcf.workload.c_str(), dcf.ipc, l.ipc / dcf.ipc,
+                l.avgCoupledInsts, u.ipc / dcf.ipc,
+                u.avgCoupledInsts,
+                (unsigned long long)u.divergenceFlushes);
+            std::fflush(stdout);
+        }
+        std::printf("\npaper shape: up to +3.6%% (L) / +5.2%% (U) on "
+                    "high-MPKI workloads; U-ELF fetches more per "
+                    "period than L-ELF.\n");
     }
-
-    SweepRunner runner(opt.jobs);
-    bench::applyFaultPolicy(runner, opt);
-    const std::vector<RunResult> res = runner.run(grid);
-
-    std::printf("%-18s %8s | %8s %8s | %8s %8s | %6s\n", "workload",
-                "DCF IPC", "L-ELF", "cpl/per", "U-ELF", "cpl/per",
-                "U div");
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        const RunResult &dcf = res[3 * i];
-        const RunResult &l = res[3 * i + 1];
-        const RunResult &u = res[3 * i + 2];
-        std::printf("%-18s %8.3f | %8.3f %8.1f | %8.3f %8.1f | %6llu\n",
-                    names[i].c_str(), dcf.ipc, l.ipc / dcf.ipc,
-                    l.avgCoupledInsts, u.ipc / dcf.ipc,
-                    u.avgCoupledInsts,
-                    (unsigned long long)u.divergenceFlushes);
-        std::fflush(stdout);
-    }
-    std::printf("\npaper shape: up to +3.6%% (L) / +5.2%% (U) on "
-                "high-MPKI workloads; U-ELF fetches more per period "
-                "than L-ELF.\n");
     bench::exportResults(opt, runner);
     bench::printSweepTiming(runner);
     return bench::exitCode(runner);

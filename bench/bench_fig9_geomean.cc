@@ -4,10 +4,10 @@
  * U-ELF relative to DCF, per benchmark suite and overall.
  */
 
-#include <deque>
 #include <map>
 #include <vector>
 
+#include "bench_specs.hh"
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -22,22 +22,20 @@ main(int argc, char **argv)
         "Per suite and overall; paper: L-ELF +0.7% geomean, U-ELF "
         "+1.2%, NoDCF well below 1.0");
 
-    const FrontendVariant variants[] = {
-        FrontendVariant::Dcf, FrontendVariant::NoDcf,
-        FrontendVariant::LElf, FrontendVariant::UElf};
+    const SweepSpec spec = bench::finalizeSpec(
+        bench::fig9Spec(opt.runOptions()), opt, argv[0]);
+    const ExpandedSweep ex = expandSweep(spec);
 
-    std::deque<Program> programs;
-    std::vector<SweepJob> grid;
-    for (const WorkloadSpec &w : workloadCatalog()) {
-        programs.push_back(buildWorkload(w));
-        for (FrontendVariant v : variants)
-            grid.push_back(
-                makeVariantJob(programs.back(), v, opt.runOptions()));
+    SweepRunner runner(bench::specJobs(opt, spec));
+    bench::armRunner(runner, spec);
+    const std::vector<RunResult> res = runner.run(ex.jobs);
+
+    if (!opt.specPath.empty()) {
+        bench::printResultsTable(res, ex.labels);
+        bench::exportResults(opt, runner);
+        bench::printSweepTiming(runner);
+        return bench::exitCode(runner);
     }
-
-    SweepRunner runner(opt.jobs);
-    bench::applyFaultPolicy(runner, opt);
-    const std::vector<RunResult> res = runner.run(grid);
 
     std::map<std::string, std::vector<double>> nod, lelf, uelf;
     std::vector<double> nodAll, lAll, uAll;

@@ -14,12 +14,10 @@
  * like with like: Release build, default flags, --jobs 1.
  */
 
-#include <cstdlib>
-#include <cstring>
-#include <deque>
 #include <fstream>
 #include <vector>
 
+#include "bench_specs.hh"
 #include "bench_util.hh"
 
 using namespace elfsim;
@@ -32,81 +30,53 @@ main(int argc, char **argv)
     defaults.measureInsts = 150000;
     defaults.jsonPath = "BENCH_throughput.json";
 
-    // --stride N (local flag): simulate every Nth catalog workload.
-    // Full-size windows on a subset keep per-run MIPS comparable with
-    // the committed full-grid baseline (shrinking the windows instead
+    // --stride N: simulate every Nth catalog workload. Full-size
+    // windows on a subset keep per-run MIPS comparable with the
+    // committed full-grid baseline (shrinking the windows instead
     // would bias MIPS low: per-run setup stops being amortized). The
     // regression checker matches rows by (workload, variant), so a
     // strided document compares cleanly. scripts/perf_smoke.sh uses
     // this for its ~15 s gate.
     //
-    // --sampled (local flag): append U-ELF sampled-mode rows for the
-    // slowest catalog workloads over a 10M-instruction stream
-    // (period 1M / length 5000 / warmup 1000). Their rows carry the
-    // "/sampled" variant suffix and report *effective* MIPS — whole
-    // stream covered per host second — which is what the >=50x
-    // sampled gate in scripts/perf_smoke.sh compares against the
-    // same workload's detailed row.
+    // --sampled: append U-ELF sampled-mode rows for the slowest
+    // catalog workloads over a 10M-instruction stream (period 1M /
+    // length 5000 / warmup 1000). Their rows carry the "/sampled"
+    // variant suffix and report *effective* MIPS — whole stream
+    // covered per host second — which is what the >=50x sampled gate
+    // in scripts/perf_smoke.sh compares against the same workload's
+    // detailed row.
     unsigned stride = 1;
     bool sampled = false;
-    std::vector<char *> fwd;
-    fwd.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--stride") && i + 1 < argc) {
-            const std::uint64_t v = bench::parseCount(
-                argv[0], "--stride", argv[++i], UINT_MAX);
-            stride = v > 1 ? unsigned(v) : 1;
-        } else if (!std::strcmp(argv[i], "--sampled")) {
-            sampled = true;
-        } else {
-            fwd.push_back(argv[i]);
-        }
-    }
+    const std::vector<bench::LocalFlag> locals = {
+        {"--stride", true,
+         "  --stride N      simulate every Nth catalog workload "
+         "(perf_smoke subset)\n",
+         [&](const char *v) {
+             const std::uint64_t n =
+                 bench::parseCount(argv[0], "--stride", v, UINT_MAX);
+             stride = n > 1 ? unsigned(n) : 1;
+         }},
+        {"--sampled", false,
+         "  --sampled       append sampled-mode rows for the slowest "
+         "workloads\n",
+         [&](const char *) { sampled = true; }},
+    };
     const bench::Options opt =
-        bench::parseOptions(int(fwd.size()), fwd.data(), defaults);
+        bench::parseOptions(argc, argv, defaults, locals);
     bench::banner(
         "Simulator throughput — wall-clock cost of the tick kernel",
         "Table I workloads x {NoDCF, DCF, U-ELF}; per-job simulated "
         "MIPS and cycles per host microsecond");
 
-    const FrontendVariant variants[] = {FrontendVariant::NoDcf,
-                                        FrontendVariant::Dcf,
-                                        FrontendVariant::UElf};
+    const SweepSpec spec = bench::finalizeSpec(
+        bench::throughputSpec(opt.runOptions(), stride, sampled,
+                              opt.quick),
+        opt, argv[0]);
+    const ExpandedSweep ex = expandSweep(spec);
 
-    std::deque<Program> programs;
-    std::vector<SweepJob> grid;
-    unsigned wi = 0;
-    for (const WorkloadSpec &w : workloadCatalog()) {
-        if (wi++ % stride != 0)
-            continue;
-        programs.push_back(buildWorkload(w));
-        for (FrontendVariant v : variants)
-            grid.push_back(
-                makeVariantJob(programs.back(), v, opt.runOptions()));
-    }
-
-    if (sampled) {
-        // Memory-bound slow movers: the cells where detailed
-        // simulation is most painful and sampling pays the most.
-        static const char *const slow[] = {"605.mcf", "srv2.subtest_3"};
-        RunOptions so;
-        so.warmupInsts = 0;
-        so.measureInsts = opt.quick ? 2500000 : 10000000;
-        so.samplePeriodInsts = 1000000;
-        so.sampleLengthInsts = 5000;
-        so.sampleWarmupInsts = 1000;
-        for (const WorkloadSpec &w : workloadCatalog())
-            for (const char *name : slow)
-                if (w.name == name) {
-                    programs.push_back(buildWorkload(w));
-                    grid.push_back(makeVariantJob(
-                        programs.back(), FrontendVariant::UElf, so));
-                }
-    }
-
-    SweepRunner runner(opt.jobs);
-    bench::applyFaultPolicy(runner, opt);
-    std::vector<RunResult> res = runner.run(grid);
+    SweepRunner runner(bench::specJobs(opt, spec));
+    bench::armRunner(runner, spec);
+    std::vector<RunResult> res = runner.run(ex.jobs);
     // Sampled rows get their own (workload, variant) identity so the
     // regression checker never compares effective MIPS against a
     // detailed row of the same cell.

@@ -17,14 +17,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/error.hh"
 
 #include "sim/export.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "sim/sweep_spec.hh"
 #include "workload/catalog.hh"
 #include "workload/checkpoint_store.hh"
 
@@ -59,6 +62,9 @@ struct Options
     std::string ckptCacheDir;    ///< --ckpt-cache artifact directory
     bool noCkpt = false;         ///< --no-ckpt: always fast-forward
 
+    std::string specPath;     ///< --spec: run this grid instead
+    std::string dumpSpecPath; ///< --dump-spec: archive the grid as JSON
+
     RunOptions
     runOptions() const
     {
@@ -73,9 +79,24 @@ struct Options
     }
 };
 
-/** Print --help text for the common options. */
+/**
+ * A bench-specific flag handled inside the common option loop, so it
+ * shares the uniform `--help` text and unknown-flag exit-2 semantics
+ * (bench_throughput's --stride/--sampled, server_capacity's --hammer).
+ */
+struct LocalFlag
+{
+    const char *name;  ///< "--stride"
+    bool takesValue = false;
+    const char *help;  ///< preformatted usage line(s), '\n'-terminated
+    /** Called with the flag's value (null when takesValue is false). */
+    std::function<void(const char *value)> apply;
+};
+
+/** Print --help text for the common options (+ any bench locals). */
 inline void
-printUsage(const char *argv0, std::FILE *to)
+printUsage(const char *argv0, std::FILE *to,
+           const std::vector<LocalFlag> &locals = {})
 {
     std::fprintf(
         to,
@@ -133,11 +154,23 @@ printUsage(const char *argv0, std::FILE *to)
         "$ELFSIM_CKPT=0) —\n"
         "                  behaviour-identical, just always fast-"
         "forwards\n"
-        "  --help          this text\n"
-        "exit status: 0 ok, 1 export I/O error, 2 usage error, "
-        "3 failed cells, 130 interrupted\n",
+        "  --spec PATH     run the elfsim-sweepspec-v1 grid in PATH "
+        "instead of this\n"
+        "                  bench's native grid (output becomes a "
+        "generic table)\n"
+        "  --dump-spec PATH  write the resolved grid as an elfsim-"
+        "sweepspec-v1 JSON\n"
+        "                  document (re-runnable via --spec or "
+        "elfsimd), then run\n",
         argv0, (unsigned long long)Options().warmupInsts,
         (unsigned long long)Options().measureInsts);
+    for (const LocalFlag &f : locals)
+        std::fputs(f.help, to);
+    std::fprintf(
+        to,
+        "  --help          this text\n"
+        "exit status: 0 ok, 1 export I/O error, 2 usage error, "
+        "3 failed cells, 130 interrupted\n");
 }
 
 /**
@@ -198,10 +231,12 @@ parseSeconds(const char *argv0, const char *flag, const char *text)
  * Parse the common options, starting from @a defaults (benches with
  * non-standard windows seed their own). Unknown flags, missing values
  * and malformed numbers are hard errors (exit 2); `--help` prints
- * usage and exits 0.
+ * usage and exits 0. @a locals lets a bench add flags that share
+ * these semantics.
  */
 inline Options
-parseOptions(int argc, char **argv, Options defaults = {})
+parseOptions(int argc, char **argv, Options defaults = {},
+             const std::vector<LocalFlag> &locals = {})
 {
     Options o = defaults;
     const auto value = [&](int &i) -> const char * {
@@ -260,15 +295,26 @@ parseOptions(int argc, char **argv, Options defaults = {})
             o.ckptCacheDir = value(i);
         else if (!std::strcmp(argv[i], "--no-ckpt"))
             o.noCkpt = true;
+        else if (!std::strcmp(argv[i], "--spec"))
+            o.specPath = value(i);
+        else if (!std::strcmp(argv[i], "--dump-spec"))
+            o.dumpSpecPath = value(i);
         else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
-            printUsage(argv[0], stdout);
+            printUsage(argv[0], stdout, locals);
             std::exit(0);
         } else {
-            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
-                         argv[i]);
-            printUsage(argv[0], stderr);
-            std::exit(2);
+            const LocalFlag *local = nullptr;
+            for (const LocalFlag &f : locals)
+                if (!std::strcmp(argv[i], f.name))
+                    local = &f;
+            if (!local) {
+                std::fprintf(stderr, "%s: unknown option '%s'\n",
+                             argv[0], argv[i]);
+                printUsage(argv[0], stderr, locals);
+                std::exit(2);
+            }
+            local->apply(local->takesValue ? value(i) : nullptr);
         }
     }
     // A contradictory sampling schedule is a usage error, caught here
@@ -334,6 +380,102 @@ applyFaultPolicy(SweepRunner &runner, const Options &o)
     SweepRunner::installSignalHandlers();
 }
 
+/** The SweepPolicy the fault-tolerance flags describe. */
+inline SweepPolicy
+policyFromOptions(const Options &o)
+{
+    SweepPolicy p;
+    p.deadlineSeconds = o.deadlineSeconds;
+    p.stallSeconds = o.stallSeconds;
+    p.maxRetries = o.maxRetries;
+    p.manifestPath = o.manifestPath;
+    p.resume = o.resume;
+    return p;
+}
+
+/**
+ * Resolve the sweep a bench will actually run: its native spec (the
+ * bench_specs.hh builder output) with the CLI fault-policy flags
+ * folded in — unless `--spec PATH` replaces the whole description
+ * (grid, windows AND policy; only execution-side flags like --jobs /
+ * --json / --csv / the cache directories still apply). `--dump-spec`
+ * then archives whatever was resolved, so the JSON always matches the
+ * grid this process is about to run. Load/save problems and invalid
+ * specs are usage errors (exit 2) / export errors (exit 1).
+ */
+inline SweepSpec
+finalizeSpec(SweepSpec native, const Options &o, const char *argv0)
+{
+    SweepSpec spec = std::move(native);
+    if (o.specPath.empty()) {
+        spec.policy = policyFromOptions(o);
+    } else {
+        try {
+            spec = loadSweepSpec(o.specPath);
+            validateSweepSpec(spec);
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "%s: --spec %s: %s\n", argv0,
+                         o.specPath.c_str(), e.what());
+            std::exit(2);
+        }
+    }
+    if (!o.dumpSpecPath.empty()) {
+        try {
+            saveSweepSpec(o.dumpSpecPath, spec);
+            std::printf("wrote %s\n", o.dumpSpecPath.c_str());
+        } catch (const IoError &e) {
+            std::fprintf(stderr, "%s: --dump-spec: %s\n", argv0,
+                         e.what());
+            std::exit(1);
+        }
+    }
+    return spec;
+}
+
+/**
+ * Arm a runner for a resolved spec — its policy and base seed, plus
+ * the SIGINT/SIGTERM handlers so a Ctrl-C mid-sweep degrades to
+ * cancelled cells and a partial export instead of losing everything.
+ */
+inline void
+armRunner(SweepRunner &runner, const SweepSpec &spec)
+{
+    runner.setPolicy(spec.policy);
+    runner.setBaseSeed(spec.baseSeed);
+    SweepRunner::clearInterrupt();
+    SweepRunner::installSignalHandlers();
+}
+
+/** Thread count for a resolved spec: the CLI flag wins, then the
+ *  spec's own jobs field, then auto. */
+inline unsigned
+specJobs(const Options &o, const SweepSpec &spec)
+{
+    return o.jobs ? o.jobs : spec.jobs;
+}
+
+/**
+ * Generic results table for a grid the bench does not know the shape
+ * of (an externally supplied --spec): one row per cell, labelled with
+ * the config row's label when the spec carries one.
+ */
+inline void
+printResultsTable(const std::vector<RunResult> &res,
+                  const std::vector<std::string> &labels)
+{
+    std::printf("%-18s %-10s %-30s %8s %12s %10s\n", "workload",
+                "variant", "label", "IPC", "branch MPKI", "status");
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        const RunResult &r = res[i];
+        const char *label =
+            i < labels.size() ? labels[i].c_str() : "";
+        std::printf("%-18s %-10s %-30.30s %8.3f %12.1f %10s\n",
+                    r.workload.c_str(), r.variant.c_str(), label,
+                    r.ipc, r.branchMpki, jobStatusName(r.status));
+    }
+    std::fflush(stdout);
+}
+
 /** Write the last sweep wherever --json / --csv asked; an unwritable
  *  path is a hard error (exit 1). */
 inline void
@@ -395,6 +537,10 @@ warnNoExport(const Options &o, const char *why)
     if (!o.jsonPath.empty() || !o.csvPath.empty())
         std::fprintf(stderr,
                      "note: --json/--csv ignored here (%s)\n", why);
+    if (!o.specPath.empty() || !o.dumpSpecPath.empty())
+        std::fprintf(stderr,
+                     "note: --spec/--dump-spec ignored here (%s)\n",
+                     why);
 }
 
 /** Print the runner's per-sweep timing summary to stdout. */

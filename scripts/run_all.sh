@@ -56,6 +56,7 @@ remove_partial() {
 trap 'remove_partial; echo "interrupted" >&2; exit 130' INT TERM
 
 ARTIFACTS=()
+SPECS=()
 FAILED=()
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
@@ -66,6 +67,11 @@ for b in build/bench/*; do
         bench_micro_components)
             # google-benchmark binary: rejects unknown flags.
             "$b" || status=$?
+            ;;
+        elfsimd)
+            # Long-running daemon, not a batch experiment — it would
+            # block the campaign. test_service covers it in-process.
+            echo "skipping daemon binary (see test_service)"
             ;;
         bench_fig2_timing|bench_table1_workloads|bench_table2_config)
             # Characterization tables: no RunResults to export.
@@ -96,12 +102,17 @@ for b in build/bench/*; do
             fi
             ;;
         *)
+            # --dump-spec archives the exact declarative grid next to
+            # the results: the pair re-runs bit-identically later via
+            # `--spec FILE` or a `POST /sweep` to elfsimd.
             CURRENT_ARTIFACT="$RESULTS/$name.json"
             "$b" --jobs "$JOBS" --json "$RESULTS/$name.json" \
+                 --dump-spec "$RESULTS/$name.spec.json" \
                  --trace-cache "$TRACE_CACHE" \
                  ${EXTRA[@]+"${EXTRA[@]}"} || status=$?
             if [ "$status" -eq 0 ]; then
                 ARTIFACTS+=("$RESULTS/$name.json")
+                SPECS+=("$RESULTS/$name.spec.json")
             fi
             CURRENT_ARTIFACT=""
             ;;
@@ -124,6 +135,11 @@ if [ ${#ARTIFACTS[@]} -gt 0 ]; then
     echo "######## schema check"
     python3 scripts/check_results.py "${ARTIFACTS[@]}" \
         || FAILED+=("schema check")
+fi
+if [ ${#SPECS[@]} -gt 0 ]; then
+    echo "######## sweepspec check"
+    python3 scripts/check_results.py --spec "${SPECS[@]}" \
+        || FAILED+=("sweepspec check")
 fi
 
 if [ ${#FAILED[@]} -gt 0 ]; then

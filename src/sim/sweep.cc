@@ -169,6 +169,16 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
     std::vector<RunResult> results(grid.size());
     jobSeconds.assign(grid.size(), 0.0);
 
+    // Completion observer: serialized, fired once per finished cell
+    // (including resume-adopted cells) in completion order.
+    std::mutex observerMtx;
+    auto notify = [&](std::size_t i) {
+        if (!cellObserver)
+            return;
+        std::lock_guard<std::mutex> lk(observerMtx);
+        cellObserver(i, results[i]);
+    };
+
     // Resume: adopt ok cells journaled by a previous (killed) run.
     // Identity check is index + jobKey, so a manifest from a
     // different grid or seed silently re-runs everything it cannot
@@ -196,6 +206,7 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
                     continue;
                 results[e.index] = std::move(e.result);
                 done[e.index] = 1;
+                notify(e.index);
                 ++reused;
             }
             ELFSIM_INFORM("resume: reusing %zu of %zu cells from '%s'",
@@ -276,15 +287,17 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
             jobSeconds[i] += secondsSince(jobStart);
             watch.phase.store(2, std::memory_order_release);
             journal(i);
+            notify(i);
             return;
         }
 
-        if (interruptRequested()) {
+        if (interruptRequested() || pol.cancelRequested()) {
             results[i] = degradedResult(
                 grid[i], JobStatus::Cancelled,
                 "sweep interrupted before job started", 0);
             watch.phase.store(2, std::memory_order_release);
             journal(i);
+            notify(i);
             return;
         }
 
@@ -333,6 +346,7 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
         }
         watch.phase.store(2, std::memory_order_release);
         journal(i);
+        notify(i);
     };
 
     // Watchdog monitor: one background thread scanning every running
@@ -341,14 +355,16 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
     std::atomic<bool> stopMonitor{false};
     std::thread monitor;
     const bool needMonitor =
-        pol.keepGoing &&
-        (pol.watchdogEnabled() || handlersInstalled.load());
+        pol.keepGoing && (pol.watchdogEnabled() ||
+                          handlersInstalled.load() ||
+                          pol.cancelFlag != nullptr);
     if (needMonitor) {
         monitor = std::thread([&] {
             while (!stopMonitor.load(std::memory_order_acquire)) {
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(10));
-                const bool interrupted = interruptRequested();
+                const bool interrupted =
+                    interruptRequested() || pol.cancelRequested();
                 const std::int64_t now = nowMs();
                 for (std::size_t i = 0; i < watches.size(); ++i) {
                     JobWatch &w = watches[i];

@@ -1,0 +1,514 @@
+/**
+ * @file
+ * SweepSpec tests: JSON parse/expand/serialize round-trips, rejection
+ * of malformed specs (unknown fields, contradictory sampling), the
+ * SimConfig knob registry, and — the load-bearing guarantee of the
+ * bench migration — spec-vs-legacy grid identity: every bench's
+ * bench_specs.hh builder expands to exactly the grid the old
+ * hand-rolled loops assembled (same order, same configs, same
+ * windows), checked via jobKey + configFingerprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_specs.hh"
+#include "common/error.hh"
+#include "sim/export.hh"
+#include "sim/sweep_spec.hh"
+#include "workload/builders.hh"
+#include "workload/catalog.hh"
+
+using namespace elfsim;
+
+namespace {
+
+RunOptions
+smallWindow()
+{
+    RunOptions o;
+    o.warmupInsts = 2000;
+    o.measureInsts = 4000;
+    return o;
+}
+
+std::string
+specJson(const SweepSpec &spec)
+{
+    std::ostringstream os;
+    writeSweepSpec(os, spec);
+    return os.str();
+}
+
+/** Identity of one grid cell: everything jobKey covers plus the full
+ *  configuration fingerprint (jobKey alone ignores knob overrides). */
+std::string
+cellKey(const SweepRunner &r, const SweepJob &j, std::size_t i)
+{
+    return r.jobKey(j, i) + "|cfg" +
+           std::to_string(configFingerprint(j.cfg));
+}
+
+void
+expectSameGrid(const std::vector<SweepJob> &legacy,
+               const std::vector<SweepJob> &fromSpec)
+{
+    SweepRunner r(1);
+    ASSERT_EQ(legacy.size(), fromSpec.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i)
+        EXPECT_EQ(cellKey(r, legacy[i], i), cellKey(r, fromSpec[i], i))
+            << "grid cell " << i;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Round-trips
+// ---------------------------------------------------------------------
+
+TEST(SweepSpecJson, CanonicalRoundTripIsByteIdentical)
+{
+    // A spec exercising every selector kind and override type.
+    SweepSpec spec = bench::ablationDcfSpec(smallWindow());
+    spec.name = "round_trip";
+    spec.jobs = 3;
+    spec.baseSeed = 42;
+    spec.policy.deadlineSeconds = 2.5;
+    spec.policy.maxRetries = 1;
+    SweepGroup extra;
+    extra.workloads = {
+        WorkloadSelector::micro("random_branch_loop", {8, 0.5}),
+        WorkloadSelector::set("elf_relevant", 2),
+    };
+    extra.configs = {ConfigSpec(FrontendVariant::UElf, "sampled row")
+                         .setText("payload_policy", "ideal")};
+    extra.hasRun = true;
+    extra.run.warmupInsts = 0;
+    extra.run.measureInsts = 100000;
+    extra.run.samplePeriodInsts = 10000;
+    extra.run.sampleLengthInsts = 500;
+    extra.run.sampleWarmupInsts = 100;
+    spec.groups.push_back(std::move(extra));
+
+    const std::string once = specJson(spec);
+    const SweepSpec parsed = parseSweepSpec(once);
+    EXPECT_EQ(once, specJson(parsed));
+}
+
+TEST(SweepSpecJson, ParsedSpecExpandsToTheSameGrid)
+{
+    const SweepSpec spec = bench::fig7Spec(smallWindow());
+    const SweepSpec parsed = parseSweepSpec(specJson(spec));
+    expectSameGrid(expandSweep(spec).jobs, expandSweep(parsed).jobs);
+}
+
+TEST(SweepSpecJson, ShorthandWorkloadsConfigsFormOneGroup)
+{
+    const SweepSpec s = parseSweepSpec(
+        "{\"schema\":\"elfsim-sweepspec-v1\","
+        "\"workloads\":[{\"name\":\"641.leela\"}],"
+        "\"configs\":[{\"variant\":\"DCF\"}]}");
+    ASSERT_EQ(s.groups.size(), 1u);
+    EXPECT_EQ(s.groups[0].workloads.size(), 1u);
+    EXPECT_EQ(s.groups[0].configs.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Rejection
+// ---------------------------------------------------------------------
+
+TEST(SweepSpecJson, UnknownFieldIsAParseError)
+{
+    EXPECT_THROW(parseSweepSpec(
+                     "{\"schema\":\"elfsim-sweepspec-v1\","
+                     "\"wrkloads\":[]}"),
+                 ParseError);
+    EXPECT_THROW(parseSweepSpec(
+                     "{\"schema\":\"elfsim-sweepspec-v1\","
+                     "\"run\":{\"warmup\":1}}"),
+                 ParseError);
+}
+
+TEST(SweepSpecJson, MissingOrWrongSchemaRejected)
+{
+    EXPECT_THROW(parseSweepSpec("{}"), ParseError);
+    EXPECT_THROW(parseSweepSpec("{\"schema\":\"elfsim-results-v2\"}"),
+                 ParseError);
+}
+
+TEST(SweepSpecJson, ShorthandMixedWithGroupsRejected)
+{
+    EXPECT_THROW(
+        parseSweepSpec("{\"schema\":\"elfsim-sweepspec-v1\","
+                       "\"groups\":[],"
+                       "\"workloads\":[{\"name\":\"641.leela\"}]}"),
+        ParseError);
+}
+
+TEST(SweepSpecValidate, ContradictorySamplingRejected)
+{
+    SweepSpec spec = bench::fig3Spec(smallWindow());
+    spec.run.samplePeriodInsts = 1000; // period without a length
+    EXPECT_THROW(validateSweepSpec(spec), ConfigError);
+
+    spec.run.sampleLengthInsts = 2000; // length exceeds period
+    EXPECT_THROW(validateSweepSpec(spec), ConfigError);
+
+    spec.run.sampleLengthInsts = 500;
+    spec.run.sampleWarmupInsts = 600; // warmup+length exceed period
+    EXPECT_THROW(validateSweepSpec(spec), ConfigError);
+
+    spec.run.sampleWarmupInsts = 100;
+    EXPECT_NO_THROW(validateSweepSpec(spec));
+}
+
+TEST(SweepSpecValidate, EmptyAndUnknownPiecesRejected)
+{
+    SweepSpec empty;
+    EXPECT_THROW(validateSweepSpec(empty), ConfigError);
+
+    SweepSpec spec = bench::fig3Spec(smallWindow());
+    spec.groups[0].workloads[0] = WorkloadSelector::byName("no.such");
+    EXPECT_THROW(validateSweepSpec(spec), ConfigError);
+
+    spec = bench::fig3Spec(smallWindow());
+    spec.groups[0].configs[0].setU64("no_such_knob", 1);
+    EXPECT_THROW(validateSweepSpec(spec), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Knob registry
+// ---------------------------------------------------------------------
+
+TEST(SimKnobs, RegistryAppliesOverrides)
+{
+    SimConfig cfg = makeConfig(FrontendVariant::Dcf);
+    applySimKnob(cfg, "bp1_to_fe", SpecValue::ofU64(7));
+    EXPECT_EQ(cfg.bp1ToFe, 7u);
+    applySimKnob(cfg, "faq_entries", SpecValue::ofU64(4));
+    EXPECT_EQ(cfg.faqEntries, 4u);
+    applySimKnob(cfg, "btb.l0.entries", SpecValue::ofU64(96));
+    EXPECT_EQ(cfg.btb.l0.entries, 96u);
+    applySimKnob(cfg, "payload_policy", SpecValue::ofText("ideal"));
+    EXPECT_EQ(cfg.payloadPolicy, PayloadPolicy::Ideal);
+    applySimKnob(cfg, "cond_elf_require_saturation",
+                 SpecValue::ofFlag(false));
+    EXPECT_FALSE(cfg.condElfRequireSaturation);
+    applySimKnob(cfg, "coupled.cond_kind",
+                 SpecValue::ofText("gshare"));
+    EXPECT_EQ(cfg.coupledPreds.condKind, CoupledCondKind::Gshare);
+}
+
+TEST(SimKnobs, UnknownKeyAndWrongTypeThrow)
+{
+    SimConfig cfg = makeConfig(FrontendVariant::Dcf);
+    EXPECT_THROW(applySimKnob(cfg, "nope", SpecValue::ofU64(1)),
+                 ConfigError);
+    EXPECT_THROW(
+        applySimKnob(cfg, "bp1_to_fe", SpecValue::ofText("deep")),
+        ConfigError);
+    EXPECT_THROW(
+        applySimKnob(cfg, "bp1_to_fe", SpecValue::ofReal(2.5)),
+        ConfigError);
+    EXPECT_THROW(
+        applySimKnob(cfg, "payload_policy",
+                     SpecValue::ofText("no_such_policy")),
+        ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Spec-vs-legacy grid identity, one case per migrated bench. Each
+// "legacy" grid is the verbatim nested loop the bench ran before the
+// migration.
+// ---------------------------------------------------------------------
+
+TEST(SpecVsLegacy, Fig3)
+{
+    const RunOptions o = smallWindow();
+    static Program p = microRandomBranchLoop(8, 0.5);
+    std::vector<SweepJob> legacy;
+    for (FrontendVariant v :
+         {FrontendVariant::NoDcf, FrontendVariant::Dcf,
+          FrontendVariant::LElf, FrontendVariant::UElf})
+        legacy.push_back(makeVariantJob(p, v, o));
+    expectSameGrid(legacy, expandSweep(bench::fig3Spec(o)).jobs);
+}
+
+TEST(SpecVsLegacy, Fig6)
+{
+    const RunOptions o = smallWindow();
+    static std::deque<Program> programs;
+    programs.clear();
+    std::vector<SweepJob> legacy;
+    for (const std::string &name : elfRelevantWorkloads()) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        for (FrontendVariant v :
+             {FrontendVariant::Dcf, FrontendVariant::NoDcf})
+            legacy.push_back(makeVariantJob(programs.back(), v, o));
+    }
+    expectSameGrid(legacy, expandSweep(bench::fig6Spec(o)).jobs);
+}
+
+TEST(SpecVsLegacy, Fig7)
+{
+    const RunOptions o = smallWindow();
+    static std::deque<Program> programs;
+    programs.clear();
+    std::vector<SweepJob> legacy;
+    for (const std::string &name : elfRelevantWorkloads()) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        for (FrontendVariant v :
+             {FrontendVariant::Dcf, FrontendVariant::LElf,
+              FrontendVariant::RetElf, FrontendVariant::IndElf,
+              FrontendVariant::CondElf})
+            legacy.push_back(makeVariantJob(programs.back(), v, o));
+    }
+    expectSameGrid(legacy, expandSweep(bench::fig7Spec(o)).jobs);
+}
+
+TEST(SpecVsLegacy, Fig8)
+{
+    const RunOptions o = smallWindow();
+    static std::deque<Program> programs;
+    programs.clear();
+    std::vector<SweepJob> legacy;
+    for (const std::string &name : elfRelevantWorkloads()) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        for (FrontendVariant v :
+             {FrontendVariant::Dcf, FrontendVariant::LElf,
+              FrontendVariant::UElf})
+            legacy.push_back(makeVariantJob(programs.back(), v, o));
+    }
+    expectSameGrid(legacy, expandSweep(bench::fig8Spec(o)).jobs);
+}
+
+TEST(SpecVsLegacy, Fig9)
+{
+    const RunOptions o = smallWindow();
+    static std::deque<Program> programs;
+    programs.clear();
+    std::vector<SweepJob> legacy;
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        programs.push_back(buildWorkload(w));
+        for (FrontendVariant v :
+             {FrontendVariant::Dcf, FrontendVariant::NoDcf,
+              FrontendVariant::LElf, FrontendVariant::UElf})
+            legacy.push_back(makeVariantJob(programs.back(), v, o));
+    }
+    expectSameGrid(legacy, expandSweep(bench::fig9Spec(o)).jobs);
+}
+
+TEST(SpecVsLegacy, AblationDcf)
+{
+    const RunOptions o = smallWindow();
+    const SimConfig base = makeConfig(FrontendVariant::Dcf);
+    std::vector<SimConfig> rows;
+    rows.push_back(base);
+    for (unsigned depth : {0u, 1u, 5u, 8u}) {
+        SimConfig c = base;
+        c.bp1ToFe = depth;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.btb.l0.entries = 1;
+        c.btb.l0.assoc = 0;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.btb.l0.entries = 96;
+        c.btb.l0.assoc = 0;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.maxInstPrefetch = 0;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.faqEntries = 4;
+        rows.push_back(c);
+    }
+
+    static std::deque<Program> programs;
+    programs.clear();
+    std::vector<SweepJob> legacy;
+    for (const char *name : {"641.leela", "srv1.subtest_1"}) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        for (const SimConfig &cfg : rows) {
+            SweepJob j;
+            j.program = &programs.back();
+            j.cfg = cfg;
+            j.opts = o;
+            legacy.push_back(j);
+        }
+    }
+    expectSameGrid(legacy,
+                   expandSweep(bench::ablationDcfSpec(o)).jobs);
+}
+
+TEST(SpecVsLegacy, AblationElf)
+{
+    const RunOptions o = smallWindow();
+    const SimConfig base = makeConfig(FrontendVariant::UElf);
+    std::vector<SimConfig> rows;
+    rows.push_back(base);
+    rows.push_back(makeConfig(FrontendVariant::Dcf));
+    {
+        SimConfig c = base;
+        c.payloadPolicy = PayloadPolicy::RobHead;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.payloadPolicy = PayloadPolicy::Ideal;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.condElfRequireSaturation = false;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.coupledPreds.bimodal.entries = 8192;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.coupledPreds.bimodal.entries = 512;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.divergence.vecEntries = 16;
+        c.divergence.targetEntries = 4;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.faqEntries = 8;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.faqEntries = 128;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.coupledPreds.condKind = CoupledCondKind::Gshare;
+        rows.push_back(c);
+    }
+    {
+        SimConfig c = base;
+        c.decodeBtbFill = true;
+        rows.push_back(c);
+    }
+
+    static Program p = buildWorkload(*findWorkload("641.leela"));
+    std::vector<SweepJob> legacy;
+    for (const SimConfig &cfg : rows) {
+        SweepJob j;
+        j.program = &p;
+        j.cfg = cfg;
+        j.opts = o;
+        legacy.push_back(j);
+    }
+    expectSameGrid(legacy,
+                   expandSweep(bench::ablationElfSpec(o)).jobs);
+}
+
+TEST(SpecVsLegacy, ThroughputStridedAndSampled)
+{
+    RunOptions o = smallWindow();
+    const unsigned stride = 3;
+    const bool quick = true;
+
+    static std::deque<Program> programs;
+    programs.clear();
+    std::vector<SweepJob> legacy;
+    unsigned wi = 0;
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        if (wi++ % stride != 0)
+            continue;
+        programs.push_back(buildWorkload(w));
+        for (FrontendVariant v :
+             {FrontendVariant::NoDcf, FrontendVariant::Dcf,
+              FrontendVariant::UElf})
+            legacy.push_back(makeVariantJob(programs.back(), v, o));
+    }
+    RunOptions so;
+    so.warmupInsts = 0;
+    so.measureInsts = quick ? 2500000 : 10000000;
+    so.samplePeriodInsts = 1000000;
+    so.sampleLengthInsts = 5000;
+    so.sampleWarmupInsts = 1000;
+    for (const char *name : {"605.mcf", "srv2.subtest_3"}) {
+        programs.push_back(buildWorkload(*findWorkload(name)));
+        legacy.push_back(makeVariantJob(programs.back(),
+                                        FrontendVariant::UElf, so));
+    }
+    expectSameGrid(
+        legacy,
+        expandSweep(bench::throughputSpec(o, stride, true, quick))
+            .jobs);
+}
+
+TEST(SpecVsLegacy, ServerCapacity)
+{
+    const RunOptions o = smallWindow();
+    static std::deque<Program> programs;
+    programs.clear();
+    std::vector<SweepJob> legacy;
+    for (unsigned funcs : {64u, 256u, 768u, 1536u}) {
+        CfgParams p;
+        p.numFuncs = funcs;
+        p.blocksPerFunc = 5;
+        p.callBlockProb = 0.08;
+        p.indirectCallFrac = 0.15;
+        p.callSkew = 0.05;
+        p.fracLoopBranches = 0.42;
+        p.fracPatternBranches = 0.40;
+        p.loopPeriodMin = 2;
+        p.loopPeriodMax = 6;
+        p.dataFootprint = 256 << 10;
+        programs.push_back(generateCfg(p, 0x5e41, "server_sweep"));
+        for (FrontendVariant v :
+             {FrontendVariant::Dcf, FrontendVariant::NoDcf,
+              FrontendVariant::LElf, FrontendVariant::UElf})
+            legacy.push_back(makeVariantJob(programs.back(), v, o));
+    }
+    expectSameGrid(legacy,
+                   expandSweep(bench::serverCapacitySpec(o)).jobs);
+}
+
+// ---------------------------------------------------------------------
+// End to end: an expanded spec runs and exports like a legacy grid.
+// ---------------------------------------------------------------------
+
+TEST(SweepSpecRun, ExpandedSpecProducesIdenticalResultBytes)
+{
+    const SweepSpec spec = bench::fig3Spec(smallWindow());
+    const ExpandedSweep ex = expandSweep(spec);
+
+    SweepRunner a(1), b(2);
+    a.setPolicy(spec.policy);
+    b.setPolicy(spec.policy);
+    const std::vector<RunResult> ra = a.run(ex.jobs);
+
+    // Re-expand (fresh programs) and run on a different thread count:
+    // the exported bytes must not change.
+    const ExpandedSweep ex2 = expandSweep(spec);
+    const std::vector<RunResult> rb = b.run(ex2.jobs);
+
+    std::ostringstream ja, jb;
+    writeResultsJson(ja, ra);
+    writeResultsJson(jb, rb);
+    EXPECT_EQ(ja.str(), jb.str());
+}
