@@ -26,15 +26,24 @@ namespace {
  *  forever: requests that take longer than this to arrive fail. */
 constexpr long kRequestTimeoutSec = 10;
 
-/** Has the peer closed its end? (Nonblocking peek: EOF = gone; data
- *  or EWOULDBLOCK = still there.) */
+/** A client that stops *reading* must not wedge the daemon either:
+ *  chunk writes happen on the executor thread, so a blocked send()
+ *  would stall every queued sweep. A send that cannot make progress
+ *  for this long fails; the failed-write path then raises the
+ *  request's cancel flag and the sweep degrades to cancelled. */
+constexpr long kResponseTimeoutSec = 30;
+
+/** Has the peer torn the connection down? Only a hard error counts:
+ *  an orderly FIN (recv == 0) is indistinguishable from the common
+ *  request/response idiom of shutdown(SHUT_WR) after sending the
+ *  request, where the client's read side is still open and waiting
+ *  for the stream. Genuinely dead clients are caught by the failed
+ *  chunk-write path, which raises the request's cancel flag. */
 bool
 peerGone(int fd)
 {
     char b;
     const ssize_t n = ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
-    if (n == 0)
-        return true; // orderly FIN
     return n < 0 && (errno == ECONNRESET || errno == EPIPE);
 }
 
@@ -113,8 +122,10 @@ SweepService::acceptLoop()
                 continue;
             break; // listening socket closed by stop()
         }
-        struct timeval tv = {kRequestTimeoutSec, 0};
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        struct timeval rcv = {kRequestTimeoutSec, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof(rcv));
+        struct timeval snd = {kResponseTimeoutSec, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
         activeHandlers.fetch_add(1, std::memory_order_acq_rel);
         std::thread([this, fd] {
             handleConnection(fd);
@@ -235,10 +246,14 @@ SweepService::executeSweep(Pending req)
 
     // The request's own policy applies, minus journaling: manifests
     // and resume are CLI-side concerns, and a remote spec must not be
-    // able to scribble files onto the server.
+    // able to scribble files onto the server. keep_going is forced:
+    // strict mode lets a failing cell's exception escape run() and
+    // skips the watchdog monitor that observes cancelFlag, so one
+    // legal request could kill the daemon and defeat cancellation.
     SweepPolicy pol = req.spec.policy;
     pol.manifestPath.clear();
     pol.resume = false;
+    pol.keepGoing = true;
     pol.cancelFlag = req.cancel;
     runner.setPolicy(std::move(pol));
     runner.setBaseSeed(req.spec.baseSeed);
@@ -264,6 +279,19 @@ SweepService::executeSweep(Pending req)
             req.cancel->store(true, std::memory_order_release);
     };
 
+    // The observer captures this frame's locals; it must be detached
+    // before they go out of scope on *every* path, including a throw
+    // from run() below.
+    struct ObserverGuard
+    {
+        SweepService &svc;
+        ~ObserverGuard()
+        {
+            svc.runner.setCellObserver(nullptr);
+            svc.inflightCells.store(0, std::memory_order_release);
+        }
+    } observerGuard{*this};
+
     inflightCells.store(ex.jobs.size(), std::memory_order_release);
     runner.setCellObserver([&](std::size_t i, const RunResult &r) {
         std::lock_guard<std::mutex> lk(streamMtx);
@@ -277,9 +305,19 @@ SweepService::executeSweep(Pending req)
         flushChunk();
     });
 
-    runner.run(ex.jobs);
-    runner.setCellObserver(nullptr);
-    inflightCells.store(0, std::memory_order_release);
+    try {
+        runner.run(ex.jobs);
+    } catch (const std::exception &e) {
+        // Keep-going mode degrades per-cell failures, but pre-run
+        // machinery (trace compilation, pool setup) can still throw.
+        // The stream is already open, so no clean error response is
+        // possible — truncate it (the client sees a framing error)
+        // and keep the daemon alive for the next request.
+        ELFSIM_WARN("sweep aborted before completion: %s", e.what());
+        cellsFailed.fetch_add(1, std::memory_order_relaxed);
+        ::close(req.fd);
+        return;
+    }
 
     {
         std::lock_guard<std::mutex> lk(streamMtx);

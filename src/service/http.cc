@@ -294,18 +294,14 @@ bool
 writeHttpResponse(int fd, int status, std::string_view reason,
                   std::string_view contentType, std::string_view body)
 {
-    char head[256];
-    const int n = std::snprintf(
-        head, sizeof head,
-        "HTTP/1.1 %d %.*s\r\n"
-        "Content-Type: %.*s\r\n"
-        "Content-Length: %zu\r\n"
-        "Connection: close\r\n\r\n",
-        status, int(reason.size()), reason.data(),
-        int(contentType.size()), contentType.data(), body.size());
-    if (n <= 0 || !writeAll(fd, std::string_view(head, std::size_t(n))))
-        return false;
-    return writeAll(fd, body);
+    std::string head;
+    head.append("HTTP/1.1 ").append(std::to_string(status));
+    head.append(" ").append(reason);
+    head.append("\r\nContent-Type: ").append(contentType);
+    head.append("\r\nContent-Length: ")
+        .append(std::to_string(body.size()));
+    head.append("\r\nConnection: close\r\n\r\n");
+    return writeAll(fd, head) && writeAll(fd, body);
 }
 
 bool
@@ -314,17 +310,13 @@ ChunkedResponse::header(int status, std::string_view reason,
 {
     if (bad)
         return false;
-    char head[256];
-    const int n = std::snprintf(
-        head, sizeof head,
-        "HTTP/1.1 %d %.*s\r\n"
-        "Content-Type: %.*s\r\n"
-        "Transfer-Encoding: chunked\r\n"
-        "Connection: close\r\n\r\n",
-        status, int(reason.size()), reason.data(),
-        int(contentType.size()), contentType.data());
-    bad = n <= 0 ||
-          !writeAll(fd, std::string_view(head, std::size_t(n)));
+    std::string head;
+    head.append("HTTP/1.1 ").append(std::to_string(status));
+    head.append(" ").append(reason);
+    head.append("\r\nContent-Type: ").append(contentType);
+    head.append("\r\nTransfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n");
+    bad = !writeAll(fd, head);
     return !bad;
 }
 
@@ -405,17 +397,13 @@ httpFetch(const std::string &host, std::uint16_t port,
           std::string_view body)
 {
     const int fd = connectTcp(host, port);
-    char head[256];
-    const int n = std::snprintf(head, sizeof head,
-                                "%s %s HTTP/1.1\r\n"
-                                "Host: %s\r\n"
-                                "Content-Length: %zu\r\n"
-                                "Connection: close\r\n\r\n",
-                                method.c_str(), path.c_str(),
-                                host.c_str(), body.size());
-    if (n <= 0 ||
-        !writeAll(fd, std::string_view(head, std::size_t(n))) ||
-        !writeAll(fd, body)) {
+    std::string head;
+    head.append(method).append(" ").append(path);
+    head.append(" HTTP/1.1\r\nHost: ").append(host);
+    head.append("\r\nContent-Length: ")
+        .append(std::to_string(body.size()));
+    head.append("\r\nConnection: close\r\n\r\n");
+    if (!writeAll(fd, head) || !writeAll(fd, body)) {
         ::close(fd);
         throw IoError("error sending request");
     }

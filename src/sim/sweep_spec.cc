@@ -585,6 +585,8 @@ parseSelector(const json::Value &v)
         s.kind = k;
         s.name = name;
     };
+    bool strideSeen = false, argsSeen = false;
+    bool seedSeen = false, paramsSeen = false;
     forEachMember(v, "workload selector",
                   [&](const std::string &k, const json::Value &val) {
         if (k == "name")
@@ -598,22 +600,47 @@ parseSelector(const json::Value &v)
         else if (k == "synthetic")
             setKind(WorkloadSelector::Kind::Synthetic,
                     val.asString());
-        else if (k == "stride")
+        else if (k == "stride") {
             s.stride = static_cast<unsigned>(numberU64(val, k));
-        else if (k == "args") {
+            strideSeen = true;
+        } else if (k == "args") {
             for (std::size_t i = 0; i < val.size(); ++i)
                 s.args.push_back(val[i].asDouble());
-        } else if (k == "seed")
+            argsSeen = true;
+        } else if (k == "seed") {
             s.seed = numberU64(val, k);
-        else if (k == "params")
+            seedSeen = true;
+        } else if (k == "params") {
             s.params = parseCfgParams(val);
-        else
+            paramsSeen = true;
+        } else
             return false;
         return true;
     });
     if (!kindSeen)
         throw ParseError("workload selector needs one of "
                          "name/set/suite/micro/synthetic");
+    // Auxiliary fields are per-kind; a stray one on the wrong kind is
+    // a spec mistake the no-silent-ignore contract must surface
+    // (e.g. "stride" on a "suite" selector would otherwise quietly
+    // select the full suite). Checked after the loop because JSON
+    // member order may put them before the kind key.
+    const auto rejectForeign = [&](bool seen, const char *field,
+                                   WorkloadSelector::Kind only,
+                                   const char *kindName) {
+        if (seen && s.kind != only)
+            throw ParseError(errorf(
+                "workload selector field \"%s\" only applies to "
+                "\"%s\" selectors", field, kindName));
+    };
+    rejectForeign(strideSeen, "stride", WorkloadSelector::Kind::Set,
+                  "set");
+    rejectForeign(argsSeen, "args", WorkloadSelector::Kind::Micro,
+                  "micro");
+    rejectForeign(seedSeen, "seed",
+                  WorkloadSelector::Kind::Synthetic, "synthetic");
+    rejectForeign(paramsSeen, "params",
+                  WorkloadSelector::Kind::Synthetic, "synthetic");
     if (s.stride == 0)
         s.stride = 1;
     return s;

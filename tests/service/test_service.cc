@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/error.hh"
@@ -274,6 +275,61 @@ TEST(Service, InjectedFaultFlowsThroughKeepGoingPolicy)
     for (std::size_t i = 1; i < 4; ++i)
         EXPECT_EQ(doc.at("results")[i].at("status").asString(),
                   jobStatusName(JobStatus::Ok));
+    svc.stop();
+}
+
+TEST(Service, StrictPolicyCannotKillTheDaemon)
+{
+    // A request is free to ask for keep_going=false, but the daemon
+    // must force keep-going: in strict mode the failing cell's
+    // exception would escape the executor thread and terminate the
+    // process (and cancellation would never be observed).
+    ArmedFaults armed("throw:0:0");
+
+    SweepSpec spec = tinySpec();
+    spec.policy.keepGoing = false;
+
+    SweepService svc;
+    svc.start();
+    const HttpResponse r = service::httpFetch(
+        "127.0.0.1", svc.port(), "POST", "/sweep", specBody(spec));
+    EXPECT_EQ(r.status, 200);
+
+    const json::Value doc = json::parse(r.body);
+    ASSERT_EQ(doc.at("results").size(), 4u);
+    EXPECT_EQ(doc.at("results")[0].at("status").asString(),
+              jobStatusName(JobStatus::Failed));
+
+    const HttpResponse hz = service::httpFetch(
+        "127.0.0.1", svc.port(), "GET", "/healthz", {});
+    EXPECT_EQ(hz.status, 200);
+    svc.stop();
+}
+
+TEST(Service, HalfClosedClientStillGetsTheStream)
+{
+    // Request/response idiom: send the request, shutdown(SHUT_WR) to
+    // mark end-of-request, then read the whole response. The daemon
+    // must not mistake the FIN for an abandoned client.
+    const SweepSpec spec = tinySpec();
+    const std::string body = specBody(spec);
+    const std::string expected = referenceBytes(spec);
+
+    SweepService svc;
+    svc.start();
+
+    const int fd = service::connectTcp("127.0.0.1", svc.port());
+    std::ostringstream req;
+    req << "POST /sweep HTTP/1.1\r\ncontent-length: " << body.size()
+        << "\r\n\r\n"
+        << body;
+    ASSERT_TRUE(service::writeAll(fd, req.str()));
+    ::shutdown(fd, SHUT_WR);
+
+    const HttpResponse r = service::readHttpResponse(fd);
+    ::close(fd);
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, expected);
     svc.stop();
 }
 

@@ -139,6 +139,42 @@ TEST(SweepSpecJson, MissingOrWrongSchemaRejected)
                  ParseError);
 }
 
+TEST(SweepSpecJson, KindForeignSelectorFieldsRejected)
+{
+    const auto spec = [](const char *selector) {
+        return std::string("{\"schema\":\"elfsim-sweepspec-v1\","
+                           "\"workloads\":[") +
+               selector +
+               "],\"configs\":[{\"variant\":\"DCF\"}]}";
+    };
+    // stride is set-only, args micro-only, seed/params
+    // synthetic-only; anywhere else they would be silently ignored.
+    EXPECT_THROW(parseSweepSpec(spec(
+                     "{\"name\":\"641.leela\",\"stride\":3}")),
+                 ParseError);
+    EXPECT_THROW(parseSweepSpec(spec(
+                     "{\"suite\":\"spec2017\",\"stride\":3}")),
+                 ParseError);
+    EXPECT_THROW(parseSweepSpec(spec(
+                     "{\"name\":\"641.leela\",\"args\":[1,2]}")),
+                 ParseError);
+    EXPECT_THROW(parseSweepSpec(spec(
+                     "{\"name\":\"641.leela\",\"seed\":7}")),
+                 ParseError);
+    EXPECT_THROW(parseSweepSpec(spec(
+                     "{\"set\":\"catalog\",\"params\":{}}")),
+                 ParseError);
+    // Field order must not matter: aux field before the kind key.
+    EXPECT_THROW(parseSweepSpec(spec(
+                     "{\"stride\":3,\"name\":\"641.leela\"}")),
+                 ParseError);
+    // The legitimate pairings still parse.
+    EXPECT_NO_THROW(parseSweepSpec(spec(
+        "{\"set\":\"catalog\",\"stride\":3}")));
+    EXPECT_NO_THROW(parseSweepSpec(spec(
+        "{\"synthetic\":\"s\",\"seed\":7,\"params\":{}}")));
+}
+
 TEST(SweepSpecJson, ShorthandMixedWithGroupsRejected)
 {
     EXPECT_THROW(
