@@ -31,6 +31,13 @@ Usage:
         prefix up to the last complete result object must be a valid
         document. A complete stream gets the full results check.
 
+    scripts/check_results.py --ledger FILE [FILE ...]
+        Validate an elfsim-ledger-v1 lease ledger (the distributed
+        coordinator's scheduling journal, --ledger on elfsim_coord):
+        every line must be a well-formed lease/expire event or an
+        elfsim-manifest-v1 completion line. A torn final line is
+        tolerated (a crash mid-append); torn interior lines are not.
+
 Exits non-zero on the first violation. Stdlib only.
 """
 
@@ -40,6 +47,8 @@ import sys
 
 SCHEMA = "elfsim-results-v2"
 THROUGHPUT_SCHEMA = "elfsim-throughput-v1"
+LEDGER_SCHEMA = "elfsim-ledger-v1"
+MANIFEST_SCHEMA = "elfsim-manifest-v1"
 # A >10% geomean-MIPS drop vs the committed baseline fails the gate;
 # smaller swings are host noise.
 REGRESSION_TOLERANCE = 0.10
@@ -400,6 +409,103 @@ def check_stream_document(path, text):
           f"results)")
 
 
+def check_ledger_line(path, no, obj):
+    """One ledger scheduling line ({"ledger": ...}); returns the
+    (event, index) pair for the replay bookkeeping."""
+    where = f"line {no}"
+    event = obj.get("event")
+    if event not in ("lease", "expire"):
+        fail(path, f"{where}: ledger event is {event!r}, expected "
+                   f"'lease' or 'expire'")
+    index = obj.get("index")
+    if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+        fail(path, f"{where}: index is not a non-negative integer")
+    worker = obj.get("worker")
+    if not isinstance(worker, str) or not worker:
+        fail(path, f"{where}: worker missing or empty")
+    allowed = {"ledger", "event", "index", "worker"}
+    if event == "lease":
+        key = obj.get("key")
+        if not isinstance(key, str) or not key:
+            fail(path, f"{where}: lease without a job key")
+        secs = obj.get("lease_seconds")
+        if not isinstance(secs, int) or isinstance(secs, bool) or secs <= 0:
+            fail(path, f"{where}: lease_seconds is not a positive "
+                       f"integer")
+        allowed |= {"key", "lease_seconds"}
+    for k in obj:
+        if k not in allowed:
+            fail(path, f"{where}: unknown ledger field {k!r}")
+    return event, index
+
+
+def check_ledger_manifest_line(path, no, obj):
+    """One completion line — the exact elfsim-manifest-v1 schema, so
+    a ledger doubles as a resume manifest. Returns the cell index."""
+    where = f"line {no}"
+    index = obj.get("index")
+    if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+        fail(path, f"{where}: index is not a non-negative integer")
+    if not isinstance(obj.get("key"), str) or not obj["key"]:
+        fail(path, f"{where}: key missing or empty")
+    if obj.get("status") not in RESULT_STATUSES:
+        fail(path, f"{where}: status is {obj.get('status')!r}, "
+                   f"expected one of {RESULT_STATUSES}")
+    if not isinstance(obj.get("result"), dict):
+        fail(path, f"{where}: missing 'result' object")
+    return index
+
+
+def check_ledger_file(path, text):
+    lines = text.split("\n")
+    completed = set()
+    outstanding = {}
+    n_lease = n_expire = 0
+    torn_tail = False
+    for no, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if no == len(lines):
+                # A crash mid-append tears at most the final line.
+                torn_tail = True
+                continue
+            fail(path, f"line {no}: malformed JSON before the final "
+                       f"line (torn interior line)")
+        if not isinstance(obj, dict):
+            fail(path, f"line {no}: not an object")
+        if obj.get("ledger") is not None:
+            if obj["ledger"] != LEDGER_SCHEMA:
+                fail(path, f"line {no}: ledger schema is "
+                           f"{obj['ledger']!r}, expected "
+                           f"{LEDGER_SCHEMA!r}")
+            event, index = check_ledger_line(path, no, obj)
+            if event == "lease":
+                n_lease += 1
+                if index not in completed:
+                    outstanding[index] = obj["worker"]
+            else:
+                n_expire += 1
+                outstanding.pop(index, None)
+        elif obj.get("manifest") is not None:
+            if obj["manifest"] != MANIFEST_SCHEMA:
+                fail(path, f"line {no}: manifest schema is "
+                           f"{obj['manifest']!r}, expected "
+                           f"{MANIFEST_SCHEMA!r}")
+            index = check_ledger_manifest_line(path, no, obj)
+            completed.add(index)
+            outstanding.pop(index, None)
+        else:
+            fail(path, f"line {no}: neither a ledger event nor a "
+                       f"manifest completion line")
+    print(f"{path}: OK ({len(completed)} completed cells, "
+          f"{n_lease} leases, {n_expire} expiries, "
+          f"{len(outstanding)} outstanding"
+          f"{', torn final line' if torn_tail else ''})")
+
+
 def check_throughput_document(path, doc):
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
@@ -428,6 +534,12 @@ def check_throughput_document(path, doc):
     for k in ("jobs", "threads", "wall_seconds"):
         if not isinstance(timing.get(k), (int, float)):
             fail(path, f"timing.{k} missing or not a number")
+    # Host metadata (host_cpus / host_jobs) is optional — older
+    # documents predate it — but when present it must be sane.
+    for k in ("host_cpus", "host_jobs"):
+        if k in timing and (not isinstance(timing[k], int)
+                            or timing[k] <= 0):
+            fail(path, f"timing.{k} is not a positive integer")
     print(f"{path}: OK ({len(rows)} throughput rows, "
           f"geomean {geomean:.3f} MIPS)")
 
@@ -484,6 +596,9 @@ def main():
     ap.add_argument("--stream", action="store_true",
                     help="validate possibly-truncated elfsim-results-"
                          "v2 streams (elfsimd /sweep captures)")
+    ap.add_argument("--ledger", action="store_true",
+                    help="validate elfsim-ledger-v1 lease ledgers "
+                         "(elfsim_coord scheduling journals)")
     ap.add_argument("--baseline", metavar="BASE",
                     help="with --throughput: fail on a >10%% geomean "
                          "MIPS regression versus this baseline")
@@ -494,10 +609,10 @@ def main():
 
     if args.baseline and not args.throughput:
         ap.error("--baseline requires --throughput")
-    if sum((args.throughput, args.spec, args.stream,
+    if sum((args.throughput, args.spec, args.stream, args.ledger,
             args.compare)) > 1:
-        ap.error("--throughput/--spec/--stream/--compare are "
-                 "mutually exclusive")
+        ap.error("--throughput/--spec/--stream/--ledger/--compare "
+                 "are mutually exclusive")
 
     if args.spec:
         for path in args.files:
@@ -509,6 +624,15 @@ def main():
             try:
                 with open(path) as f:
                     check_stream_document(path, f.read())
+            except OSError as e:
+                fail(path, str(e))
+        return
+
+    if args.ledger:
+        for path in args.files:
+            try:
+                with open(path) as f:
+                    check_ledger_file(path, f.read())
             except OSError as e:
                 fail(path, str(e))
         return

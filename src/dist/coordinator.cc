@@ -1,0 +1,509 @@
+#include "dist/coordinator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "core/variant.hh"
+#include "dist/ledger.hh"
+#include "dist/wire.hh"
+#include "service/http.hh"
+#include "sim/export.hh"
+#include "sim/sweep.hh"
+#include "workload/checkpoint_store.hh"
+#include "workload/compiled_trace.hh"
+#include "workload/trace_cache.hh"
+
+namespace elfsim {
+namespace dist {
+
+namespace {
+
+/** Zeroed result for a cell the fleet could not complete — the same
+ *  keep-going degradation SweepRunner applies to a crashing cell. */
+RunResult
+abandonedResult(const SweepJob &job, const std::string &what,
+                unsigned attempts)
+{
+    RunResult r;
+    r.workload = job.program ? job.program->name() : "?";
+    r.variant = variantName(job.cfg.variant);
+    r.status = JobStatus::Failed;
+    r.error = what;
+    r.attempts = attempts ? attempts : 1;
+    return r;
+}
+
+std::string
+hex16(std::uint64_t key)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[std::size_t(i)] = digits[key & 0xf];
+        key >>= 4;
+    }
+    return out;
+}
+
+/** Checkpoint files above this stay home: the worker's request-body
+ *  cap is 16 MiB, and a checkpoint is an optimization, not data. */
+constexpr std::uintmax_t kMaxCkptShipBytes = 8u << 20;
+
+} // namespace
+
+/** Everything one run() shares across its worker threads. */
+struct SweepCoordinator::Fleet
+{
+    const SweepSpec *spec = nullptr;
+    ExpandedSweep ex;
+    std::vector<std::string> keys; ///< jobKey per global index
+
+    std::mutex mtx; ///< guards everything below + the ledger stream
+    std::condition_variable cv;
+    std::vector<RunResult> results;
+    std::vector<char> done;
+    std::vector<unsigned> attempts;  ///< lease expiries per cell
+    std::deque<std::vector<std::size_t>> chunks;
+    std::size_t inflightChunks = 0;
+    std::vector<unsigned> workerFailures;
+    std::vector<char> workerDead;
+    CoordStats stats;
+
+    std::ofstream ledger;
+    bool journaling = false;
+
+    void
+    journalLine(const std::function<void(std::ostream &)> &write)
+    {
+        if (!journaling)
+            return;
+        write(ledger);
+        ledger.flush();
+    }
+};
+
+SweepCoordinator::SweepCoordinator(CoordinatorConfig c)
+    : cfg(std::move(c))
+{
+}
+
+void
+SweepCoordinator::shipArtifacts(Fleet &fleet)
+{
+    // Compile each distinct full-run trace once, locally, and push
+    // the image to every worker — the fleet-wide compile count stays
+    // at one per distinct program. Sampled cells never use traces;
+    // their warm state ships as checkpoints below.
+    std::map<std::uint64_t, std::pair<const Program *, InstCount>> want;
+    bool anySampled = false;
+    for (std::size_t i = 0; i < fleet.ex.jobs.size(); ++i) {
+        if (fleet.done[i])
+            continue;
+        const SweepJob &job = fleet.ex.jobs[i];
+        if (!job.program)
+            continue;
+        if (job.opts.sampled()) {
+            anySampled = true;
+            continue;
+        }
+        const InstCount count =
+            job.opts.warmupInsts + job.opts.measureInsts;
+        want[CompiledTrace::key(*job.program, count)] = {job.program,
+                                                         count};
+    }
+
+    const auto retire = [&](std::size_t w, const std::string &why) {
+        ELFSIM_WARN("worker %s retired during artifact staging: %s",
+                    cfg.workers[w].id().c_str(), why.c_str());
+        fleet.workerDead[w] = 1;
+        ++fleet.stats.workersDead;
+    };
+
+    if (TraceCache::instance().enabled()) {
+        for (const auto &[key, pc] : want) {
+            std::shared_ptr<const CompiledTrace> trace =
+                TraceCache::instance().acquire(*pc.first, pc.second);
+            if (!trace)
+                continue;
+            const std::vector<char> image = trace->serialized();
+            const std::map<std::string, std::string> headers = {
+                {"x-elfsim-key", hex16(trace->cacheKey())},
+                {"x-elfsim-name", pc.first->name()},
+            };
+            for (std::size_t w = 0; w < cfg.workers.size(); ++w) {
+                if (fleet.workerDead[w])
+                    continue;
+                try {
+                    const service::HttpResponse resp =
+                        service::httpFetch(
+                            cfg.workers[w].host, cfg.workers[w].port,
+                            "POST", "/artifact/trace",
+                            std::string_view(image.data(),
+                                             image.size()),
+                            headers);
+                    if (resp.status != 200) {
+                        // A worker that rejects a validated trace
+                        // would recompile every shard it runs —
+                        // retire it rather than quietly lose the
+                        // one-compile-per-fleet guarantee.
+                        retire(w, resp.body);
+                        continue;
+                    }
+                    ++fleet.stats.tracesShipped;
+                } catch (const SimError &e) {
+                    retire(w, e.what());
+                }
+            }
+        }
+    }
+
+    // Checkpoints are best-effort: a worker without one fast-forwards.
+    const std::string dir = CheckpointStore::instance().directory();
+    if (!anySampled || dir.empty())
+        return;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".eckpt")
+            continue;
+        if (entry.file_size(ec) > kMaxCkptShipBytes) {
+            ELFSIM_WARN("checkpoint '%s' too large to ship; workers "
+                        "will fast-forward",
+                        entry.path().filename().c_str());
+            continue;
+        }
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream body;
+        body << in.rdbuf();
+        if (!in)
+            continue;
+        const std::string bytes = body.str();
+        const std::map<std::string, std::string> headers = {
+            {"x-elfsim-name", entry.path().filename().string()},
+        };
+        for (std::size_t w = 0; w < cfg.workers.size(); ++w) {
+            if (fleet.workerDead[w])
+                continue;
+            try {
+                const service::HttpResponse resp = service::httpFetch(
+                    cfg.workers[w].host, cfg.workers[w].port, "POST",
+                    "/artifact/ckpt", bytes, headers);
+                if (resp.status == 200)
+                    ++fleet.stats.ckptsShipped;
+            } catch (const SimError &e) {
+                ELFSIM_WARN("checkpoint ship to %s failed: %s",
+                            cfg.workers[w].id().c_str(), e.what());
+            }
+        }
+    }
+}
+
+bool
+SweepCoordinator::runChunk(Fleet &fleet, std::size_t w,
+                           const std::vector<std::size_t> &chunk)
+{
+    const WorkerEndpoint &ep = cfg.workers[w];
+    int fd = -1;
+    try {
+        fd = service::connectTcp(ep.host, ep.port);
+    } catch (const SimError &e) {
+        ELFSIM_WARN("worker %s unreachable: %s", ep.id().c_str(),
+                    e.what());
+        return false;
+    }
+    // The lease timer IS the socket's receive timeout: a worker that
+    // produces neither results nor heartbeats for leaseSeconds is
+    // dead, and the blocked read fails with EAGAIN.
+    struct timeval tv = {long(cfg.leaseSeconds), 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    const std::string body = writeShardRequest(*fleet.spec, chunk);
+    std::string head = "POST /shard HTTP/1.1\r\nHost: " + ep.host +
+                       "\r\nContent-Type: application/json"
+                       "\r\nContent-Length: " +
+                       std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    if (!service::writeAll(fd, head) || !service::writeAll(fd, body)) {
+        ::close(fd);
+        return false;
+    }
+
+    int status = 0;
+    std::map<std::string, std::string> headers;
+    std::string rest, err;
+    if (!service::readHttpResponseHead(fd, status, headers, rest,
+                                       err)) {
+        ELFSIM_WARN("worker %s: %s", ep.id().c_str(), err.c_str());
+        ::close(fd);
+        return false;
+    }
+    if (status != 200) {
+        ELFSIM_WARN("worker %s refused shard: HTTP %d",
+                    ep.id().c_str(), status);
+        ::close(fd);
+        return false;
+    }
+
+    std::vector<char> inChunk(fleet.ex.jobs.size(), 0);
+    for (std::size_t i : chunk)
+        inChunk[i] = 1;
+
+    ShardStream stream(fd, std::move(rest));
+    std::size_t got = 0;
+    bool sawDone = false;
+    std::string line;
+    while (stream.nextLine(line)) {
+        ShardLine sl;
+        try {
+            sl = parseShardLine(line);
+        } catch (const SimError &e) {
+            ELFSIM_WARN("worker %s: bad stream line: %s",
+                        ep.id().c_str(), e.what());
+            break;
+        }
+        if (sl.kind == ShardLine::Kind::Heartbeat)
+            continue;
+        if (sl.kind == ShardLine::Kind::Done) {
+            sawDone = true;
+            break;
+        }
+        const std::size_t i = sl.entry.index;
+        if (i >= fleet.ex.jobs.size() || !inChunk[i] ||
+            sl.entry.key != fleet.keys[i]) {
+            ELFSIM_WARN("worker %s: result for cell it was not "
+                        "leased (index %zu)",
+                        ep.id().c_str(), i);
+            break;
+        }
+        std::lock_guard<std::mutex> lk(fleet.mtx);
+        if (!fleet.done[i]) {
+            fleet.results[i] = std::move(sl.entry.result);
+            fleet.done[i] = 1;
+            ++fleet.stats.cellsRun;
+            fleet.journalLine([&](std::ostream &os) {
+                writeManifestLine(os, ManifestEntry{i, fleet.keys[i],
+                                                    fleet.results[i]});
+            });
+        }
+        ++got;
+    }
+    ::close(fd);
+    if (stream.failed())
+        ELFSIM_WARN("worker %s: %s", ep.id().c_str(),
+                    stream.error().c_str());
+    return sawDone && got == chunk.size();
+}
+
+void
+SweepCoordinator::workerLoop(Fleet &fleet, std::size_t w)
+{
+    const std::string id = cfg.workers[w].id();
+    for (;;) {
+        std::vector<std::size_t> chunk;
+        {
+            std::unique_lock<std::mutex> lk(fleet.mtx);
+            // Wait while the queue is dry but another worker's chunk
+            // is still in flight — a failure there requeues cells
+            // this worker must be around to adopt (the reassignment
+            // path of a killed worker's leases).
+            fleet.cv.wait(lk, [&] {
+                return !fleet.chunks.empty() ||
+                       fleet.inflightChunks == 0;
+            });
+            if (fleet.chunks.empty())
+                return;
+            chunk = std::move(fleet.chunks.front());
+            fleet.chunks.pop_front();
+            ++fleet.inflightChunks;
+            ++fleet.stats.chunksDispatched;
+            for (std::size_t i : chunk) {
+                LeaseEvent e;
+                e.kind = LeaseEvent::Kind::Lease;
+                e.index = i;
+                e.key = fleet.keys[i];
+                e.worker = id;
+                e.leaseSeconds = cfg.leaseSeconds;
+                fleet.journalLine([&](std::ostream &os)
+                                  { writeLeaseLine(os, e); });
+            }
+            if (leaseObserver)
+                leaseObserver(chunk, id);
+        }
+
+        const bool ok = runChunk(fleet, w, chunk);
+
+        bool retired = false;
+        {
+            std::lock_guard<std::mutex> lk(fleet.mtx);
+            std::vector<std::size_t> requeue;
+            for (std::size_t i : chunk) {
+                if (fleet.done[i])
+                    continue;
+                LeaseEvent e;
+                e.kind = LeaseEvent::Kind::Expire;
+                e.index = i;
+                e.worker = id;
+                fleet.journalLine([&](std::ostream &os)
+                                  { writeLeaseLine(os, e); });
+                ++fleet.stats.leasesExpired;
+                if (++fleet.attempts[i] > cfg.maxCellRetries) {
+                    fleet.results[i] = abandonedResult(
+                        fleet.ex.jobs[i],
+                        errorf("distributed cell abandoned after %u "
+                               "expired leases",
+                               fleet.attempts[i]),
+                        fleet.attempts[i]);
+                    fleet.done[i] = 1;
+                    ++fleet.stats.cellsSynthFailed;
+                } else {
+                    requeue.push_back(i);
+                }
+            }
+            if (!requeue.empty())
+                fleet.chunks.push_back(std::move(requeue));
+            --fleet.inflightChunks;
+            if (!ok && ++fleet.workerFailures[w] >=
+                           cfg.maxWorkerFailures) {
+                fleet.workerDead[w] = 1;
+                ++fleet.stats.workersDead;
+                retired = true;
+            }
+        }
+        fleet.cv.notify_all();
+        if (retired) {
+            ELFSIM_WARN("worker %s retired after %u failed leases",
+                        id.c_str(), cfg.maxWorkerFailures);
+            return;
+        }
+    }
+}
+
+std::vector<RunResult>
+SweepCoordinator::run(const SweepSpec &spec)
+{
+    if (cfg.workers.empty())
+        throw ConfigError("distributed sweep needs at least 1 worker");
+    validateSweepSpec(spec);
+
+    Fleet fleet;
+    fleet.spec = &spec;
+    fleet.ex = expandSweep(spec);
+    const std::size_t n = fleet.ex.jobs.size();
+    fleet.keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        fleet.keys.push_back(
+            sweepJobKey(fleet.ex.jobs[i], i, spec.baseSeed));
+    fleet.results.resize(n);
+    fleet.done.assign(n, 0);
+    fleet.attempts.assign(n, 0);
+    fleet.workerFailures.assign(cfg.workers.size(), 0);
+    fleet.workerDead.assign(cfg.workers.size(), 0);
+    fleet.stats.cellsTotal = n;
+
+    // Adopt the ledger's completed cells (a crashed coordinator's
+    // survivors); index + jobKey must match, exactly like a manifest
+    // resume, so a stale ledger never contaminates results.
+    if (cfg.resume && !cfg.ledgerPath.empty()) {
+        std::ifstream in(cfg.ledgerPath);
+        if (in) {
+            LedgerState state = readLedger(in);
+            for (ManifestEntry &e : state.completed) {
+                if (e.index >= n || e.key != fleet.keys[e.index] ||
+                    !e.result.ok())
+                    continue;
+                fleet.results[e.index] = std::move(e.result);
+                fleet.done[e.index] = 1;
+                ++fleet.stats.cellsAdopted;
+            }
+        }
+    }
+    if (!cfg.ledgerPath.empty()) {
+        fleet.ledger.open(cfg.ledgerPath,
+                          cfg.resume ? std::ios::out | std::ios::app
+                                     : std::ios::out | std::ios::trunc);
+        if (!fleet.ledger)
+            throw IoError(errorf("cannot open ledger '%s'",
+                                 cfg.ledgerPath.c_str()));
+        fleet.journaling = true;
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < n; ++i)
+        if (!fleet.done[i])
+            pending.push_back(i);
+    if (pending.empty()) {
+        lastStats = fleet.stats;
+        return std::move(fleet.results);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    shipArtifacts(fleet);
+
+    std::size_t alive = 0;
+    for (char d : fleet.workerDead)
+        alive += d ? 0 : 1;
+    if (alive == 0)
+        throw IoError("every worker failed artifact staging; is the "
+                      "fleet up (elfsimd --worker)?");
+
+    std::size_t chunkSize = cfg.chunkCells;
+    if (chunkSize == 0)
+        chunkSize =
+            std::max<std::size_t>(1, pending.size() / (4 * alive));
+    for (std::size_t at = 0; at < pending.size(); at += chunkSize)
+        fleet.chunks.emplace_back(
+            pending.begin() + std::ptrdiff_t(at),
+            pending.begin() +
+                std::ptrdiff_t(
+                    std::min(at + chunkSize, pending.size())));
+
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < cfg.workers.size(); ++w)
+        if (!fleet.workerDead[w])
+            threads.emplace_back(&SweepCoordinator::workerLoop, this,
+                                 std::ref(fleet), w);
+    for (std::thread &t : threads)
+        t.join();
+
+    // Whatever is left had no live worker to run it.
+    for (std::size_t i : pending) {
+        if (fleet.done[i])
+            continue;
+        fleet.results[i] = abandonedResult(
+            fleet.ex.jobs[i],
+            "no live worker (fleet died before this cell ran)",
+            fleet.attempts[i]);
+        fleet.done[i] = 1;
+        ++fleet.stats.cellsSynthFailed;
+    }
+
+    fleet.stats.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    lastStats = fleet.stats;
+
+    if (fleet.stats.cellsRun == 0)
+        throw IoError("no worker completed any cell; is the fleet up "
+                      "(elfsimd --worker)?");
+    return std::move(fleet.results);
+}
+
+} // namespace dist
+} // namespace elfsim

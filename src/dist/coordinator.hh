@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Distributed sweep coordinator: shards one SweepSpec grid across a
+ * fleet of `elfsimd --worker` processes and merges the partial result
+ * streams back into the exact result set — byte for byte — that a
+ * single-process run of the same spec would produce.
+ *
+ * How the guarantee holds: expansion is deterministic, every worker
+ * expands the same spec and runs only its cells with their *global*
+ * indices preserved (SweepRunner's subset path), per-cell RunResult
+ * JSON round trips byte-exactly, and the coordinator assembles the
+ * final document in submission order. Scheduling — which worker ran
+ * which cell, in what order, with how many lease expiries — cannot
+ * leak into the output bytes.
+ *
+ * Scheduling is lease-based over the crash-safe ledger
+ * (dist/ledger.hh): cells are handed out in contiguous chunks; each
+ * chunk is journaled as leased before dispatch, its completions are
+ * journaled as manifest lines the moment they stream back, and a
+ * dead worker (torn connection, or heartbeat silence past the lease
+ * timeout) gets its unfinished cells journaled as expired and
+ * requeued for the survivors. A kill -9'd worker therefore costs the
+ * fleet only its in-flight cells' work; the merged bytes do not
+ * change. A coordinator crash loses nothing either: `resume` adopts
+ * the ledger's completed cells (index + jobKey must match) and
+ * re-runs the rest.
+ *
+ * Compile-once-per-fleet: before dispatching any shard, the
+ * coordinator compiles each distinct full-run program trace once
+ * (through its own TraceCache) and ships the elfsim-trace-v1 image to
+ * every worker (POST /artifact/trace, content-hash validated), so
+ * fleet-wide trace.compiles stays at one per distinct program instead
+ * of one per program per worker. Sampled grids ship warm-state
+ * checkpoints (elfsim-ckpt-v1) the same way.
+ */
+
+#ifndef ELFSIM_DIST_COORDINATOR_HH
+#define ELFSIM_DIST_COORDINATOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/sweep_spec.hh"
+
+namespace elfsim {
+namespace dist {
+
+/** One worker address. */
+struct WorkerEndpoint
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    std::string
+    id() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+};
+
+/** Coordinator configuration. */
+struct CoordinatorConfig
+{
+    std::vector<WorkerEndpoint> workers;
+
+    /** Lease ledger path; empty disables journaling (no resume, no
+     *  crash safety — fine for tests and throwaway runs). */
+    std::string ledgerPath;
+
+    /** Adopt completed cells recorded in ledgerPath (index and jobKey
+     *  must both match) and run only the rest. */
+    bool resume = false;
+
+    /** Lease length: how long a shard stream may stay silent (no
+     *  result, no heartbeat) before the worker is declared dead and
+     *  the lease expires. Must exceed the workers' heartbeat period;
+     *  it bounds detection latency, not cell runtime. */
+    unsigned leaseSeconds = 30;
+
+    /** Cells per lease; 0 picks pending / (4 * workers), floored at
+     *  1 — small enough to rebalance, large enough to amortize the
+     *  per-chunk spec re-send. */
+    std::size_t chunkCells = 0;
+
+    /** Chunk failures before a worker is retired from the fleet. */
+    unsigned maxWorkerFailures = 3;
+
+    /** Lease expiries before a cell stops being requeued and degrades
+     *  to a failed result ("lease expired ... times"). */
+    unsigned maxCellRetries = 3;
+};
+
+/** Scheduling counters of the last run() (not part of the merged
+ *  output — the output must not depend on scheduling). */
+struct CoordStats
+{
+    std::size_t cellsTotal = 0;
+    std::size_t cellsAdopted = 0;  ///< taken from the resume ledger
+    std::size_t cellsRun = 0;      ///< completed by the fleet
+    std::size_t cellsSynthFailed = 0; ///< degraded by the coordinator
+    std::size_t chunksDispatched = 0;
+    std::size_t leasesExpired = 0;
+    std::size_t workersDead = 0;
+    std::size_t tracesShipped = 0; ///< trace uploads (per worker)
+    std::size_t ckptsShipped = 0;  ///< checkpoint uploads (per worker)
+    double wallSeconds = 0;
+
+    double
+    cellsPerSecond() const
+    {
+        return wallSeconds > 0 ? double(cellsRun) / wallSeconds : 0;
+    }
+};
+
+/** The coordinator (see file comment). */
+class SweepCoordinator
+{
+  public:
+    explicit SweepCoordinator(CoordinatorConfig cfg);
+
+    /**
+     * Expand @a spec, shard it across the fleet, and return the
+     * merged results in submission order. Cells no live worker could
+     * complete come back as failed cells (keep-going semantics), so
+     * run() itself only throws for pre-dispatch problems: an invalid
+     * spec (ConfigError) or an unwritable ledger (IoError). A fleet
+     * where *no* worker ever accepted work also throws IoError — that
+     * is a deployment error, not a degraded sweep.
+     */
+    std::vector<RunResult> run(const SweepSpec &spec);
+
+    const CoordStats &stats() const { return lastStats; }
+
+    /** Test hook: invoked (serialized) as each chunk is leased, with
+     *  the chunk's global indices and the worker id. */
+    void
+    setLeaseObserver(std::function<void(const std::vector<std::size_t> &,
+                                        const std::string &)> fn)
+    {
+        leaseObserver = std::move(fn);
+    }
+
+  private:
+    struct Fleet; ///< per-run shared state (coordinator.cc)
+
+    void shipArtifacts(Fleet &fleet);
+    void workerLoop(Fleet &fleet, std::size_t w);
+    bool runChunk(Fleet &fleet, std::size_t w,
+                  const std::vector<std::size_t> &chunk);
+
+    CoordinatorConfig cfg;
+    CoordStats lastStats;
+    std::function<void(const std::vector<std::size_t> &,
+                       const std::string &)> leaseObserver;
+};
+
+} // namespace dist
+} // namespace elfsim
+
+#endif // ELFSIM_DIST_COORDINATOR_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The coordinator's crash-safe lease ledger (elfsim-ledger-v1).
+ *
+ * The ledger file is the resume manifest (elfsim-manifest-v1 JSONL,
+ * sim/export.hh) promoted into a scheduling journal: completed-cell
+ * lines keep their exact manifest schema — so a ledger IS a valid
+ * resume manifest and `--resume` tooling keeps working on it — and
+ * two new line kinds record scheduling state:
+ *
+ *   {"ledger":"elfsim-ledger-v1","event":"lease","index":N,
+ *    "key":"...","worker":"w1","lease_seconds":30}
+ *   {"ledger":"elfsim-ledger-v1","event":"expire","index":N,
+ *    "worker":"w1"}
+ *
+ * A cell's life cycle in the journal: lease (assigned to a worker)
+ * -> either a manifest completion line (done) or an expire line (the
+ * worker died or stalled; the cell is schedulable again). Lines are
+ * appended and flushed one at a time, so a killed coordinator loses
+ * at most the in-flight lines; on restart, readLedger() reports both
+ * the completed cells (adoptable, like a manifest resume) and the
+ * leases that were still outstanding at the crash (their cells simply
+ * re-run — leases grant no exclusivity a dead fleet could hold).
+ *
+ * Reader robustness matches readManifest(): any malformed, truncated,
+ * or alien line is skipped with a warning, never a failure, and the
+ * last line about an index wins.
+ */
+
+#ifndef ELFSIM_DIST_LEDGER_HH
+#define ELFSIM_DIST_LEDGER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/export.hh"
+
+namespace elfsim {
+namespace dist {
+
+/** One scheduling line of the ledger. */
+struct LeaseEvent
+{
+    enum class Kind
+    {
+        Lease,  ///< cell assigned to a worker
+        Expire, ///< assignment abandoned (worker death / stall)
+    };
+
+    Kind kind = Kind::Lease;
+    std::size_t index = 0;      ///< global grid index
+    std::string key;            ///< jobKey (Lease lines only)
+    std::string worker;         ///< worker id, e.g. "w0"
+    std::uint64_t leaseSeconds = 0; ///< Lease lines only
+};
+
+/** Append one scheduling line (compact JSONL; the caller flushes). */
+void writeLeaseLine(std::ostream &os, const LeaseEvent &e);
+
+/** Everything a ledger file says, replayed in line order. */
+struct LedgerState
+{
+    /** Completed cells (manifest lines; last line per index wins). */
+    std::vector<ManifestEntry> completed;
+
+    /** Leases neither completed nor expired by the end of the file —
+     *  the in-flight set at the moment the coordinator stopped. */
+    std::vector<LeaseEvent> outstanding;
+
+    std::size_t leaseLines = 0;  ///< lease lines seen
+    std::size_t expireLines = 0; ///< expire lines seen
+    std::size_t skipped = 0;     ///< malformed / alien lines skipped
+};
+
+/** Replay a ledger (or plain manifest) stream. Never throws on bad
+ *  lines: they count in `skipped` and are warned about. */
+LedgerState readLedger(std::istream &is);
+
+} // namespace dist
+} // namespace elfsim
+
+#endif // ELFSIM_DIST_LEDGER_HH

@@ -1,0 +1,160 @@
+#include "dist/spawn.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+
+namespace elfsim {
+namespace dist {
+
+namespace {
+
+/** Read the worker's stdout line by line until the startup banner
+ *  ("elfsimd listening on host:port") appears; return the port. */
+std::uint16_t
+awaitBanner(int fd, pid_t pid)
+{
+    std::string buf;
+    char tmp[256];
+    for (;;) {
+        const std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            const std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (line.find("listening on") != std::string::npos) {
+                const std::size_t colon = line.rfind(':');
+                if (colon == std::string::npos)
+                    throw IoError(errorf(
+                        "worker banner has no port: '%s'",
+                        line.c_str()));
+                const unsigned long port =
+                    std::strtoul(line.c_str() + colon + 1, nullptr, 10);
+                if (port == 0 || port > 65535)
+                    throw IoError(errorf(
+                        "worker banner has bad port: '%s'",
+                        line.c_str()));
+                return std::uint16_t(port);
+            }
+            continue;
+        }
+        const ssize_t r = ::read(fd, tmp, sizeof tmp);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0) {
+            int status = 0;
+            ::waitpid(pid, &status, WNOHANG);
+            throw IoError(
+                "worker exited before printing its listen banner");
+        }
+        buf.append(tmp, std::size_t(r));
+    }
+}
+
+LocalWorker
+spawnOne(const std::string &bin, unsigned jobs,
+         const std::vector<std::string> &extra_args)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        throw IoError(errorf("pipe: %s", std::strerror(errno)));
+
+    std::vector<std::string> args = {bin, "--worker", "--port", "0",
+                                     "--jobs", std::to_string(jobs)};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        throw IoError(errorf("fork: %s", std::strerror(errno)));
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[1]);
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(bin.c_str(), argv.data());
+        ::_exit(127);
+    }
+    ::close(fds[1]);
+
+    LocalWorker w;
+    w.pid = pid;
+    w.outFd = fds[0];
+    try {
+        w.port = awaitBanner(fds[0], pid);
+    } catch (...) {
+        ::close(fds[0]);
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        throw;
+    }
+    return w;
+}
+
+} // namespace
+
+std::vector<LocalWorker>
+spawnLocalWorkers(const std::string &bin, std::size_t count,
+                  unsigned jobs,
+                  const std::vector<std::string> &extra_args)
+{
+    std::vector<LocalWorker> fleet;
+    fleet.reserve(count);
+    try {
+        for (std::size_t i = 0; i < count; ++i)
+            fleet.push_back(spawnOne(bin, jobs, extra_args));
+    } catch (...) {
+        stopLocalWorkers(fleet);
+        throw;
+    }
+    return fleet;
+}
+
+void
+stopLocalWorkers(std::vector<LocalWorker> &workers)
+{
+    for (LocalWorker &w : workers)
+        if (w.pid > 0)
+            ::kill(w.pid, SIGTERM);
+
+    for (LocalWorker &w : workers) {
+        if (w.pid <= 0)
+            continue;
+        // Grace period, then escalate. The poll loop keeps this file
+        // free of signalfd/timer plumbing; worker shutdown is fast.
+        bool gone = false;
+        for (int i = 0; i < 200; ++i) {
+            const pid_t r = ::waitpid(w.pid, nullptr, WNOHANG);
+            if (r == w.pid || (r < 0 && errno == ECHILD)) {
+                gone = true;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (!gone) {
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+        }
+        w.pid = -1;
+        if (w.outFd >= 0) {
+            ::close(w.outFd);
+            w.outFd = -1;
+        }
+    }
+}
+
+} // namespace dist
+} // namespace elfsim

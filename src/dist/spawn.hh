@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Local worker-fleet process management: fork/exec `elfsimd --worker`
+ * on ephemeral loopback ports and harvest the bound port from each
+ * worker's startup banner. Shared by `elfsim-coord --spawn N` (the
+ * single-host fleet convenience) and the distributed tests, which
+ * need real worker *processes* — an in-process worker would share the
+ * coordinator's TraceCache singleton and fake the one-compile-per-
+ * fleet accounting.
+ */
+
+#ifndef ELFSIM_DIST_SPAWN_HH
+#define ELFSIM_DIST_SPAWN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace elfsim {
+namespace dist {
+
+/** One spawned worker process. */
+struct LocalWorker
+{
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+    int outFd = -1; ///< read end of the worker's stdout pipe; held
+                    ///< open so late worker printf()s never SIGPIPE
+};
+
+/**
+ * Spawn @a count worker processes: `bin --worker --port 0 --jobs
+ * <jobs> <extra_args...>`, each on its own ephemeral port, stderr
+ * passed through. Blocks until every worker has printed its
+ * "elfsimd listening on host:port" banner. Throws IoError when a
+ * worker fails to launch (any already-spawned workers are stopped
+ * first).
+ */
+std::vector<LocalWorker>
+spawnLocalWorkers(const std::string &bin, std::size_t count,
+                  unsigned jobs,
+                  const std::vector<std::string> &extra_args = {});
+
+/** SIGTERM each worker, wait briefly, SIGKILL stragglers. Safe on
+ *  workers that already exited (or were killed by a test). */
+void stopLocalWorkers(std::vector<LocalWorker> &workers);
+
+} // namespace dist
+} // namespace elfsim
+
+#endif // ELFSIM_DIST_SPAWN_HH

@@ -1,0 +1,212 @@
+#include "dist/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+
+#include "common/error.hh"
+#include "common/export.hh"
+#include "common/json.hh"
+
+namespace elfsim {
+namespace dist {
+
+namespace {
+
+constexpr const char *kShardSchema = "elfsim-shard-v1";
+
+} // namespace
+
+std::string
+writeShardRequest(const SweepSpec &spec,
+                  const std::vector<std::size_t> &cells)
+{
+    // Assembled by hand so the spec document keeps its canonical
+    // writeSweepSpec() serialization: workers memoize grid expansion
+    // on the exact spec text, and every chunk of one sweep must hit
+    // that memo.
+    std::ostringstream os;
+    os << "{\"schema\":\"" << kShardSchema << "\",\"cells\":[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os << ',';
+        os << cells[i];
+    }
+    os << "],\"spec\":";
+    writeSweepSpec(os, spec);
+    os << "}";
+    return os.str();
+}
+
+ShardRequest
+parseShardRequest(std::string_view body)
+{
+    const json::Value doc = json::parse(body);
+    if (doc.at("schema").asString() != kShardSchema)
+        throw ParseError(errorf("unknown shard schema '%s'",
+                                doc.at("schema").asString().c_str()));
+    ShardRequest req;
+    const json::Value &cells = doc.at("cells");
+    req.cells.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        req.cells.push_back(std::size_t(cells[i].asU64()));
+    req.spec = parseSweepSpec(doc.at("spec"));
+    return req;
+}
+
+ShardLine
+parseShardLine(const std::string &line)
+{
+    const json::Value doc = json::parse(line);
+    ShardLine out;
+    if (doc.find("manifest")) {
+        if (doc.at("manifest").asString() != "elfsim-manifest-v1")
+            throw ParseError("unknown manifest schema in shard stream");
+        out.kind = ShardLine::Kind::Result;
+        out.entry.index = std::size_t(doc.at("index").asU64());
+        out.entry.key = doc.at("key").asString();
+        out.entry.result = runResultFromJson(doc.at("result"));
+        return out;
+    }
+    if (doc.at("shard").asString() != kShardSchema)
+        throw ParseError("unknown shard-event schema");
+    const std::string &event = doc.at("event").asString();
+    if (event == "heartbeat") {
+        out.kind = ShardLine::Kind::Heartbeat;
+    } else if (event == "done") {
+        out.kind = ShardLine::Kind::Done;
+        out.cells = doc.at("cells").asU64();
+    } else {
+        throw ParseError(errorf("unknown shard event '%s'",
+                                event.c_str()));
+    }
+    return out;
+}
+
+std::string
+heartbeatLine()
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("shard", kShardSchema);
+    w.field("event", "heartbeat");
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+std::string
+doneLine(std::uint64_t cells)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("shard", kShardSchema);
+    w.field("event", "done");
+    w.field("cells", cells);
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+bool
+ShardStream::fail(const char *why)
+{
+    bad = true;
+    err = why;
+    return false;
+}
+
+bool
+ShardStream::fill()
+{
+    // Compact the consumed prefix before growing the buffer.
+    if (rawPos > 0) {
+        raw.erase(0, rawPos);
+        rawPos = 0;
+    }
+    char tmp[4096];
+    for (;;) {
+        const ssize_t r = ::recv(fd, tmp, sizeof tmp, 0);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r == 0)
+            return fail("connection closed mid-stream");
+        if (r < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return fail("receive timeout (lease expired)");
+            return fail(std::strerror(errno));
+        }
+        raw.append(tmp, std::size_t(r));
+        return true;
+    }
+}
+
+bool
+ShardStream::nextLine(std::string &line)
+{
+    for (;;) {
+        const std::size_t nl = out.find('\n');
+        if (nl != std::string::npos) {
+            line = out.substr(0, nl);
+            out.erase(0, nl + 1);
+            return true;
+        }
+        if (final_ || bad)
+            return false;
+
+        // De-chunk whatever is buffered; fill when it runs dry.
+        if (skipCrlf > 0) {
+            const std::size_t n =
+                std::min<std::size_t>(skipCrlf, raw.size() - rawPos);
+            rawPos += n;
+            skipCrlf -= unsigned(n);
+            if (skipCrlf > 0) {
+                if (!fill())
+                    return false;
+            }
+            continue;
+        }
+        if (chunkLeft > 0) {
+            const std::size_t avail = raw.size() - rawPos;
+            if (avail == 0) {
+                if (!fill())
+                    return false;
+                continue;
+            }
+            const std::size_t n = std::min(chunkLeft, avail);
+            out.append(raw, rawPos, n);
+            rawPos += n;
+            chunkLeft -= n;
+            if (chunkLeft == 0)
+                skipCrlf = 2; // the chunk's trailing CRLF
+            continue;
+        }
+        // At a chunk-size line ("<hex>\r\n").
+        const std::size_t eol = raw.find("\r\n", rawPos);
+        if (eol == std::string::npos) {
+            if (raw.size() - rawPos > 64)
+                return fail("malformed chunk-size line");
+            if (!fill())
+                return false;
+            continue;
+        }
+        char *end = nullptr;
+        const unsigned long long n =
+            std::strtoull(raw.c_str() + rawPos, &end, 16);
+        if (end == raw.c_str() + rawPos)
+            return fail("malformed chunk size");
+        rawPos = eol + 2;
+        if (n == 0) {
+            final_ = true; // terminator; trailers are ignored
+            continue;
+        }
+        chunkLeft = std::size_t(n);
+    }
+}
+
+} // namespace dist
+} // namespace elfsim

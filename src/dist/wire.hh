@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Wire protocol of the distributed sweep layer (elfsim-shard-v1).
+ *
+ * A coordinator (dist/coordinator.hh) drives worker processes
+ * (`elfsimd --worker`) over the same loopback HTTP/1.1 framing the
+ * sweep service already speaks (service/http.hh). Three endpoints:
+ *
+ *   POST /shard           body = one shard request (below). The
+ *                         worker responds 200 with a chunked JSONL
+ *                         stream: one elfsim-manifest-v1 line per
+ *                         completed cell (global index + jobKey +
+ *                         full result), heartbeat event lines while
+ *                         cells run, and a terminal "done" event.
+ *   POST /artifact/trace  body = a raw elfsim-trace-v1 image
+ *                         (CompiledTrace::serialized()); the
+ *                         `x-elfsim-key` header carries the expected
+ *                         content hash (16 hex digits) and
+ *                         `x-elfsim-name` the display name. The
+ *                         worker validates magic/key/size/checksum
+ *                         and installs the trace into its TraceCache
+ *                         memo — this is how each program compiles
+ *                         once per fleet instead of once per host.
+ *   POST /artifact/ckpt   body = a raw elfsim-ckpt-v1 file; the
+ *                         `x-elfsim-name` header carries the target
+ *                         file name. The worker drops it into its
+ *                         checkpoint directory; the CheckpointStore's
+ *                         own load path validates it (any defect
+ *                         demotes to fast-forward, never a failure).
+ *
+ * Shard request document:
+ *
+ *   {"schema": "elfsim-shard-v1",
+ *    "cells": [3, 4, 11],          // global grid indices to run
+ *    "spec": { <elfsim-sweepspec-v1> }}
+ *
+ * Every worker expands the full spec (expansion is deterministic)
+ * and runs only its cells with SweepRunner's subset-run path, so
+ * global indices — and therefore seeds, jobKeys, and result bytes —
+ * are identical to a single-process run of the whole grid.
+ *
+ * Shard response lines (JSONL; one JSON object per line):
+ *
+ *   {"manifest":"elfsim-manifest-v1","index":N,"key":"...",
+ *    "status":"ok","result":{...}}               completed cell
+ *   {"shard":"elfsim-shard-v1","event":"heartbeat"}      liveness
+ *   {"shard":"elfsim-shard-v1","event":"done","cells":K} terminal
+ *
+ * Completed-cell lines reuse the resume-manifest schema verbatim:
+ * the RunResult JSON round trip is byte-exact, which is what makes
+ * the coordinator's merged output byte-identical to a local run.
+ */
+
+#ifndef ELFSIM_DIST_WIRE_HH
+#define ELFSIM_DIST_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/export.hh"
+#include "sim/sweep_spec.hh"
+
+namespace elfsim {
+namespace dist {
+
+/** One parsed POST /shard request body. */
+struct ShardRequest
+{
+    SweepSpec spec;
+    std::vector<std::size_t> cells; ///< global grid indices to run
+};
+
+/** Serialize a shard request (the coordinator's send path). */
+std::string writeShardRequest(const SweepSpec &spec,
+                              const std::vector<std::size_t> &cells);
+
+/** Parse a shard request body; throws ParseError / ConfigError. */
+ShardRequest parseShardRequest(std::string_view body);
+
+/** One parsed line of a shard response stream. */
+struct ShardLine
+{
+    enum class Kind
+    {
+        Result,    ///< a completed cell (entry is valid)
+        Heartbeat, ///< liveness tick
+        Done,      ///< terminal event (cells = completed count)
+    };
+
+    Kind kind = Kind::Heartbeat;
+    ManifestEntry entry;      ///< Result only
+    std::uint64_t cells = 0;  ///< Done only
+};
+
+/** Parse one stream line; throws ParseError on junk. */
+ShardLine parseShardLine(const std::string &line);
+
+/** The heartbeat event line (newline-terminated). */
+std::string heartbeatLine();
+
+/** The terminal event line (newline-terminated). */
+std::string doneLine(std::uint64_t cells);
+
+/**
+ * Incremental line reader over a chunked HTTP response body: feeds
+ * on the socket as needed, de-chunks, and hands back one JSONL line
+ * at a time — the coordinator's receive path, where waiting for the
+ * whole body would defeat both streaming merge and lease timeouts.
+ *
+ * nextLine() returns false at the end of the stream; failed()
+ * distinguishes the orderly terminal chunk from a torn connection
+ * (worker death) or a receive timeout (lease expiry) — both surface
+ * as failed() == true with error() filled.
+ */
+class ShardStream
+{
+  public:
+    /** @a fd stays owned by the caller; @a initial holds body bytes
+     *  already read past the response head. */
+    ShardStream(int fd, std::string initial)
+        : fd(fd), raw(std::move(initial))
+    {
+    }
+
+    bool nextLine(std::string &line);
+
+    bool failed() const { return bad; }
+    const std::string &error() const { return err; }
+
+  private:
+    bool fill();
+    bool fail(const char *why);
+
+    int fd;
+    std::string raw;          ///< undecoded socket bytes
+    std::size_t rawPos = 0;
+    std::string out;          ///< de-chunked bytes pending '\n'
+    std::size_t chunkLeft = 0;
+    unsigned skipCrlf = 0;    ///< chunk-trailer bytes still to skip
+    bool final_ = false;      ///< terminal zero-chunk seen
+    bool bad = false;
+    std::string err;
+};
+
+} // namespace dist
+} // namespace elfsim
+
+#endif // ELFSIM_DIST_WIRE_HH

@@ -23,6 +23,21 @@
  *                   byte. A malformed or semantically invalid spec
  *                   gets 400 with a one-line error body.
  *
+ * Worker mode (`--worker` / ServiceConfig::worker) adds the
+ * distributed-fleet endpoints (schemas in dist/wire.hh):
+ *
+ *   POST /shard           run a subset of a fleet-wide grid; chunked
+ *                         JSONL response (manifest lines, heartbeats,
+ *                         terminal done event)
+ *   POST /artifact/trace  install a coordinator-compiled
+ *                         elfsim-trace-v1 image into the TraceCache
+ *                         (validated against the x-elfsim-key hash)
+ *   POST /artifact/ckpt   drop an elfsim-ckpt-v1 file into the
+ *                         checkpoint directory (x-elfsim-name)
+ *
+ * Without worker mode these answer 403 — a plain sweep service never
+ * accepts binary uploads.
+ *
  * Execution model: request handlers only parse and enqueue; a single
  * executor thread drains the queue through one SweepRunner, so
  * concurrent clients serialize at sweep granularity and every request
@@ -53,6 +68,7 @@
 #include <string>
 #include <thread>
 
+#include "service/http.hh"
 #include "sim/sweep.hh"
 #include "sim/sweep_spec.hh"
 
@@ -65,6 +81,21 @@ struct ServiceConfig
     std::string host = "127.0.0.1";
     std::uint16_t port = 0; ///< 0 = ephemeral (port() reports it)
     unsigned jobs = 0;      ///< sweep threads; 0 = auto
+
+    /** Enable the distributed-worker endpoints (POST /shard,
+     *  POST /artifact/trace, POST /artifact/ckpt). Off by default: a
+     *  plain sweep service refuses artifact uploads with 403. */
+    bool worker = false;
+
+    /** SO_SNDTIMEO on response sockets (`--send-timeout`): how long a
+     *  chunk write may stall on a non-reading client before the sweep
+     *  degrades to cancelled. */
+    long sendTimeoutSec = 30;
+
+    /** Liveness-tick period of a /shard response stream. The
+     *  coordinator's lease timeout (its SO_RCVTIMEO) must exceed
+     *  this, or healthy workers look dead between cells. */
+    unsigned heartbeatMs = 1000;
 };
 
 /** The sweep service (see file comment). */
@@ -96,6 +127,8 @@ class SweepService
         std::uint64_t requests = 0;      ///< HTTP requests accepted
         std::uint64_t badRequests = 0;   ///< 4xx responses
         std::uint64_t sweeps = 0;        ///< sweep runs completed
+        std::uint64_t shards = 0;        ///< shard runs completed
+        std::uint64_t artifacts = 0;     ///< artifacts installed
         std::uint64_t cellsOk = 0;
         std::uint64_t cellsFailed = 0;
         std::uint64_t cellsCancelled = 0;
@@ -117,12 +150,22 @@ class SweepService
         int fd = -1;
         SweepSpec spec;
         std::shared_ptr<std::atomic<bool>> cancel;
+        bool shard = false;             ///< POST /shard (worker mode)
+        std::vector<std::size_t> cells; ///< shard only: global indices
     };
 
     void acceptLoop();
     void handleConnection(int fd);
+    void handleArtifact(int fd, const HttpRequest &req);
     void executorLoop();
     void executeSweep(Pending req);
+    void executeShard(Pending req);
+
+    /** Expand a shard's spec, memoizing on the canonical spec text:
+     *  every chunk of one fleet-wide sweep re-sends the same spec, and
+     *  expansion (program generation) dominates small shards.
+     *  Executor-thread only. */
+    const ExpandedSweep &expandShardSpec(const SweepSpec &spec);
 
     ServiceConfig cfg;
     /** Atomic: stop() retires the fd while acceptLoop still reads
@@ -145,10 +188,16 @@ class SweepService
 
     SweepRunner runner; ///< shared across every request (executor only)
 
+    // Shard spec-expansion memo (executor thread only).
+    std::string cachedSpecText_;
+    ExpandedSweep cachedEx_;
+
     // Stats (atomics: written by handlers + executor, read by /stats).
     std::atomic<std::uint64_t> requests{0};
     std::atomic<std::uint64_t> badRequests{0};
     std::atomic<std::uint64_t> sweeps{0};
+    std::atomic<std::uint64_t> shards{0};
+    std::atomic<std::uint64_t> artifacts{0};
     std::atomic<std::uint64_t> cellsOk{0};
     std::atomic<std::uint64_t> cellsFailed{0};
     std::atomic<std::uint64_t> cellsCancelled{0};

@@ -3,6 +3,7 @@
 #include <istream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <type_traits>
 
 #include "common/logging.hh"
@@ -55,8 +56,16 @@ struct CsvCellVisitor
     }
 };
 
+/**
+ * @a with_host appends host metadata (machine CPU count and the
+ * effective thread count the run actually used) — only the throughput
+ * document asks for it: host facts there make MIPS figures comparable
+ * across machines, but they would break the byte-identity guarantee
+ * of the results document, whose timing block must stay a pure
+ * function of the sweep.
+ */
 void
-writeTiming(JsonWriter &w, const SweepTiming &t)
+writeTiming(JsonWriter &w, const SweepTiming &t, bool with_host = false)
 {
     w.beginObject();
     w.field("jobs", std::uint64_t(t.jobs));
@@ -67,6 +76,11 @@ writeTiming(JsonWriter &w, const SweepTiming &t)
     w.field("sim_cycles", t.simCycles);
     w.field("sim_insts", t.simInsts);
     w.field("sim_cycles_per_second", t.cyclesPerSecond());
+    if (with_host) {
+        w.field("host_cpus",
+                std::uint64_t(std::thread::hardware_concurrency()));
+        w.field("host_jobs", std::uint64_t(t.threads));
+    }
     w.endObject();
 }
 
@@ -268,7 +282,7 @@ writeThroughputJson(std::ostream &os,
     w.beginObject();
     w.field("schema", "elfsim-throughput-v1");
     w.key("timing");
-    writeTiming(w, timing);
+    writeTiming(w, timing, /*with_host=*/true);
     w.field("geomean_mips", geomean(okMips));
     w.key("throughput");
     w.beginArray();

@@ -128,7 +128,8 @@ void writeTimelineCsv(std::ostream &os,
  *
  *   {
  *     "schema": "elfsim-throughput-v1",
- *     "timing": { ... SweepTiming ... },
+ *     "timing": { ... SweepTiming ...,
+ *                 "host_cpus": C, "host_jobs": J },
  *     "geomean_mips": G,
  *     "throughput": [
  *       { "workload": ..., "variant": ..., "wall_seconds": ...,
@@ -141,6 +142,11 @@ void writeTimelineCsv(std::ostream &os,
  * throughput: sim_insts is the whole stream covered (fast-forward +
  * detailed windows), sim_cycles the extrapolated total, so mips is
  * effective simulated MIPS — the figure the sampled perf gate reads.
+ *
+ * The timing block additionally records the host (CPU count and the
+ * thread count the run effectively used) — MIPS figures are only
+ * comparable with the machine attached. The results-v2 timing block
+ * deliberately omits these: its bytes must not depend on the host.
  *
  * @a job_seconds must parallel @a results (SweepRunner::perJobSeconds).
  */

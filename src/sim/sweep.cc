@@ -134,8 +134,14 @@ SweepRunner::clearInterrupt()
 std::string
 SweepRunner::jobKey(const SweepJob &job, std::size_t i) const
 {
+    return sweepJobKey(job, i, baseSeed);
+}
+
+std::string
+sweepJobKey(const SweepJob &job, std::size_t i, std::uint64_t base_seed)
+{
     const std::uint64_t seed =
-        baseSeed ? mix64(baseSeed, i + 1) : job.cfg.rngSeed;
+        base_seed ? mix64(base_seed, i + 1) : job.cfg.rngSeed;
     std::string k = job.program->name();
     k += '|';
     k += variantName(job.cfg.variant);
@@ -166,6 +172,20 @@ SweepRunner::failedCells() const
 std::vector<RunResult>
 SweepRunner::run(const std::vector<SweepJob> &grid)
 {
+    return runSubset(grid, nullptr);
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SweepJob> &grid,
+                 const std::vector<std::size_t> &only)
+{
+    return runSubset(grid, &only);
+}
+
+std::vector<RunResult>
+SweepRunner::runSubset(const std::vector<SweepJob> &grid,
+                       const std::vector<std::size_t> *only)
+{
     std::vector<RunResult> results(grid.size());
     jobSeconds.assign(grid.size(), 0.0);
 
@@ -183,7 +203,20 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
     // Identity check is index + jobKey, so a manifest from a
     // different grid or seed silently re-runs everything it cannot
     // vouch for.
-    std::vector<char> done(grid.size(), 0);
+    // Subset runs (a distributed shard) mark every unselected cell
+    // done up front: global indices — and therefore seeds and
+    // jobKeys — are preserved, but only the selected cells run.
+    std::vector<char> done(grid.size(), only ? 1 : 0);
+    std::size_t selected = grid.size();
+    if (only) {
+        selected = 0;
+        for (std::size_t i : *only) {
+            if (i < grid.size() && done[i]) {
+                done[i] = 0;
+                ++selected;
+            }
+        }
+    }
     if (pol.resume && !pol.manifestPath.empty()) {
         std::ifstream in(pol.manifestPath);
         if (!in) {
@@ -195,6 +228,8 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
             for (ManifestEntry &e : readManifest(in)) {
                 if (e.index >= grid.size())
                     continue;
+                if (only && done[e.index])
+                    continue; // not this shard's cell
                 if (e.key != jobKey(grid[e.index], e.index)) {
                     ELFSIM_WARN(
                         "resume: manifest cell %zu key mismatch "
@@ -423,7 +458,7 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
     lastCkptStats = CheckpointStore::instance().stats().delta(ckptStart);
 
     lastTiming = SweepTiming{};
-    lastTiming.jobs = static_cast<unsigned>(grid.size());
+    lastTiming.jobs = static_cast<unsigned>(only ? selected : grid.size());
     lastTiming.threads = threads;
     lastTiming.wallSeconds = secondsSince(sweepStart);
     for (std::size_t i = 0; i < grid.size(); ++i) {

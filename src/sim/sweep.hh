@@ -58,6 +58,16 @@ struct SweepJob
 SweepJob makeVariantJob(const Program &prog, FrontendVariant variant,
                         const RunOptions &opts = {});
 
+/**
+ * Stable identity of grid cell @a i under @a base_seed — workload,
+ * variant, window sizes, sampling schedule and the effective RNG
+ * seed. This is the free-function form of SweepRunner::jobKey, shared
+ * with the distributed coordinator (dist/coordinator.hh), which must
+ * compute the exact same keys without constructing a runner.
+ */
+std::string sweepJobKey(const SweepJob &job, std::size_t i,
+                        std::uint64_t base_seed);
+
 /** Wall-clock accounting of the last sweep (speedup reporting). */
 struct SweepTiming
 {
@@ -191,6 +201,20 @@ class SweepRunner
      */
     std::vector<RunResult> run(const std::vector<SweepJob> &grid);
 
+    /**
+     * Run only the cells of @a grid whose submission indices appear
+     * in @a only, preserving every cell's *global* index: seeds,
+     * jobKeys and per-cell results are exactly those the full-grid
+     * run would produce, so results from disjoint subsets merge
+     * byte-identically into a full-grid result set. Unselected cells
+     * keep default-constructed results and never run, journal, or
+     * notify the observer. This is the distributed worker's
+     * execution path (a shard is a subset of a fleet-wide grid).
+     * Out-of-range indices in @a only are ignored.
+     */
+    std::vector<RunResult> run(const std::vector<SweepJob> &grid,
+                               const std::vector<std::size_t> &only);
+
     unsigned threadCount() const { return threads; }
 
     /** Timing of the most recent run(). */
@@ -271,6 +295,9 @@ class SweepRunner
     static unsigned resolveJobs(unsigned requested = 0);
 
   private:
+    std::vector<RunResult> runSubset(const std::vector<SweepJob> &grid,
+                                     const std::vector<std::size_t> *only);
+
     unsigned threads;
     std::uint64_t baseSeed = 0;
     SweepPolicy pol;

@@ -223,8 +223,8 @@ CompiledTrace::payloadBytes() const
     return 8 * (takenWordsFor(count_) + 2 * count_) + 4 * count_;
 }
 
-void
-CompiledTrace::save(const std::string &path) const
+std::vector<char>
+CompiledTrace::serialized() const
 {
     TraceHeader h;
     h.key = key_;
@@ -235,14 +235,16 @@ CompiledTrace::save(const std::string &path) const
     h.memN = end_.memCount.size();
     h.endPC = end_.pc;
 
-    // Assemble the section region once so the checksum and the write
-    // see the exact same bytes.
-    std::vector<char> sections;
-    sections.reserve(std::size_t(expectedFileSize(h)) - headerBytes);
-    const auto appendU64s = [&sections](const std::uint64_t *p,
-                                        std::size_t n) {
+    // Assemble the whole image once so the checksum and every
+    // consumer (the file write, the wire payload) see the exact same
+    // bytes: header first, then the contiguous section region.
+    std::vector<char> image;
+    image.reserve(std::size_t(expectedFileSize(h)));
+    image.resize(headerBytes);
+    const auto appendU64s = [&image](const std::uint64_t *p,
+                                     std::size_t n) {
         const char *raw = reinterpret_cast<const char *>(p);
-        sections.insert(sections.end(), raw, raw + 8 * n);
+        image.insert(image.end(), raw, raw + 8 * n);
     };
     appendU64s(end_.callStack.data(), h.callDepth);
     appendU64s(end_.condCount.data(), h.condN);
@@ -252,9 +254,23 @@ CompiledTrace::save(const std::string &path) const
     appendU64s(nextPC_, count_);
     appendU64s(memAddr_, count_);
     const char *siRaw = reinterpret_cast<const char *>(siIdx_);
-    sections.insert(sections.end(), siRaw, siRaw + 4 * count_);
+    image.insert(image.end(), siRaw, siRaw + 4 * count_);
 
-    h.checksum = contentChecksum(h, sections.data(), sections.size());
+    h.checksum = contentChecksum(h, image.data() + headerBytes,
+                                 image.size() - headerBytes);
+
+    std::memcpy(image.data(), traceMagic, sizeof(traceMagic));
+    const std::uint64_t scalars[] = {h.key,   h.count, h.callDepth,
+                                     h.condN, h.indN,  h.memN,
+                                     h.endPC, h.checksum};
+    std::memcpy(image.data() + 16, scalars, sizeof(scalars));
+    return image;
+}
+
+void
+CompiledTrace::save(const std::string &path) const
+{
+    const std::vector<char> image = serialized();
 
     // Write to a private temp file and rename into place: readers of
     // a shared cache directory only ever see complete files.
@@ -271,13 +287,7 @@ CompiledTrace::save(const std::string &path) const
         if (!os)
             throw IoError(errorf("cannot open '%s' for writing",
                                  tmp.c_str()));
-        os.write(traceMagic, sizeof(traceMagic));
-        const std::uint64_t scalars[] = {h.key,  h.count, h.callDepth,
-                                         h.condN, h.indN,  h.memN,
-                                         h.endPC, h.checksum};
-        os.write(reinterpret_cast<const char *>(scalars),
-                 sizeof(scalars));
-        os.write(sections.data(), std::streamsize(sections.size()));
+        os.write(image.data(), std::streamsize(image.size()));
         if (!os)
             throw IoError(errorf("write to '%s' failed", tmp.c_str()));
     }
@@ -295,24 +305,50 @@ CompiledTrace::load(const std::string &path, std::uint64_t expect_key)
     if (!backing)
         throw IoError(errorf("cannot read trace file '%s'",
                              path.c_str()));
-
     const char *data = backing->data();
     const std::size_t size = backing->size();
+    const std::size_t mapped = backing->map ? backing->mapLen : 0;
+    return parseImage(data, size, expect_key,
+                      errorf("trace file '%s'", path.c_str()),
+                      std::move(backing), mapped);
+}
+
+std::shared_ptr<const CompiledTrace>
+CompiledTrace::loadBytes(std::vector<char> image,
+                         std::uint64_t expect_key,
+                         const std::string &what)
+{
+    // vector<char> (not string): the heap allocation is suitably
+    // aligned for the u64 section views.
+    auto holder = std::make_shared<std::vector<char>>(std::move(image));
+    const char *data = holder->data();
+    const std::size_t size = holder->size();
+    return parseImage(data, size, expect_key, what, std::move(holder),
+                      0);
+}
+
+std::shared_ptr<const CompiledTrace>
+CompiledTrace::parseImage(const char *data, std::size_t size,
+                          std::uint64_t expect_key,
+                          const std::string &what,
+                          std::shared_ptr<void> backing,
+                          std::size_t mapped_bytes)
+{
     if (size < headerBytes)
-        throw ParseError(errorf("trace file '%s' truncated "
+        throw ParseError(errorf("%s truncated "
                                 "(%zu bytes, header needs %zu)",
-                                path.c_str(), size, headerBytes));
+                                what.c_str(), size, headerBytes));
     if (std::memcmp(data, traceMagic, sizeof(traceMagic)) != 0)
-        throw ParseError(errorf("trace file '%s' has a bad magic "
-                                "(not an elfsim-trace-v1 file)",
-                                path.c_str()));
+        throw ParseError(errorf("%s has a bad magic "
+                                "(not an elfsim-trace-v1 image)",
+                                what.c_str()));
 
     TraceHeader h;
     std::memcpy(&h.key, data + 16, 8 * 8); // scalars are contiguous
     if (h.key != expect_key)
         throw ParseError(errorf(
-            "trace file '%s' is stale: key %016llx, expected %016llx",
-            path.c_str(), (unsigned long long)h.key,
+            "%s is stale: key %016llx, expected %016llx",
+            what.c_str(), (unsigned long long)h.key,
             (unsigned long long)expect_key));
 
     // Field sanity before any size arithmetic (caps far above real
@@ -320,26 +356,26 @@ CompiledTrace::load(const std::string &path, std::uint64_t expect_key)
     constexpr std::uint64_t fieldCap = std::uint64_t(1) << 32;
     if (h.count >= fieldCap || h.callDepth > OracleGen::maxCallDepth ||
         h.condN >= fieldCap || h.indN >= fieldCap || h.memN >= fieldCap)
-        throw ParseError(errorf("trace file '%s' has implausible "
-                                "section lengths", path.c_str()));
+        throw ParseError(errorf("%s has implausible "
+                                "section lengths", what.c_str()));
     if (size != expectedFileSize(h))
         throw ParseError(errorf(
-            "trace file '%s' size mismatch (%zu bytes, header "
-            "implies %llu)", path.c_str(), size,
+            "%s size mismatch (%zu bytes, header "
+            "implies %llu)", what.c_str(), size,
             (unsigned long long)expectedFileSize(h)));
 
     const char *sections = data + headerBytes;
     const std::size_t sectionBytes = size - headerBytes;
     if (contentChecksum(h, sections, sectionBytes) != h.checksum)
-        throw ParseError(errorf("trace file '%s' failed its checksum "
+        throw ParseError(errorf("%s failed its checksum "
                                 "(corrupt or torn write)",
-                                path.c_str()));
+                                what.c_str()));
 
     std::shared_ptr<CompiledTrace> t(new CompiledTrace);
     t->count_ = h.count;
     t->key_ = h.key;
-    t->backing_ = backing;
-    t->mappedBytes_ = backing->map ? backing->mapLen : 0;
+    t->backing_ = std::move(backing);
+    t->mappedBytes_ = mapped_bytes;
 
     const std::uint64_t *u64s =
         reinterpret_cast<const std::uint64_t *>(sections);

@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Distributed-sweep tests: wire-protocol round trips, the crash-safe
+ * lease ledger on adversarial JSONL, SweepRunner's subset-merge
+ * byte-identity (the invariant the whole layer rests on), the worker
+ * endpoints of an in-process service, and full coordinator runs.
+ *
+ * The scheduling-level cases (kill -9 reassignment, one compile per
+ * fleet) drive real `elfsimd --worker` subprocesses found via
+ * $ELFSIM_BENCH_DIR — an in-process worker would share this process's
+ * TraceCache singleton and fake the compile accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/types.h>
+
+#include "common/error.hh"
+#include "common/json.hh"
+#include "dist/coordinator.hh"
+#include "dist/ledger.hh"
+#include "dist/spawn.hh"
+#include "dist/wire.hh"
+#include "service/daemon.hh"
+#include "service/http.hh"
+#include "sim/export.hh"
+#include "sim/sweep.hh"
+#include "sim/sweep_spec.hh"
+#include "workload/trace_cache.hh"
+
+namespace elfsim {
+namespace {
+
+/**
+ * A tiny but real grid: micro workloads crossed with two frontend
+ * variants. Distinct tests use distinct generator args so the
+ * process-wide TraceCache memo of earlier tests never masks a
+ * compile this test expected to observe.
+ */
+SweepSpec
+distSpec(const std::string &name,
+         const std::vector<std::vector<double>> &microArgs,
+         std::uint64_t warmup, std::uint64_t measure)
+{
+    SweepSpec spec;
+    spec.name = name;
+    spec.jobs = 1;
+    spec.baseSeed = 7;
+    spec.run.warmupInsts = warmup;
+    spec.run.measureInsts = measure;
+    SweepGroup g;
+    for (const auto &args : microArgs)
+        g.workloads.push_back(
+            WorkloadSelector::micro("random_branch_loop", args));
+    g.configs.emplace_back(FrontendVariant::Dcf);
+    g.configs.emplace_back(FrontendVariant::UElf);
+    spec.groups.push_back(std::move(g));
+    return spec;
+}
+
+/** The single-process answer: the bytes every distributed run of the
+ *  same spec must reproduce exactly. */
+std::string
+referenceBytes(const SweepSpec &spec)
+{
+    ExpandedSweep ex = expandSweep(spec);
+    SweepRunner runner(1);
+    runner.setBaseSeed(spec.baseSeed);
+    const std::vector<RunResult> results = runner.run(ex.jobs);
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    return os.str();
+}
+
+std::string
+mergedBytes(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    return os.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+/** elfsimd binary path, or "" when the env var is missing (running
+ *  the test binary by hand outside ctest). */
+std::string
+workerBinary()
+{
+    const char *dir = std::getenv("ELFSIM_BENCH_DIR");
+    return dir ? std::string(dir) + "/elfsimd" : std::string();
+}
+
+ManifestEntry
+dummyEntry(std::size_t index, const std::string &key)
+{
+    ManifestEntry e;
+    e.index = index;
+    e.key = key;
+    e.result.workload = "w" + std::to_string(index);
+    e.result.variant = "DCF";
+    return e;
+}
+
+std::string
+manifestLine(std::size_t index, const std::string &key)
+{
+    std::ostringstream os;
+    writeManifestLine(os, dummyEntry(index, key));
+    return os.str();
+}
+
+std::string
+leaseLine(std::size_t index, const std::string &key,
+          const std::string &worker)
+{
+    dist::LeaseEvent e;
+    e.kind = dist::LeaseEvent::Kind::Lease;
+    e.index = index;
+    e.key = key;
+    e.worker = worker;
+    e.leaseSeconds = 30;
+    std::ostringstream os;
+    dist::writeLeaseLine(os, e);
+    return os.str();
+}
+
+std::string
+expireLine(std::size_t index, const std::string &worker)
+{
+    dist::LeaseEvent e;
+    e.kind = dist::LeaseEvent::Kind::Expire;
+    e.index = index;
+    e.worker = worker;
+    std::ostringstream os;
+    dist::writeLeaseLine(os, e);
+    return os.str();
+}
+
+// ---------------------------------------------------------------- wire
+
+TEST(DistWire, ShardRequestRoundTripsThroughCanonicalSpecText)
+{
+    const SweepSpec spec = distSpec("wire", {{8, 0.5}, {4, 0.9}},
+                                    2000, 4000);
+    const std::vector<std::size_t> cells = {3, 0, 2};
+    const std::string body = dist::writeShardRequest(spec, cells);
+
+    const dist::ShardRequest req = dist::parseShardRequest(body);
+    EXPECT_EQ(req.cells, cells);
+
+    // The embedded spec survives canonically: re-serializing the
+    // parsed spec reproduces the exact text the worker's expansion
+    // memo keys on.
+    std::ostringstream sent, parsed;
+    writeSweepSpec(sent, spec);
+    writeSweepSpec(parsed, req.spec);
+    EXPECT_EQ(parsed.str(), sent.str());
+
+    EXPECT_THROW(dist::parseShardRequest("{\"schema\":\"nope\"}"),
+                 SimError);
+}
+
+TEST(DistWire, StreamLinesParseBackToTheirKinds)
+{
+    const dist::ShardLine hb = dist::parseShardLine(
+        dist::heartbeatLine().substr(0, dist::heartbeatLine().size() - 1));
+    EXPECT_EQ(hb.kind, dist::ShardLine::Kind::Heartbeat);
+
+    std::string done = dist::doneLine(5);
+    done.pop_back(); // strip '\n'
+    const dist::ShardLine dn = dist::parseShardLine(done);
+    EXPECT_EQ(dn.kind, dist::ShardLine::Kind::Done);
+    EXPECT_EQ(dn.cells, 5u);
+
+    std::string res = manifestLine(3, "key3");
+    res.pop_back();
+    const dist::ShardLine rl = dist::parseShardLine(res);
+    EXPECT_EQ(rl.kind, dist::ShardLine::Kind::Result);
+    EXPECT_EQ(rl.entry.index, 3u);
+    EXPECT_EQ(rl.entry.key, "key3");
+    EXPECT_EQ(rl.entry.result.workload, "w3");
+
+    EXPECT_THROW(dist::parseShardLine("{\"shard\":\"elfsim-shard-v1\","
+                                      "\"event\":\"frobnicate\"}"),
+                 SimError);
+    EXPECT_THROW(dist::parseShardLine("not json at all"), SimError);
+}
+
+// -------------------------------------------------------------- ledger
+
+TEST(DistLedger, LeaseLifecycleReplaysToCompletedAndOutstanding)
+{
+    std::ostringstream os;
+    os << leaseLine(0, "k0", "w0");   // leased ...
+    os << manifestLine(0, "k0");      // ... and completed
+    os << leaseLine(1, "k1", "w0");   // leased ...
+    os << expireLine(1, "w0");        // ... worker died
+    os << leaseLine(1, "k1", "w1");   // re-leased, in flight at EOF
+    os << leaseLine(2, "k2", "w1");   // in flight at EOF
+
+    std::istringstream is(os.str());
+    const dist::LedgerState state = dist::readLedger(is);
+    ASSERT_EQ(state.completed.size(), 1u);
+    EXPECT_EQ(state.completed[0].index, 0u);
+    ASSERT_EQ(state.outstanding.size(), 2u);
+    EXPECT_EQ(state.outstanding[0].index, 1u);
+    EXPECT_EQ(state.outstanding[0].worker, "w1");
+    EXPECT_EQ(state.outstanding[1].index, 2u);
+    EXPECT_EQ(state.leaseLines, 4u);
+    EXPECT_EQ(state.expireLines, 1u);
+    EXPECT_EQ(state.skipped, 0u);
+}
+
+TEST(DistLedger, AdversarialLinesAreSkippedNeverFatal)
+{
+    std::ostringstream os;
+    os << manifestLine(0, "first");
+    os << leaseLine(1, "k1", "w0");
+    os << "this is not json\n";                       // junk
+    os << manifestLine(1, "k1");                      // completes 1
+    os << "{\"ledger\":\"elfsim-ledger-v1\","
+          "\"event\":\"frobnicate\",\"index\":9,"
+          "\"worker\":\"w9\"}\n";                     // alien event
+    os << "{\"manifest\":\"elfsim-manifest-v9\","
+          "\"index\":5,\"key\":\"x\"}\n";             // alien schema
+    os << manifestLine(0, "second");                  // duplicate: wins
+    // A crash mid-append: the final line is torn in half, no newline.
+    const std::string torn = manifestLine(2, "k2");
+    os << torn.substr(0, torn.size() / 2);
+
+    std::istringstream is(os.str());
+    const dist::LedgerState state = dist::readLedger(is);
+    ASSERT_EQ(state.completed.size(), 2u);
+    EXPECT_EQ(state.completed[0].index, 0u);
+    EXPECT_EQ(state.completed[0].key, "second"); // last line wins
+    EXPECT_EQ(state.completed[1].index, 1u);
+    EXPECT_TRUE(state.outstanding.empty());
+    EXPECT_EQ(state.skipped, 4u);
+}
+
+TEST(DistLedger, PlainManifestReaderSurvivesInterleavedLedgerLines)
+{
+    // A ledger IS a valid resume manifest: the plain manifest reader
+    // must skip the scheduling lines (and any torn tail) and still
+    // return every completed cell.
+    std::ostringstream os;
+    os << leaseLine(0, "k0", "w0");
+    os << manifestLine(0, "k0");
+    os << leaseLine(1, "k1", "w1");
+    os << expireLine(1, "w1");
+    os << manifestLine(1, "k1");
+    os << "garbage line\n";
+    const std::string torn = manifestLine(2, "k2");
+    os << torn.substr(0, torn.size() / 2);
+
+    std::istringstream is(os.str());
+    const std::vector<ManifestEntry> entries = readManifest(is);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].index, 0u);
+    EXPECT_EQ(entries[1].index, 1u);
+}
+
+// -------------------------------------------- subset-merge invariant
+
+TEST(DistSubset, DisjointSubsetRunsMergeByteIdenticallyToFullRun)
+{
+    const SweepSpec spec = distSpec("subset", {{8, 0.5}, {4, 0.9}},
+                                    2000, 4000);
+    const std::string reference = referenceBytes(spec);
+    ExpandedSweep ex = expandSweep(spec);
+
+    SweepRunner a(1), b(1);
+    a.setBaseSeed(spec.baseSeed);
+    b.setBaseSeed(spec.baseSeed);
+    const std::vector<RunResult> ra = a.run(ex.jobs, {0, 3});
+    const std::vector<RunResult> rb = b.run(ex.jobs, {1, 2});
+
+    std::vector<RunResult> merged(ex.jobs.size());
+    merged[0] = ra[0];
+    merged[3] = ra[3];
+    merged[1] = rb[1];
+    merged[2] = rb[2];
+    EXPECT_EQ(mergedBytes(merged), reference);
+}
+
+// ------------------------------------------------- worker endpoints
+
+TEST(DistWorker, ShardEndpointStreamsManifestLinesAndDone)
+{
+    const SweepSpec spec = distSpec("shard", {{8, 0.5}, {4, 0.9}},
+                                    2000, 4000);
+    ExpandedSweep ex = expandSweep(spec);
+
+    service::ServiceConfig cfg;
+    cfg.worker = true;
+    cfg.jobs = 1;
+    cfg.heartbeatMs = 5;
+    service::SweepService svc(cfg);
+    svc.start();
+
+    const std::vector<std::size_t> cells = {0, 1, 2, 3};
+    const service::HttpResponse resp =
+        service::httpFetch("127.0.0.1", svc.port(), "POST", "/shard",
+                           dist::writeShardRequest(spec, cells));
+    ASSERT_EQ(resp.status, 200);
+
+    std::vector<RunResult> merged(ex.jobs.size());
+    std::size_t results = 0;
+    bool sawDone = false;
+    std::uint64_t doneCells = 0;
+    for (const std::string &line : splitLines(resp.body)) {
+        const dist::ShardLine sl = dist::parseShardLine(line);
+        if (sl.kind == dist::ShardLine::Kind::Result) {
+            ASSERT_LT(sl.entry.index, merged.size());
+            EXPECT_EQ(sl.entry.key,
+                      sweepJobKey(ex.jobs[sl.entry.index],
+                                  sl.entry.index, spec.baseSeed));
+            merged[sl.entry.index] = sl.entry.result;
+            ++results;
+        } else if (sl.kind == dist::ShardLine::Kind::Done) {
+            sawDone = true;
+            doneCells = sl.cells;
+        }
+    }
+    EXPECT_EQ(results, cells.size());
+    EXPECT_TRUE(sawDone);
+    EXPECT_EQ(doneCells, cells.size());
+    EXPECT_EQ(mergedBytes(merged), referenceBytes(spec));
+
+    svc.stop();
+}
+
+TEST(DistWorker, FleetEndpointsRequireWorkerMode)
+{
+    service::SweepService svc; // worker = false
+    svc.start();
+    const SweepSpec spec = distSpec("fleet403", {{8, 0.5}}, 2000, 4000);
+    EXPECT_EQ(service::httpFetch("127.0.0.1", svc.port(), "POST",
+                                 "/shard",
+                                 dist::writeShardRequest(spec, {0}))
+                  .status,
+              403);
+    EXPECT_EQ(service::httpFetch("127.0.0.1", svc.port(), "POST",
+                                 "/artifact/trace", "junk",
+                                 {{"x-elfsim-key", "00000000000000aa"}})
+                  .status,
+              403);
+    EXPECT_EQ(service::httpFetch("127.0.0.1", svc.port(), "POST",
+                                 "/artifact/ckpt", "junk",
+                                 {{"x-elfsim-name", "a.eckpt"}})
+                  .status,
+              403);
+    svc.stop();
+}
+
+TEST(DistWorker, BadShardsAndCorruptArtifactsAreRejected)
+{
+    service::ServiceConfig cfg;
+    cfg.worker = true;
+    cfg.jobs = 1;
+    service::SweepService svc(cfg);
+    svc.start();
+
+    const SweepSpec spec = distSpec("reject", {{8, 0.5}}, 2000, 4000);
+    // Grid has 2 cells (1 micro x 2 variants): index 9 is out of range.
+    EXPECT_EQ(service::httpFetch("127.0.0.1", svc.port(), "POST",
+                                 "/shard",
+                                 dist::writeShardRequest(spec, {9}))
+                  .status,
+              400);
+    // Empty cell set: a shard that runs nothing is a caller bug.
+    EXPECT_EQ(service::httpFetch("127.0.0.1", svc.port(), "POST",
+                                 "/shard",
+                                 dist::writeShardRequest(spec, {}))
+                  .status,
+              400);
+    // A corrupt trace image must be rejected, not silently demoted to
+    // a local recompile — that would break one-compile-per-fleet.
+    EXPECT_EQ(service::httpFetch("127.0.0.1", svc.port(), "POST",
+                                 "/artifact/trace", "not a trace",
+                                 {{"x-elfsim-key", "00000000000000aa"},
+                                  {"x-elfsim-name", "bad"}})
+                  .status,
+              400);
+    // No checkpoint directory configured: uploads have nowhere to go.
+    EXPECT_EQ(service::httpFetch("127.0.0.1", svc.port(), "POST",
+                                 "/artifact/ckpt", "junk",
+                                 {{"x-elfsim-name", "a.eckpt"}})
+                  .status,
+              400);
+    svc.stop();
+}
+
+// ----------------------------------------------------- coordinator
+
+TEST(DistCoordinator, MergesByteIdenticallyAndJournalsTheLedger)
+{
+    const SweepSpec spec = distSpec("coord", {{8, 0.5}, {4, 0.9}},
+                                    2000, 4000);
+
+    service::ServiceConfig wcfg;
+    wcfg.worker = true;
+    wcfg.jobs = 1;
+    service::SweepService w1(wcfg), w2(wcfg);
+    w1.start();
+    w2.start();
+
+    const std::string ledger = tmpPath("dist_coord_ledger.jsonl");
+    std::remove(ledger.c_str());
+
+    dist::CoordinatorConfig cfg;
+    cfg.workers = {{"127.0.0.1", w1.port()}, {"127.0.0.1", w2.port()}};
+    cfg.ledgerPath = ledger;
+    cfg.chunkCells = 1;
+    cfg.leaseSeconds = 30;
+    dist::SweepCoordinator coord(cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), referenceBytes(spec));
+    EXPECT_EQ(coord.stats().cellsTotal, 4u);
+    EXPECT_EQ(coord.stats().cellsRun, 4u);
+    EXPECT_EQ(coord.stats().cellsAdopted, 0u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+    EXPECT_EQ(coord.stats().chunksDispatched, 4u);
+    EXPECT_EQ(coord.stats().leasesExpired, 0u);
+
+    // The ledger replays to exactly the completed grid.
+    std::ifstream is(ledger);
+    ASSERT_TRUE(is.good());
+    const dist::LedgerState state = dist::readLedger(is);
+    EXPECT_EQ(state.completed.size(), 4u);
+    EXPECT_TRUE(state.outstanding.empty());
+    EXPECT_EQ(state.leaseLines, 4u);
+    EXPECT_EQ(state.skipped, 0u);
+
+    // Resume from the finished ledger: every cell is adopted, no
+    // worker is ever contacted (the endpoint below is unreachable).
+    dist::CoordinatorConfig rcfg;
+    rcfg.workers = {{"127.0.0.1", 9}};
+    rcfg.ledgerPath = ledger;
+    rcfg.resume = true;
+    dist::SweepCoordinator resumed(rcfg);
+    const std::vector<RunResult> adopted = resumed.run(spec);
+    EXPECT_EQ(mergedBytes(adopted), referenceBytes(spec));
+    EXPECT_EQ(resumed.stats().cellsAdopted, 4u);
+    EXPECT_EQ(resumed.stats().cellsRun, 0u);
+
+    w1.stop();
+    w2.stop();
+    std::remove(ledger.c_str());
+}
+
+TEST(DistCoordinator, SpawnedFleetMergesByteIdentically)
+{
+    const std::string bin = workerBinary();
+    if (bin.empty())
+        GTEST_SKIP() << "ELFSIM_BENCH_DIR not set";
+
+    const SweepSpec spec = distSpec("fleet", {{7, 0.45}, {5, 0.85}},
+                                    2000, 4000);
+    std::vector<dist::LocalWorker> fleet =
+        dist::spawnLocalWorkers(bin, 2, 1);
+
+    dist::CoordinatorConfig cfg;
+    for (const dist::LocalWorker &w : fleet)
+        cfg.workers.push_back({"127.0.0.1", w.port});
+    cfg.leaseSeconds = 30;
+    dist::SweepCoordinator coord(cfg);
+    std::vector<RunResult> results;
+    try {
+        results = coord.run(spec);
+    } catch (...) {
+        dist::stopLocalWorkers(fleet);
+        throw;
+    }
+    dist::stopLocalWorkers(fleet);
+
+    EXPECT_EQ(mergedBytes(results), referenceBytes(spec));
+    EXPECT_EQ(coord.stats().cellsRun, 4u);
+}
+
+TEST(DistCoordinator, KillNineWorkerExpiresLeasesAndReassignsCells)
+{
+    const std::string bin = workerBinary();
+    if (bin.empty())
+        GTEST_SKIP() << "ELFSIM_BENCH_DIR not set";
+
+    // 8 cells so the victim provably completes work before it dies.
+    const SweepSpec spec =
+        distSpec("kill9",
+                 {{10, 0.4}, {6, 0.8}, {12, 0.3}, {5, 0.6}},
+                 2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    std::vector<dist::LocalWorker> fleet =
+        dist::spawnLocalWorkers(bin, 2, 1);
+    const std::string victimId =
+        "127.0.0.1:" + std::to_string(fleet[0].port);
+    const pid_t victimPid = fleet[0].pid;
+
+    dist::CoordinatorConfig cfg;
+    for (const dist::LocalWorker &w : fleet)
+        cfg.workers.push_back({"127.0.0.1", w.port});
+    cfg.ledgerPath = tmpPath("dist_kill9_ledger.jsonl");
+    std::remove(cfg.ledgerPath.c_str());
+    cfg.chunkCells = 1;
+    cfg.leaseSeconds = 10;
+    // Retire the victim on its first failure so its cells requeue
+    // exactly once — the merge must not depend on retry accounting.
+    cfg.maxWorkerFailures = 1;
+    cfg.maxCellRetries = 16;
+
+    dist::SweepCoordinator coord(cfg);
+    std::atomic<unsigned> victimLeases{0};
+    coord.setLeaseObserver(
+        [&](const std::vector<std::size_t> &, const std::string &id)
+        {
+            // Let the victim finish its first chunk, then SIGKILL it
+            // the moment its second lease is journaled: that lease
+            // can only be satisfied by expiry and reassignment.
+            if (id == victimId && ++victimLeases == 2)
+                ::kill(victimPid, SIGKILL);
+        });
+
+    std::vector<RunResult> results;
+    try {
+        results = coord.run(spec);
+    } catch (...) {
+        dist::stopLocalWorkers(fleet);
+        throw;
+    }
+    dist::stopLocalWorkers(fleet);
+
+    EXPECT_GE(victimLeases.load(), 2u);
+    EXPECT_GE(coord.stats().leasesExpired, 1u);
+    EXPECT_EQ(coord.stats().workersDead, 1u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+    EXPECT_EQ(coord.stats().cellsRun, 8u);
+    EXPECT_EQ(mergedBytes(results), reference);
+
+    // The ledger tells the same story: expiries recorded, every cell
+    // completed, nothing outstanding.
+    std::ifstream is(cfg.ledgerPath);
+    ASSERT_TRUE(is.good());
+    const dist::LedgerState state = dist::readLedger(is);
+    EXPECT_EQ(state.completed.size(), 8u);
+    EXPECT_TRUE(state.outstanding.empty());
+    EXPECT_GE(state.expireLines, 1u);
+    std::remove(cfg.ledgerPath.c_str());
+}
+
+TEST(DistCoordinator, FleetCompilesEachProgramOnce)
+{
+    const std::string bin = workerBinary();
+    if (bin.empty())
+        GTEST_SKIP() << "ELFSIM_BENCH_DIR not set";
+    if (!TraceCache::instance().enabled())
+        GTEST_SKIP() << "trace compilation disabled in this environment";
+
+    // Unique generator args + budget: nothing earlier in this process
+    // (or in the fresh workers) has compiled these traces.
+    const SweepSpec spec = distSpec("fleetcompile",
+                                    {{11, 0.35}, {9, 0.65}},
+                                    2500, 4500);
+
+    std::vector<dist::LocalWorker> fleet =
+        dist::spawnLocalWorkers(bin, 2, 1);
+
+    dist::CoordinatorConfig cfg;
+    for (const dist::LocalWorker &w : fleet)
+        cfg.workers.push_back({"127.0.0.1", w.port});
+    cfg.chunkCells = 1;
+    cfg.leaseSeconds = 30;
+    dist::SweepCoordinator coord(cfg);
+
+    const TraceStats before = TraceCache::instance().stats();
+    std::vector<RunResult> results;
+    std::uint64_t workerCompiles = 0, workerHits = 0, workerShards = 0;
+    try {
+        results = coord.run(spec);
+        for (const dist::LocalWorker &w : fleet) {
+            const service::HttpResponse resp = service::httpFetch(
+                "127.0.0.1", w.port, "GET", "/stats");
+            ASSERT_EQ(resp.status, 200);
+            const json::Value doc = json::parse(resp.body);
+            workerCompiles +=
+                doc.at("trace").at("trace.compiles").asU64();
+            workerHits +=
+                doc.at("trace").at("trace.cache_hits").asU64();
+            workerShards +=
+                doc.at("service").at("service.shards").asU64();
+        }
+    } catch (...) {
+        dist::stopLocalWorkers(fleet);
+        throw;
+    }
+    dist::stopLocalWorkers(fleet);
+    const TraceStats delta = TraceCache::instance().stats().delta(before);
+
+    EXPECT_EQ(mergedBytes(results), referenceBytes(spec));
+
+    // One compile per distinct program, fleet-wide: both live in the
+    // coordinator; the workers only install the shipped images and
+    // hit their memos.
+    EXPECT_EQ(delta.compiles, 2u);
+    EXPECT_EQ(workerCompiles, 0u);
+    EXPECT_GE(workerHits, 1u);
+    EXPECT_GE(workerShards, 1u);
+    EXPECT_EQ(coord.stats().tracesShipped, 4u); // 2 programs x 2 workers
+}
+
+} // namespace
+} // namespace elfsim

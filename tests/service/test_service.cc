@@ -253,6 +253,45 @@ TEST(Service, ClientDisconnectDoesNotKillTheDaemon)
     svc.stop();
 }
 
+TEST(Service, StatsExposeQueueDepthThroughputAndFleetCounters)
+{
+    SweepService svc;
+    svc.start();
+
+    const HttpResponse r = service::httpFetch(
+        "127.0.0.1", svc.port(), "POST", "/sweep",
+        specBody(tinySpec()));
+    ASSERT_EQ(r.status, 200);
+
+    // The sweep counters land just after the last response byte goes
+    // out; poll briefly instead of racing them.
+    json::Value doc;
+    for (int tries = 0; tries < 100; ++tries) {
+        const HttpResponse st = service::httpFetch(
+            "127.0.0.1", svc.port(), "GET", "/stats", {});
+        ASSERT_EQ(st.status, 200);
+        doc = json::parse(st.body);
+        if (doc.at("service").at("service.sweeps").asU64() >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    const json::Value &service = doc.at("service");
+    EXPECT_EQ(service.at("service.sweeps").asU64(), 1u);
+
+    // Scheduling observability: an idle daemon reports an empty
+    // queue and no in-flight cells, and the last finished sweep's
+    // cell throughput is a positive rate.
+    EXPECT_EQ(service.at("service.queue_depth").asU64(), 0u);
+    EXPECT_EQ(service.at("service.inflight_cells").asU64(), 0u);
+    EXPECT_GT(service.at("service.cells_per_sec").asDouble(), 0.0);
+
+    // The distributed-fleet counters exist (and stay zero) on a
+    // plain, non-worker daemon.
+    EXPECT_EQ(service.at("service.shards").asU64(), 0u);
+    EXPECT_EQ(service.at("service.artifacts").asU64(), 0u);
+    svc.stop();
+}
+
 TEST(Service, InjectedFaultFlowsThroughKeepGoingPolicy)
 {
     // Job 0 of every sweep throws; the spec's keep-going policy turns

@@ -58,7 +58,7 @@ TEST(BenchCli, HelpExitsZeroAndUnknownFlagExitsTwo)
           "bench_fig6_nodcf", "bench_fig7_elf_variants",
           "bench_fig8_lelf_uelf", "bench_fig9_geomean",
           "bench_ablation_elf", "bench_ablation_dcf",
-          "bench_throughput", "elfsimd"})
+          "bench_throughput", "elfsimd", "elfsim_coord"})
         expectUniformCli(benchDir, name);
 }
 
