@@ -60,11 +60,36 @@ printCoordUsage(const char *argv0, std::FILE *to)
         "  --resume PATH   like --ledger, but first adopt the ok "
         "cells already in it\n"
         "  --lease S       declare a silent worker dead after S "
-        "seconds (default 30)\n"
+        "seconds (default 30;\n"
+        "                  must exceed the worker heartbeat period)\n"
         "  --chunk N       cells per lease (default: pending / (4 * "
         "workers))\n"
+        "  --hedge MS      idle workers duplicate straggler cells "
+        "after MS ms\n"
+        "                  (first completion wins; default off)\n"
+        "  --worker-failures N  chunk failures before a worker is "
+        "quarantined\n"
+        "                  (default 3)\n"
+        "  --cell-retries N  lease expiries before a cell degrades to "
+        "failed\n"
+        "                  (default 3)\n"
+        "  --probes N      health probes before a quarantined worker "
+        "is declared\n"
+        "                  dead (default 5)\n"
+        "  --probe-base-ms MS  probation-probe backoff base (default "
+        "100)\n"
+        "  --backoff-seed N  seed of the jittered-backoff streams "
+        "(replayable)\n"
+        "  --worker-heartbeat-ms MS  the fleet's heartbeat period "
+        "(default 1000;\n"
+        "                  --spawn forwards it to its workers)\n"
+        "  --no-fallback   fail leftover cells instead of finishing "
+        "them\n"
+        "                  in-process when the whole fleet is lost\n"
         "  --json PATH     write the merged elfsim-results-v2 "
         "document\n"
+        "  --stats-json PATH  write the scheduling counters "
+        "(elfsim-coordstats-v1)\n"
         "  --trace-cache D / --no-trace / --ckpt-cache D / --no-ckpt\n"
         "                  artifact-cache knobs (as in the benches); "
         "--spawn passes\n"
@@ -178,11 +203,16 @@ int
 main(int argc, char **argv)
 {
     std::string specPath, workerList, workerBin, ledgerPath, jsonPath;
+    std::string statsJsonPath;
     std::string traceCacheDir, ckptCacheDir;
     bool noTrace = false, noCkpt = false;
-    bool local = false, resume = false;
+    bool local = false, resume = false, noFallback = false;
     std::size_t spawnCount = 0, chunkCells = 0;
     unsigned workerJobs = 1, jobs = 0, leaseSeconds = 30;
+    unsigned hedgeMs = 0, workerFailures = 3, cellRetries = 3;
+    unsigned probes = 5, probeBaseMs = 100, heartbeatMs = 1000;
+    bool haveBackoffSeed = false;
+    std::uint64_t backoffSeed = 0;
 
     const auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -221,8 +251,34 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--chunk"))
             chunkCells = std::size_t(
                 parseCount(argv[0], "--chunk", value(i)));
+        else if (!std::strcmp(argv[i], "--hedge"))
+            hedgeMs = unsigned(
+                parseCount(argv[0], "--hedge", value(i), 3600000));
+        else if (!std::strcmp(argv[i], "--worker-failures"))
+            workerFailures = unsigned(parseCount(
+                argv[0], "--worker-failures", value(i), UINT_MAX));
+        else if (!std::strcmp(argv[i], "--cell-retries"))
+            cellRetries = unsigned(parseCount(
+                argv[0], "--cell-retries", value(i), UINT_MAX));
+        else if (!std::strcmp(argv[i], "--probes"))
+            probes = unsigned(
+                parseCount(argv[0], "--probes", value(i), UINT_MAX));
+        else if (!std::strcmp(argv[i], "--probe-base-ms"))
+            probeBaseMs = unsigned(parseCount(
+                argv[0], "--probe-base-ms", value(i), 3600000));
+        else if (!std::strcmp(argv[i], "--backoff-seed")) {
+            backoffSeed = parseCount(argv[0], "--backoff-seed",
+                                     value(i));
+            haveBackoffSeed = true;
+        } else if (!std::strcmp(argv[i], "--worker-heartbeat-ms"))
+            heartbeatMs = unsigned(parseCount(
+                argv[0], "--worker-heartbeat-ms", value(i), 3600000));
+        else if (!std::strcmp(argv[i], "--no-fallback"))
+            noFallback = true;
         else if (!std::strcmp(argv[i], "--json"))
             jsonPath = value(i);
+        else if (!std::strcmp(argv[i], "--stats-json"))
+            statsJsonPath = value(i);
         else if (!std::strcmp(argv[i], "--trace-cache"))
             traceCacheDir = value(i);
         else if (!std::strcmp(argv[i], "--no-trace"))
@@ -256,6 +312,15 @@ main(int argc, char **argv)
                      "--local\n",
                      argv[0]);
         printCoordUsage(argv[0], stderr);
+        return 2;
+    }
+    // A lease the heartbeats can never reset would expire every
+    // chunk: reject the configuration instead of thrashing.
+    if (!local && std::uint64_t(leaseSeconds) * 1000 <= heartbeatMs) {
+        std::fprintf(stderr,
+                     "%s: --lease %us must exceed the worker "
+                     "heartbeat period (%ums)\n",
+                     argv[0], leaseSeconds, heartbeatMs);
         return 2;
     }
 
@@ -322,6 +387,10 @@ main(int argc, char **argv)
         }
         if (noTrace)
             extra.push_back("--no-trace");
+        if (heartbeatMs != 1000) {
+            extra.push_back("--heartbeat-ms");
+            extra.push_back(std::to_string(heartbeatMs));
+        }
         try {
             fleet = dist::spawnLocalWorkers(
                 workerBin.empty() ? defaultWorkerBin(argv[0])
@@ -344,6 +413,15 @@ main(int argc, char **argv)
     ccfg.resume = resume;
     ccfg.leaseSeconds = leaseSeconds;
     ccfg.chunkCells = chunkCells;
+    ccfg.hedgeDelayMs = hedgeMs;
+    ccfg.maxWorkerFailures = workerFailures;
+    ccfg.maxCellRetries = cellRetries;
+    ccfg.quarantineProbes = probes;
+    ccfg.probeBaseMs = probeBaseMs;
+    ccfg.workerHeartbeatMs = heartbeatMs;
+    ccfg.localFallback = !noFallback;
+    if (haveBackoffSeed)
+        ccfg.backoffSeed = backoffSeed;
 
     dist::SweepCoordinator coord(ccfg);
     int rc = 0;
@@ -351,18 +429,30 @@ main(int argc, char **argv)
         const std::vector<RunResult> results = coord.run(spec);
         const dist::CoordStats &st = coord.stats();
         std::printf("distributed sweep: %zu cells (%zu adopted, %zu "
-                    "run, %zu failed-by-fleet) across %zu worker(s) "
-                    "in %.2f s — %.1f cells/s; %zu chunk(s), %zu "
-                    "lease(s) expired, %zu worker(s) died\n",
+                    "run, %zu in-process, %zu failed-by-fleet) "
+                    "across %zu worker(s) in %.2f s — %.1f cells/s; "
+                    "%zu chunk(s), %zu lease(s) expired, %zu "
+                    "requeue(s), %zu hedge(s), %zu quarantine(s), "
+                    "%zu readmission(s), %zu worker(s) died\n",
                     st.cellsTotal, st.cellsAdopted, st.cellsRun,
-                    st.cellsSynthFailed, ccfg.workers.size(),
-                    st.wallSeconds, st.cellsPerSecond(),
-                    st.chunksDispatched, st.leasesExpired,
-                    st.workersDead);
+                    st.cellsFallback, st.cellsSynthFailed,
+                    ccfg.workers.size(), st.wallSeconds,
+                    st.cellsPerSecond(), st.chunksDispatched,
+                    st.leasesExpired, st.requeues, st.hedges,
+                    st.quarantines, st.readmissions, st.workersDead);
         printFleetTraceStats(ccfg.workers);
+        if (!statsJsonPath.empty()) {
+            std::ofstream os(statsJsonPath, std::ios::binary);
+            dist::writeCoordStatsJson(os, st);
+            if (!os) {
+                std::fprintf(stderr, "%s: cannot write '%s'\n",
+                             argv[0], statsJsonPath.c_str());
+                rc = 1;
+            }
+        }
         if (!writeMerged(results))
             rc = 1;
-        else
+        else if (rc == 0)
             rc = resultsExit(results);
     } catch (const SimError &e) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());

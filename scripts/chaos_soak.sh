@@ -1,0 +1,258 @@
+#!/usr/bin/env bash
+# Chaos soak: seeded fault-injection rounds against a spawned
+# 2-worker fleet, each byte-diffed against a --local run.
+#
+#   scripts/chaos_soak.sh                # 3 rounds per fault class
+#   scripts/chaos_soak.sh --rounds 2     # repeat every class sweep
+#   scripts/chaos_soak.sh --out DIR      # artifacts (default
+#                                        # build/chaos-soak)
+#
+# Every round arms one $ELFSIM_FAULT site (connect refusal,
+# mid-stream disconnect, truncation at a byte offset, corrupted
+# artifact payload, dropped heartbeat, slow sends), runs the grid on
+# a spawned fleet, and requires:
+#
+#   1. exit 0 — recovery (backoff, requeue, re-upload) finished the
+#      grid without degrading a cell;
+#   2. the merged elfsim-results-v2 document is byte-identical to the
+#      fault-free --local reference;
+#   3. the lease ledger replays coherently
+#      (scripts/check_results.py --ledger).
+#
+# Three scenario rounds additionally assert the scheduling counters:
+# quarantine + probation re-admission, hedged-dispatch dedup, and
+# whole-fleet loss falling back in-process.
+#
+# Faults and backoff schedules are seeded (the site grammar is
+# deterministic, --backoff-seed pins the jitter), so any failing
+# round replays with the printed command line.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS=1
+OUT=build/chaos-soak
+COORD=build/bench/elfsim_coord
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --rounds)
+            ROUNDS="$2"
+            shift 2
+            ;;
+        --out)
+            OUT="$2"
+            shift 2
+            ;;
+        *)
+            echo "usage: $0 [--rounds N] [--out DIR]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+if [ ! -x "$COORD" ]; then
+    echo "$COORD not built (cmake --build build)" >&2
+    exit 1
+fi
+mkdir -p "$OUT"
+
+# A small but real grid: 3 generated programs x {DCF, U-ELF}; jobs=1
+# keeps every run (local and worker-side) single-threaded so wall
+# time stays honest. Cells 0..5 in spec order; with the trace cache
+# on, each worker receives one artifact upload per program before its
+# first shard, so droppable-event ordinals 1..3 are uploads and the
+# first stream event of a worker is ordinal 4.
+SPEC="$OUT/chaos.spec.json"
+cat > "$SPEC" <<'EOF'
+{
+  "schema": "elfsim-sweepspec-v1",
+  "name": "chaos_soak",
+  "jobs": 1,
+  "base_seed": 7,
+  "run": { "warmup_insts": 2000, "measure_insts": 4000 },
+  "groups": [
+    {
+      "workloads": [
+        { "micro": "random_branch_loop", "args": [10, 0.5] },
+        { "micro": "random_branch_loop", "args": [14, 0.35] },
+        { "micro": "random_branch_loop", "args": [7, 0.65] }
+      ],
+      "configs": [ { "variant": "DCF" }, { "variant": "U-ELF" } ]
+    }
+  ]
+}
+EOF
+
+# The hedge scenario gets a longer 2-cell grid: both primaries start
+# together and the injected sleeps (every matching 'slow' entry fires
+# per poll) make cell 1 straggle by ~100 ms, far beyond scheduling
+# noise, so the idle worker reliably duplicates it. 'slow' burns wall
+# time only — the reference bytes do not change.
+HSPEC="$OUT/hedge.spec.json"
+cat > "$HSPEC" <<'EOF'
+{
+  "schema": "elfsim-sweepspec-v1",
+  "name": "chaos_hedge",
+  "jobs": 1,
+  "base_seed": 7,
+  "run": { "warmup_insts": 2000, "measure_insts": 48000 },
+  "groups": [
+    {
+      "workloads": [
+        { "micro": "random_branch_loop", "args": [12, 0.45] }
+      ],
+      "configs": [ { "variant": "DCF" }, { "variant": "U-ELF" } ]
+    }
+  ]
+}
+EOF
+
+echo "== local reference runs"
+"$COORD" --spec "$SPEC" --local --json "$OUT/ref.json" >/dev/null
+"$COORD" --spec "$HSPEC" --local --json "$OUT/ref.hedge.json" \
+    >/dev/null
+
+PASS=0
+FAILED=()
+
+# run_round NAME FAULT SPEC REF SEED [extra coordinator args...]
+run_round() {
+    local name="$1" fault="$2" spec="$3" ref="$4" seed="$5"
+    shift 5
+    local json="$OUT/$name.json"
+    local ledger="$OUT/$name.ledger.jsonl"
+    local stats="$OUT/$name.stats.json"
+    local log="$OUT/$name.log"
+    rm -f "$ledger"
+    local status=0
+    ELFSIM_FAULT="$fault" "$COORD" --spec "$spec" --spawn 2 \
+        --chunk 1 --backoff-seed "$seed" --ledger "$ledger" \
+        --json "$json" --stats-json "$stats" "$@" \
+        >"$log" 2>&1 || status=$?
+    if [ "$status" -ne 0 ]; then
+        FAILED+=("$name: exit $status (fault '$fault', see $log)")
+        return 1
+    fi
+    if ! cmp -s "$json" "$ref"; then
+        FAILED+=("$name: merged bytes differ from the local run")
+        return 1
+    fi
+    if ! python3 scripts/check_results.py --ledger "$ledger" \
+        >/dev/null; then
+        FAILED+=("$name: ledger incoherent ($ledger)")
+        return 1
+    fi
+    PASS=$((PASS + 1))
+    echo "   ok: $name (fault '$fault', seed $seed)"
+    return 0
+}
+
+# expect_counter NAME COUNTER MIN [MAX]
+expect_counter() {
+    local name="$1" counter="$2" min="$3" max="${4:-}"
+    if ! python3 - "$OUT/$name.stats.json" "$counter" "$min" \
+        "$max" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+got = doc["dist"]["dist." + sys.argv[2]]
+lo = int(sys.argv[3])
+hi = int(sys.argv[4]) if sys.argv[4] else None
+if got < lo or (hi is not None and got > hi):
+    want = f">= {lo}" if hi is None else f"in [{lo}, {hi}]"
+    sys.exit(f"{sys.argv[2]} = {got}, want {want}")
+PY
+    then
+        FAILED+=("$name: counter $counter out of range")
+        return 1
+    fi
+    return 0
+}
+
+for r in $(seq 1 "$ROUNDS"); do
+    echo "== round set $r/$ROUNDS: one sweep per network fault class"
+    s=$((1000 * r))
+    # Refused connects: first N attempts bounce; the seeded backoff
+    # reconnects and the grid still completes.
+    run_round "r${r}_netrefuse_a" "netrefuse:0:1" "$SPEC" \
+        "$OUT/ref.json" $((s + 1)) || true
+    run_round "r${r}_netrefuse_b" "netrefuse:1:2" "$SPEC" \
+        "$OUT/ref.json" $((s + 2)) || true
+    run_round "r${r}_netrefuse_c" "netrefuse:0:3" "$SPEC" \
+        "$OUT/ref.json" $((s + 3)) || true
+    # Mid-stream disconnect: ordinal 1 = an artifact upload, 4 = the
+    # worker's first shard stream line, 6 = deep in the stream.
+    run_round "r${r}_netdrop_a" "netdrop:0:1" "$SPEC" \
+        "$OUT/ref.json" $((s + 4)) || true
+    run_round "r${r}_netdrop_b" "netdrop:0:4" "$SPEC" \
+        "$OUT/ref.json" $((s + 5)) || true
+    run_round "r${r}_netdrop_c" "netdrop:1:6" "$SPEC" \
+        "$OUT/ref.json" $((s + 6)) || true
+    # Truncation at a raw byte offset: 0 = nothing arrives, then two
+    # cuts inside the response framing / first result line.
+    run_round "r${r}_nettrunc_a" "nettrunc:0:0" "$SPEC" \
+        "$OUT/ref.json" $((s + 7)) || true
+    run_round "r${r}_nettrunc_b" "nettrunc:1:25" "$SPEC" \
+        "$OUT/ref.json" $((s + 8)) || true
+    run_round "r${r}_nettrunc_c" "nettrunc:0:300" "$SPEC" \
+        "$OUT/ref.json" $((s + 9)) || true
+    # Corrupted artifact payload: the worker's checksum rejects the
+    # Nth upload and the coordinator re-sends it.
+    run_round "r${r}_netcorrupt_a" "netcorrupt:0:1" "$SPEC" \
+        "$OUT/ref.json" $((s + 10)) || true
+    run_round "r${r}_netcorrupt_b" "netcorrupt:1:2" "$SPEC" \
+        "$OUT/ref.json" $((s + 11)) || true
+    run_round "r${r}_netcorrupt_c" "netcorrupt:0:3" "$SPEC" \
+        "$OUT/ref.json" $((s + 12)) || true
+    # Dropped heartbeat: the receive timeout fires as if the worker
+    # went silent for a whole lease; the chunk requeues.
+    run_round "r${r}_nethb_a" "nethb:0:4" "$SPEC" \
+        "$OUT/ref.json" $((s + 13)) || true
+    run_round "r${r}_nethb_b" "nethb:1:4" "$SPEC" \
+        "$OUT/ref.json" $((s + 14)) || true
+    run_round "r${r}_nethb_c" "nethb:0:5" "$SPEC" \
+        "$OUT/ref.json" $((s + 15)) || true
+    # Slow sends: latency, not loss — nothing should requeue.
+    run_round "r${r}_netslow_a" "netslow:0:0" "$SPEC" \
+        "$OUT/ref.json" $((s + 16)) || true
+    run_round "r${r}_netslow_b" "netslow:1:3" "$SPEC" \
+        "$OUT/ref.json" $((s + 17)) || true
+    run_round "r${r}_netslow_c" "netslow:*:1" "$SPEC" \
+        "$OUT/ref.json" $((s + 18)) || true
+
+    echo "== round set $r/$ROUNDS: recovery scenarios"
+    # Quarantine + probation: one dropped stream quarantines worker 0
+    # (failure budget 1); the health probe re-admits it and it
+    # finishes real work afterwards.
+    if run_round "r${r}_quarantine" "netdrop:0:4" "$SPEC" \
+        "$OUT/ref.json" $((s + 19)) \
+        --worker-failures 1 --probe-base-ms 50; then
+        expect_counter "r${r}_quarantine" quarantines 1 || true
+        expect_counter "r${r}_quarantine" readmissions 1 || true
+        expect_counter "r${r}_quarantine" workers_dead 0 0 || true
+    fi
+    # Hedged dispatch: cell 1 straggles ~100 ms; the idle worker
+    # duplicates it after 2 ms, first completion wins, and the
+    # loser's lease expires without a requeue.
+    if run_round "r${r}_hedge" \
+        "slow:1:0,slow:1:0,slow:1:0,slow:1:0,slow:1:0,slow:1:0" \
+        "$HSPEC" "$OUT/ref.hedge.json" $((s + 20)) --hedge 2; then
+        expect_counter "r${r}_hedge" hedges 1 || true
+        expect_counter "r${r}_hedge" requeues 0 0 || true
+    fi
+    # Fleet loss: every connect to every worker refused; both drain
+    # their probe budgets, die, and the coordinator finishes the grid
+    # in-process — still byte-identical to --local.
+    if run_round "r${r}_fleetloss" "netrefuse:*:0" "$SPEC" \
+        "$OUT/ref.json" $((s + 21)) \
+        --worker-failures 1 --probes 2 --probe-base-ms 50; then
+        expect_counter "r${r}_fleetloss" cells_fallback 6 6 || true
+        expect_counter "r${r}_fleetloss" workers_dead 2 2 || true
+        expect_counter "r${r}_fleetloss" cells_run 0 0 || true
+    fi
+done
+
+TOTAL=$((ROUNDS * 21))
+echo "== chaos soak: $PASS/$TOTAL rounds ok"
+if [ ${#FAILED[@]} -gt 0 ]; then
+    printf 'FAILED %s\n' "${FAILED[@]}" >&2
+    exit 1
+fi

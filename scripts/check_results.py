@@ -37,6 +37,13 @@ Usage:
         every line must be a well-formed lease/expire event or an
         elfsim-manifest-v1 completion line. A torn final line is
         tolerated (a crash mid-append); torn interior lines are not.
+        The lease/expire replay must also cohere: no cell may be
+        leased twice without an intervening expire, an expire needs
+        an active lease to expire, and every expired lease must be
+        resolved — requeued under a later lease, or completed by a
+        manifest line. Hedge lines ("hedge": true) are redundant
+        racers and exempt from the overlap rules. Leases still
+        active at end of file are fine (a crash tolerates them).
 
 Exits non-zero on the first violation. Stdlib only.
 """
@@ -411,7 +418,7 @@ def check_stream_document(path, text):
 
 def check_ledger_line(path, no, obj):
     """One ledger scheduling line ({"ledger": ...}); returns the
-    (event, index) pair for the replay bookkeeping."""
+    (event, index, hedge) triple for the replay bookkeeping."""
     where = f"line {no}"
     event = obj.get("event")
     if event not in ("lease", "expire"):
@@ -423,7 +430,10 @@ def check_ledger_line(path, no, obj):
     worker = obj.get("worker")
     if not isinstance(worker, str) or not worker:
         fail(path, f"{where}: worker missing or empty")
-    allowed = {"ledger", "event", "index", "worker"}
+    hedge = obj.get("hedge", False)
+    if not isinstance(hedge, bool):
+        fail(path, f"{where}: hedge is not a boolean")
+    allowed = {"ledger", "event", "index", "worker", "hedge"}
     if event == "lease":
         key = obj.get("key")
         if not isinstance(key, str) or not key:
@@ -436,7 +446,7 @@ def check_ledger_line(path, no, obj):
     for k in obj:
         if k not in allowed:
             fail(path, f"{where}: unknown ledger field {k!r}")
-    return event, index
+    return event, index, hedge
 
 
 def check_ledger_manifest_line(path, no, obj):
@@ -459,8 +469,9 @@ def check_ledger_manifest_line(path, no, obj):
 def check_ledger_file(path, text):
     lines = text.split("\n")
     completed = set()
-    outstanding = {}
-    n_lease = n_expire = 0
+    outstanding = {}       # index -> line no of the active lease
+    unresolved = {}        # index -> line no of an unresolved expire
+    n_lease = n_expire = n_hedge = 0
     torn_tail = False
     for no, line in enumerate(lines, 1):
         if not line.strip():
@@ -481,14 +492,33 @@ def check_ledger_file(path, text):
                 fail(path, f"line {no}: ledger schema is "
                            f"{obj['ledger']!r}, expected "
                            f"{LEDGER_SCHEMA!r}")
-            event, index = check_ledger_line(path, no, obj)
+            event, index, hedge = check_ledger_line(path, no, obj)
+            if hedge:
+                # A hedge duplicates a cell another worker already
+                # holds; it never owns the cell's scheduling state,
+                # so it is exempt from the overlap rules.
+                n_hedge += 1
+                continue
             if event == "lease":
                 n_lease += 1
-                if index not in completed:
-                    outstanding[index] = obj["worker"]
+                if index in outstanding:
+                    fail(path, f"line {no}: cell {index} leased "
+                               f"twice without an intervening expire "
+                               f"(active lease at line "
+                               f"{outstanding[index]})")
+                if index in completed:
+                    fail(path, f"line {no}: cell {index} leased "
+                               f"after completion")
+                # A re-lease is the requeue that resolves an expire.
+                unresolved.pop(index, None)
+                outstanding[index] = no
             else:
                 n_expire += 1
-                outstanding.pop(index, None)
+                if index not in outstanding:
+                    fail(path, f"line {no}: expire for cell {index} "
+                               f"without an active lease")
+                outstanding.pop(index)
+                unresolved[index] = no
         elif obj.get("manifest") is not None:
             if obj["manifest"] != MANIFEST_SCHEMA:
                 fail(path, f"line {no}: manifest schema is "
@@ -497,12 +527,20 @@ def check_ledger_file(path, text):
             index = check_ledger_manifest_line(path, no, obj)
             completed.add(index)
             outstanding.pop(index, None)
+            # A degraded (synth-failed) cell resolves its final
+            # expire with a manifest line instead of a requeue.
+            unresolved.pop(index, None)
         else:
             fail(path, f"line {no}: neither a ledger event nor a "
                        f"manifest completion line")
+    if unresolved:
+        index, no = next(iter(unresolved.items()))
+        fail(path, f"{len(unresolved)} expired lease(s) neither "
+                   f"requeued nor completed (first: cell {index}, "
+                   f"expired at line {no})")
     print(f"{path}: OK ({len(completed)} completed cells, "
           f"{n_lease} leases, {n_expire} expiries, "
-          f"{len(outstanding)} outstanding"
+          f"{n_hedge} hedge lines, {len(outstanding)} outstanding"
           f"{', torn final line' if torn_tail else ''})")
 
 

@@ -7,6 +7,10 @@
 #   scripts/run_all.sh --dist-smoke     # also shard one grid across a
 #                                       # 2-worker fleet and byte-diff
 #                                       # the merge vs a local run
+#   scripts/run_all.sh --chaos-smoke    # also run one seeded
+#                                       # fault-injection sweep against
+#                                       # a spawned fleet
+#                                       # (scripts/chaos_soak.sh)
 #
 # Sweep thread count: --jobs N beats $ELFSIM_JOBS beats nproc.
 set -euo pipefail
@@ -14,6 +18,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${ELFSIM_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 DIST_SMOKE=0
+CHAOS_SMOKE=0
 EXTRA=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -23,6 +28,10 @@ while [ $# -gt 0 ]; do
             ;;
         --dist-smoke)
             DIST_SMOKE=1
+            shift
+            ;;
+        --chaos-smoke)
+            CHAOS_SMOKE=1
             shift
             ;;
         *)
@@ -187,6 +196,16 @@ if [ "$DIST_SMOKE" -eq 1 ]; then
                 || FAILED+=("dist smoke (ledger check)")
         fi
     fi
+fi
+
+# Opt-in chaos smoke: one seeded round per fault class (plus the
+# quarantine / hedge / fleet-loss scenarios) against a spawned
+# 2-worker fleet; every merged document must be byte-identical to a
+# local run. scripts/chaos_soak.sh alone runs the longer soak.
+if [ "$CHAOS_SMOKE" -eq 1 ]; then
+    echo "######## chaos smoke (seeded fault injection)"
+    scripts/chaos_soak.sh --rounds 1 --out "$RESULTS/chaos-soak" \
+        || FAILED+=("chaos smoke")
 fi
 
 if [ ${#FAILED[@]} -gt 0 ]; then

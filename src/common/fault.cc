@@ -1,8 +1,10 @@
 #include "common/fault.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 #include "common/error.hh"
@@ -65,19 +67,20 @@ ExecContext::poll(std::uint64_t tick, std::uint64_t committed)
 FaultInjector &
 FaultInjector::instance()
 {
-    static FaultInjector inj = [] {
-        FaultInjector i;
+    static FaultInjector inj;
+    static const bool envArmed = [] {
         if (const char *env = std::getenv("ELFSIM_FAULT")) {
             if (*env) {
                 try {
-                    i.arm(parse(env));
+                    inj.arm(parse(env));
                 } catch (const ConfigError &e) {
                     ELFSIM_FATAL("$ELFSIM_FAULT: %s", e.what());
                 }
             }
         }
-        return i;
+        return true;
     }();
+    (void)envArmed;
     return inj;
 }
 
@@ -126,10 +129,24 @@ FaultInjector::parse(const std::string &spec)
             s.kind = FaultKind::TraceCache;
         else if (site == "ckptcache")
             s.kind = FaultKind::CkptCache;
+        else if (site == "netrefuse")
+            s.kind = FaultKind::NetRefuse;
+        else if (site == "netdrop")
+            s.kind = FaultKind::NetDrop;
+        else if (site == "nettrunc")
+            s.kind = FaultKind::NetTrunc;
+        else if (site == "netcorrupt")
+            s.kind = FaultKind::NetCorrupt;
+        else if (site == "nethb")
+            s.kind = FaultKind::NetHeartbeat;
+        else if (site == "netslow")
+            s.kind = FaultKind::NetSlow;
         else
             throw ConfigError(errorf(
                 "unknown fault site '%s' (throw, panic, transient, "
-                "hang, slow, tracecache, ckptcache)", site.c_str()));
+                "hang, slow, tracecache, ckptcache, netrefuse, "
+                "netdrop, nettrunc, netcorrupt, nethb, netslow)",
+                site.c_str()));
 
         const auto parseNum = [&](const std::string &v,
                                   const char *what) -> std::uint64_t {
@@ -156,10 +173,28 @@ FaultInjector::parse(const std::string &spec)
     return out;
 }
 
+bool
+isNetFault(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::NetRefuse:
+      case FaultKind::NetDrop:
+      case FaultKind::NetTrunc:
+      case FaultKind::NetCorrupt:
+      case FaultKind::NetHeartbeat:
+      case FaultKind::NetSlow:
+        return true;
+      default:
+        return false;
+    }
+}
+
 void
 FaultInjector::arm(std::vector<FaultSpec> specs)
 {
+    std::lock_guard<std::mutex> lk(netMtx);
     armedFaults = std::move(specs);
+    netState.assign(armedFaults.size(), NetState{});
 }
 
 void
@@ -167,8 +202,8 @@ FaultInjector::poll(const ExecContext &ctx, std::uint64_t tick)
 {
     for (const FaultSpec &s : armedFaults) {
         if (s.kind == FaultKind::TraceCache ||
-            s.kind == FaultKind::CkptCache)
-            continue; // fires from the cache's read path, not here
+            s.kind == FaultKind::CkptCache || isNetFault(s.kind))
+            continue; // fires from the cache/network path, not here
         if (!s.anyJob && s.job != ctx.jobIndex)
             continue;
         if (tick < s.tick)
@@ -216,7 +251,13 @@ FaultInjector::fire(const FaultSpec &s, const ExecContext &ctx)
         return;
       case FaultKind::TraceCache:
       case FaultKind::CkptCache:
-        return; // handled by shouldCorrupt*Read(), never fires here
+      case FaultKind::NetRefuse:
+      case FaultKind::NetDrop:
+      case FaultKind::NetTrunc:
+      case FaultKind::NetCorrupt:
+      case FaultKind::NetHeartbeat:
+      case FaultKind::NetSlow:
+        return; // handled by the cache/network hooks, never here
     }
 }
 
@@ -236,6 +277,124 @@ FaultInjector::shouldCorruptTraceRead() const
             return true;
     }
     return false;
+}
+
+bool
+FaultInjector::netRefuseConnect(std::size_t worker)
+{
+    std::lock_guard<std::mutex> lk(netMtx);
+    bool refuse = false;
+    for (std::size_t i = 0; i < armedFaults.size(); ++i) {
+        const FaultSpec &s = armedFaults[i];
+        if (s.kind != FaultKind::NetRefuse)
+            continue;
+        if (!s.anyJob && s.job != worker)
+            continue;
+        NetState &st = netState[i];
+        ++st.count;
+        // tick = how many attempts to refuse; 0 = every attempt.
+        if (s.tick == 0 || st.count <= s.tick)
+            refuse = true;
+    }
+    return refuse;
+}
+
+NetEventFault
+FaultInjector::netEventFault(std::size_t worker)
+{
+    std::lock_guard<std::mutex> lk(netMtx);
+    NetEventFault fault = NetEventFault::None;
+    for (std::size_t i = 0; i < armedFaults.size(); ++i) {
+        const FaultSpec &s = armedFaults[i];
+        if (s.kind != FaultKind::NetDrop &&
+            s.kind != FaultKind::NetHeartbeat)
+            continue;
+        if (!s.anyJob && s.job != worker)
+            continue;
+        NetState &st = netState[i];
+        if (st.spent)
+            continue;
+        ++st.count;
+        // tick = 1-based event ordinal (0 behaves as 1); one-shot.
+        if (st.count < std::max<std::uint64_t>(s.tick, 1))
+            continue;
+        st.spent = true;
+        // A drop outranks a timeout when both fire on one event: the
+        // harsher signal exercises the stricter recovery path.
+        if (s.kind == FaultKind::NetDrop)
+            fault = NetEventFault::Drop;
+        else if (fault == NetEventFault::None)
+            fault = NetEventFault::Timeout;
+    }
+    return fault;
+}
+
+std::size_t
+FaultInjector::netTruncAllow(std::size_t worker, std::uint64_t soFar,
+                             std::size_t incoming)
+{
+    std::lock_guard<std::mutex> lk(netMtx);
+    std::size_t allow = incoming;
+    for (std::size_t i = 0; i < armedFaults.size(); ++i) {
+        const FaultSpec &s = armedFaults[i];
+        if (s.kind != FaultKind::NetTrunc)
+            continue;
+        if (!s.anyJob && s.job != worker)
+            continue;
+        NetState &st = netState[i];
+        if (st.spent)
+            continue;
+        if (soFar + incoming <= s.tick)
+            continue; // the cut point is still ahead
+        st.spent = true;
+        const std::size_t keep =
+            s.tick > soFar ? std::size_t(s.tick - soFar) : 0;
+        allow = std::min(allow, keep);
+    }
+    return allow;
+}
+
+bool
+FaultInjector::netCorruptArtifact(std::size_t worker)
+{
+    std::lock_guard<std::mutex> lk(netMtx);
+    bool corrupt = false;
+    for (std::size_t i = 0; i < armedFaults.size(); ++i) {
+        const FaultSpec &s = armedFaults[i];
+        if (s.kind != FaultKind::NetCorrupt)
+            continue;
+        if (!s.anyJob && s.job != worker)
+            continue;
+        NetState &st = netState[i];
+        if (st.spent)
+            continue;
+        ++st.count;
+        if (st.count < std::max<std::uint64_t>(s.tick, 1))
+            continue;
+        st.spent = true;
+        corrupt = true;
+    }
+    return corrupt;
+}
+
+unsigned
+FaultInjector::netSendDelayMs(std::size_t worker)
+{
+    std::lock_guard<std::mutex> lk(netMtx);
+    unsigned delay = 0;
+    for (std::size_t i = 0; i < armedFaults.size(); ++i) {
+        const FaultSpec &s = armedFaults[i];
+        if (s.kind != FaultKind::NetSlow)
+            continue;
+        if (!s.anyJob && s.job != worker)
+            continue;
+        NetState &st = netState[i];
+        ++st.count;
+        // tick = how many sends to slow; 0 = every send.
+        if (s.tick == 0 || st.count <= s.tick)
+            delay = 20;
+    }
+    return delay;
 }
 
 bool

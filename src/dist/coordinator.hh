@@ -32,6 +32,30 @@
  * fleet-wide trace.compiles stays at one per distinct program instead
  * of one per program per worker. Sampled grids ship warm-state
  * checkpoints (elfsim-ckpt-v1) the same way.
+ *
+ * Failure handling (the chaos-hardening layer):
+ *
+ *   - Connects retry with seeded exponential backoff (decorrelated
+ *     jitter drawn from a per-worker xorshift stream, so two workers
+ *     never thunder in lockstep and a given seed replays exactly).
+ *   - A worker that trips maxWorkerFailures is QUARANTINED, not
+ *     retired: its thread probes GET /healthz with the same jittered
+ *     backoff and re-admits the worker on a 200 (artifacts are
+ *     re-shipped first), or declares it dead when the probe budget
+ *     runs out. Transient blips cost a probation lap, not capacity.
+ *   - Tail stragglers: when the chunk queue runs dry, an idle worker
+ *     that stays idle for hedgeDelayMs duplicates another worker's
+ *     in-flight cells (a HEDGE: journaled with "hedge":true, first
+ *     completion wins, the done[] set dedupes, a losing hedge expires
+ *     without requeueing anything). Off by default.
+ *   - Whole-fleet loss: when every worker is dead and cells remain,
+ *     the coordinator finishes them in-process (localFallback) with
+ *     the same subset-run path a worker would use — the merged bytes
+ *     stay identical to a --local run; only the wall clock suffers.
+ *
+ * Every one of those paths is reachable deterministically through the
+ * ELFSIM_FAULT net sites (common/fault.hh) and replayed by
+ * scripts/chaos_soak.sh.
  */
 
 #ifndef ELFSIM_DIST_COORDINATOR_HH
@@ -40,6 +64,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -47,6 +72,9 @@
 #include "sim/sweep_spec.hh"
 
 namespace elfsim {
+
+class Rng;
+
 namespace dist {
 
 /** One worker address. */
@@ -86,12 +114,52 @@ struct CoordinatorConfig
      *  per-chunk spec re-send. */
     std::size_t chunkCells = 0;
 
-    /** Chunk failures before a worker is retired from the fleet. */
+    /** Chunk failures before a worker is quarantined (probed via
+     *  GET /healthz; re-admitted on recovery, dead only when the
+     *  probe budget runs out). */
     unsigned maxWorkerFailures = 3;
 
     /** Lease expiries before a cell stops being requeued and degrades
      *  to a failed result ("lease expired ... times"). */
     unsigned maxCellRetries = 3;
+
+    /** Seed of the backoff-jitter streams (per-worker, decorrelated);
+     *  the same seed replays the same sleep schedule. */
+    std::uint64_t backoffSeed = 0x1e57ab1e;
+
+    /** Connect attempts per dispatch before the chunk counts as a
+     *  worker failure (refused connects back off in between). */
+    unsigned connectAttempts = 3;
+
+    /** Reconnect backoff bounds (decorrelated jitter in between). */
+    unsigned reconnectBaseMs = 20;
+    unsigned reconnectCapMs = 1000;
+
+    /** Health probes granted to a quarantined worker before it is
+     *  declared dead. */
+    unsigned quarantineProbes = 5;
+
+    /** Probation-probe backoff bounds. */
+    unsigned probeBaseMs = 100;
+    unsigned probeCapMs = 2000;
+
+    /** Idle milliseconds before a dry worker hedges another worker's
+     *  in-flight cells; 0 disables hedged dispatch. */
+    unsigned hedgeDelayMs = 0;
+
+    /** The fleet's worker heartbeat period (elfsimd --heartbeat-ms).
+     *  leaseSeconds must exceed it or every lease would expire
+     *  spuriously; run() rejects such a config (ConfigError). */
+    unsigned workerHeartbeatMs = 1000;
+
+    /** Upload attempts per artifact before the worker is quarantined
+     *  (transient disconnects and corrupt-payload 400s retry). */
+    unsigned artifactAttempts = 3;
+
+    /** Finish leftover cells in-process when the whole fleet is lost
+     *  (merged bytes stay identical to --local); disabling restores
+     *  the old throw-on-dead-fleet behavior. */
+    bool localFallback = true;
 };
 
 /** Scheduling counters of the last run() (not part of the merged
@@ -101,9 +169,16 @@ struct CoordStats
     std::size_t cellsTotal = 0;
     std::size_t cellsAdopted = 0;  ///< taken from the resume ledger
     std::size_t cellsRun = 0;      ///< completed by the fleet
+    std::size_t cellsFallback = 0; ///< finished in-process (fleet lost)
     std::size_t cellsSynthFailed = 0; ///< degraded by the coordinator
     std::size_t chunksDispatched = 0;
     std::size_t leasesExpired = 0;
+    std::size_t requeues = 0;      ///< cells requeued after an expiry
+    std::size_t hedges = 0;        ///< hedge chunks dispatched
+    std::size_t quarantines = 0;   ///< quarantine entries
+    std::size_t readmissions = 0;  ///< probation re-admissions
+    std::size_t connectRetries = 0; ///< reconnect attempts (backoff)
+    std::size_t artifactRetries = 0; ///< artifact uploads retried
     std::size_t workersDead = 0;
     std::size_t tracesShipped = 0; ///< trace uploads (per worker)
     std::size_t ckptsShipped = 0;  ///< checkpoint uploads (per worker)
@@ -112,9 +187,15 @@ struct CoordStats
     double
     cellsPerSecond() const
     {
-        return wallSeconds > 0 ? double(cellsRun) / wallSeconds : 0;
+        return wallSeconds > 0
+                   ? double(cellsRun + cellsFallback) / wallSeconds
+                   : 0;
     }
 };
+
+/** Serialize the counters through the uniform StatGroup walk as one
+ *  elfsim-coordstats-v1 document ({"schema":...,"dist":{...}}). */
+void writeCoordStatsJson(std::ostream &os, const CoordStats &s);
 
 /** The coordinator (see file comment). */
 class SweepCoordinator
@@ -125,11 +206,14 @@ class SweepCoordinator
     /**
      * Expand @a spec, shard it across the fleet, and return the
      * merged results in submission order. Cells no live worker could
-     * complete come back as failed cells (keep-going semantics), so
-     * run() itself only throws for pre-dispatch problems: an invalid
-     * spec (ConfigError) or an unwritable ledger (IoError). A fleet
-     * where *no* worker ever accepted work also throws IoError — that
-     * is a deployment error, not a degraded sweep.
+     * complete are finished in-process (localFallback, byte-identical
+     * to --local) or, with fallback disabled, come back as failed
+     * cells (keep-going semantics). run() itself only throws for
+     * pre-dispatch problems: an invalid spec or a lease that cannot
+     * outlive the worker heartbeat (ConfigError), or an unwritable
+     * ledger (IoError). With localFallback off, a fleet where *no*
+     * worker ever accepted work also throws IoError — that is a
+     * deployment error, not a degraded sweep.
      */
     std::vector<RunResult> run(const SweepSpec &spec);
 
@@ -148,9 +232,15 @@ class SweepCoordinator
     struct Fleet; ///< per-run shared state (coordinator.cc)
 
     void shipArtifacts(Fleet &fleet);
+    bool shipArtifactsToWorker(Fleet &fleet, std::size_t w);
     void workerLoop(Fleet &fleet, std::size_t w);
     bool runChunk(Fleet &fleet, std::size_t w,
-                  const std::vector<std::size_t> &chunk);
+                  const std::vector<std::size_t> &chunk, Rng &rng);
+    int connectWithBackoff(Fleet &fleet, std::size_t w, Rng &rng);
+    bool quarantineLoop(Fleet &fleet, std::size_t w, Rng &rng);
+    std::vector<std::size_t> pickHedge(Fleet &fleet, std::size_t w);
+    void runFallback(Fleet &fleet,
+                     const std::vector<std::size_t> &pending);
 
     CoordinatorConfig cfg;
     CoordStats lastStats;

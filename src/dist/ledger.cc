@@ -44,6 +44,8 @@ writeLeaseLine(std::ostream &os, const LeaseEvent &e)
     w.field("worker", e.worker);
     if (e.kind == LeaseEvent::Kind::Lease)
         w.field("lease_seconds", e.leaseSeconds);
+    if (e.hedge)
+        w.field("hedge", true);
     w.endObject();
     os << '\n';
 }
@@ -73,11 +75,18 @@ readLedger(std::istream &is)
                 const std::string &event = doc.at("event").asString();
                 e.index = std::size_t(doc.at("index").asU64());
                 e.worker = doc.at("worker").asString();
+                if (const json::Value *h = doc.find("hedge"))
+                    e.hedge = h->asBool();
                 if (event == "lease") {
                     e.kind = LeaseEvent::Kind::Lease;
                     e.key = doc.at("key").asString();
                     e.leaseSeconds = doc.at("lease_seconds").asU64();
                     ++state.leaseLines;
+                    // Hedge lines never touch the outstanding set:
+                    // the primary lease is the cell's scheduling
+                    // truth, a hedge is a redundant racer.
+                    if (e.hedge)
+                        continue;
                     dropOutstanding(state.outstanding, e.index);
                     // An already-completed cell never goes back in
                     // flight: a re-lease after completion would be a
@@ -87,6 +96,8 @@ readLedger(std::istream &is)
                 } else if (event == "expire") {
                     e.kind = LeaseEvent::Kind::Expire;
                     ++state.expireLines;
+                    if (e.hedge)
+                        continue;
                     dropOutstanding(state.outstanding, e.index);
                 } else {
                     throw ParseError(errorf(

@@ -55,6 +55,10 @@ struct LeaseEvent
     std::string key;            ///< jobKey (Lease lines only)
     std::string worker;         ///< worker id, e.g. "w0"
     std::uint64_t leaseSeconds = 0; ///< Lease lines only
+    /** Duplicate straggler lease (hedged dispatch): the primary lease
+     *  stays live, first completion wins, and a losing hedge expires
+     *  without requeueing its cell. Serialized as "hedge":true. */
+    bool hedge = false;
 };
 
 /** Append one scheduling line (compact JSONL; the caller flushes). */

@@ -8,6 +8,7 @@
 
 #include "common/error.hh"
 #include "common/export.hh"
+#include "common/fault.hh"
 #include "common/json.hh"
 
 namespace elfsim {
@@ -123,6 +124,8 @@ ShardStream::fail(const char *why)
 bool
 ShardStream::fill()
 {
+    if (cutPending)
+        return fail("connection closed mid-stream (injected cut)");
     // Compact the consumed prefix before growing the buffer.
     if (rawPos > 0) {
         raw.erase(0, rawPos);
@@ -140,7 +143,24 @@ ShardStream::fill()
                 return fail("receive timeout (lease expired)");
             return fail(std::strerror(errno));
         }
-        raw.append(tmp, std::size_t(r));
+        std::size_t allow = std::size_t(r);
+        if (worker != kNoWorker) {
+            FaultInjector &inj = FaultInjector::instance();
+            if (inj.armed())
+                allow = inj.netTruncAllow(worker, rawSeen,
+                                          std::size_t(r));
+        }
+        if (allow < std::size_t(r)) {
+            // 'nettrunc' fired inside this read: deliver the prefix
+            // up to the cut point, then fail the next refill as a
+            // torn connection so a partial line can never parse.
+            cutPending = true;
+            if (allow == 0)
+                return fail(
+                    "connection closed mid-stream (injected cut)");
+        }
+        raw.append(tmp, allow);
+        rawSeen += allow;
         return true;
     }
 }
@@ -151,6 +171,25 @@ ShardStream::nextLine(std::string &line)
     for (;;) {
         const std::size_t nl = out.find('\n');
         if (nl != std::string::npos) {
+            // A complete line is a "droppable event" for the netdrop
+            // / nethb sites: the Nth delivered line is torn away with
+            // the rest of the stream, exercising the same recovery as
+            // a real mid-stream disconnect or heartbeat silence.
+            if (worker != kNoWorker) {
+                FaultInjector &inj = FaultInjector::instance();
+                if (inj.armed()) {
+                    switch (inj.netEventFault(worker)) {
+                      case NetEventFault::Drop:
+                        return fail("connection closed mid-stream "
+                                    "(injected)");
+                      case NetEventFault::Timeout:
+                        return fail("receive timeout (lease expired) "
+                                    "(injected)");
+                      case NetEventFault::None:
+                        break;
+                    }
+                }
+            }
             line = out.substr(0, nl);
             out.erase(0, nl + 1);
             return true;

@@ -116,10 +116,16 @@ std::string doneLine(std::uint64_t cells);
 class ShardStream
 {
   public:
+    /** Sentinel worker index: no fault-injection hooks. */
+    static constexpr std::size_t kNoWorker = std::size_t(-1);
+
     /** @a fd stays owned by the caller; @a initial holds body bytes
-     *  already read past the response head. */
-    ShardStream(int fd, std::string initial)
-        : fd(fd), raw(std::move(initial))
+     *  already read past the response head. @a worker identifies the
+     *  peer for the deterministic network fault sites (netdrop /
+     *  nethb / nettrunc); kNoWorker disables injection. */
+    ShardStream(int fd, std::string initial,
+                std::size_t worker = kNoWorker)
+        : fd(fd), raw(std::move(initial)), worker(worker)
     {
     }
 
@@ -141,6 +147,9 @@ class ShardStream
     bool final_ = false;      ///< terminal zero-chunk seen
     bool bad = false;
     std::string err;
+    std::size_t worker;       ///< peer index for fault injection
+    std::uint64_t rawSeen = 0; ///< raw bytes delivered ('nettrunc')
+    bool cutPending = false;  ///< injected truncation fired
 };
 
 } // namespace dist

@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include <sys/types.h>
 
 #include "common/error.hh"
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "dist/coordinator.hh"
 #include "dist/ledger.hh"
@@ -532,7 +534,7 @@ TEST(DistCoordinator, KillNineWorkerExpiresLeasesAndReassignsCells)
     std::remove(cfg.ledgerPath.c_str());
     cfg.chunkCells = 1;
     cfg.leaseSeconds = 10;
-    // Retire the victim on its first failure so its cells requeue
+    // Quarantine the victim on its first failure so its cells requeue
     // exactly once — the merge must not depend on retry accounting.
     cfg.maxWorkerFailures = 1;
     cfg.maxCellRetries = 16;
@@ -560,7 +562,14 @@ TEST(DistCoordinator, KillNineWorkerExpiresLeasesAndReassignsCells)
 
     EXPECT_GE(victimLeases.load(), 2u);
     EXPECT_GE(coord.stats().leasesExpired, 1u);
-    EXPECT_EQ(coord.stats().workersDead, 1u);
+    EXPECT_GE(coord.stats().requeues, 1u);
+    // The victim lands in quarantine (not permanent retirement); its
+    // health probes against the killed port never succeed, so it is
+    // either declared dead (probe budget spent) or still in probation
+    // when the survivor finishes the grid — never re-admitted.
+    EXPECT_EQ(coord.stats().quarantines, 1u);
+    EXPECT_EQ(coord.stats().readmissions, 0u);
+    EXPECT_LE(coord.stats().workersDead, 1u);
     EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
     EXPECT_EQ(coord.stats().cellsRun, 8u);
     EXPECT_EQ(mergedBytes(results), reference);
@@ -634,6 +643,343 @@ TEST(DistCoordinator, FleetCompilesEachProgramOnce)
     EXPECT_GE(workerHits, 1u);
     EXPECT_GE(workerShards, 1u);
     EXPECT_EQ(coord.stats().tracesShipped, 4u); // 2 programs x 2 workers
+}
+
+// ------------------------------------------------- chaos (net faults)
+
+/**
+ * Arm the process-wide injector for one test; disarm on any exit
+ * path so a failing assertion cannot poison the next test.
+ *
+ * Ordering matters: construct this BEFORE the in-process worker
+ * services and let it unwind after they stop. Thread creation is the
+ * only happens-before edge the armed list gets, so arming while a
+ * service thread is already polling would be a data race (and a
+ * service thread could legitimately keep seeing the pre-arm state).
+ */
+struct ScopedFaults
+{
+    explicit ScopedFaults(const std::string &spec)
+    {
+        FaultInjector::instance().arm(FaultInjector::parse(spec));
+    }
+    ~ScopedFaults() { FaultInjector::instance().disarm(); }
+};
+
+/** N in-process worker services plus a coordinator config pointed at
+ *  them (chunk = 1 cell so scheduling decisions are visible). */
+struct InProcFleet
+{
+    std::vector<std::unique_ptr<service::SweepService>> workers;
+    dist::CoordinatorConfig cfg;
+
+    explicit InProcFleet(std::size_t n)
+    {
+        service::ServiceConfig wcfg;
+        wcfg.worker = true;
+        wcfg.jobs = 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            workers.push_back(
+                std::make_unique<service::SweepService>(wcfg));
+            workers.back()->start();
+            cfg.workers.push_back(
+                {"127.0.0.1", workers.back()->port()});
+        }
+        cfg.leaseSeconds = 30;
+        cfg.chunkCells = 1;
+    }
+
+    ~InProcFleet()
+    {
+        for (auto &w : workers)
+            w->stop();
+    }
+};
+
+/**
+ * 1-based ordinal of the first shard-stream line delivered to a
+ * worker, for netdrop/nethb specs that must hit the stream rather
+ * than the staging pass: artifact uploads consume the first
+ * droppable-event ordinals (one per distinct program when trace
+ * compilation is enabled), stream lines follow.
+ */
+std::uint64_t
+firstStreamEvent(std::size_t programs)
+{
+    return (TraceCache::instance().enabled() ? programs : 0) + 1;
+}
+
+TEST(DistChaos, RefusedConnectsBackOffAndRecover)
+{
+    // Refuse the first two connects to worker 0. Depending on whether
+    // trace compilation is enabled they land on the staging uploads
+    // (upload retry path) or on the first shard dispatches (connect
+    // backoff path); either way the run must recover without
+    // quarantining anyone and merge byte-identically.
+    ScopedFaults faults("netrefuse:0:2");
+    const SweepSpec spec = distSpec("netrefuse", {{13, 0.55}, {3, 0.7}},
+                                    2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    fleet.cfg.reconnectBaseMs = 1;
+    fleet.cfg.reconnectCapMs = 8;
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_EQ(coord.stats().cellsRun, 4u);
+    EXPECT_GE(coord.stats().connectRetries +
+                  coord.stats().artifactRetries,
+              2u);
+    EXPECT_EQ(coord.stats().quarantines, 0u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+}
+
+TEST(DistChaos, MidStreamDisconnectRequeuesTheChunk)
+{
+    // Tear worker 0's shard stream at its first delivered line: the
+    // chunk's cells expire, requeue, and complete elsewhere.
+    ScopedFaults faults(
+        "netdrop:0:" + std::to_string(firstStreamEvent(2)));
+    const SweepSpec spec = distSpec("netdrop", {{15, 0.52}, {9, 0.33}},
+                                    2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    fleet.cfg.ledgerPath = tmpPath("dist_netdrop_ledger.jsonl");
+    std::remove(fleet.cfg.ledgerPath.c_str());
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_EQ(coord.stats().cellsRun, 4u);
+    EXPECT_GE(coord.stats().leasesExpired, 1u);
+    EXPECT_GE(coord.stats().requeues, 1u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+
+    std::ifstream is(fleet.cfg.ledgerPath);
+    ASSERT_TRUE(is.good());
+    const dist::LedgerState state = dist::readLedger(is);
+    EXPECT_EQ(state.completed.size(), 4u);
+    EXPECT_TRUE(state.outstanding.empty());
+    EXPECT_GE(state.expireLines, 1u);
+    std::remove(fleet.cfg.ledgerPath.c_str());
+}
+
+TEST(DistChaos, TruncatedStreamNeverPoisonsTheMerge)
+{
+    // Cut worker 0's stream 25 raw bytes in — mid-line, so a torn
+    // JSON prefix is delivered and must be discarded, never merged.
+    ScopedFaults faults("nettrunc:0:25");
+    const SweepSpec spec = distSpec("nettrunc", {{16, 0.48}, {7, 0.72}},
+                                    2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_EQ(coord.stats().cellsRun, 4u);
+    EXPECT_GE(coord.stats().requeues, 1u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+}
+
+TEST(DistChaos, CorruptedArtifactIsRejectedAndResent)
+{
+    if (!TraceCache::instance().enabled())
+        GTEST_SKIP() << "trace compilation disabled in this environment";
+
+    // Flip a byte in the first trace image sent to worker 0: the
+    // worker's content-hash check 400s it, the retry is intact, and
+    // every program still reaches every worker.
+    ScopedFaults faults("netcorrupt:0:1");
+    const SweepSpec spec = distSpec("netcorrupt",
+                                    {{17, 0.38}, {8, 0.68}},
+                                    2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_GE(coord.stats().artifactRetries, 1u);
+    EXPECT_EQ(coord.stats().tracesShipped, 4u); // 2 programs x 2 workers
+    EXPECT_EQ(coord.stats().quarantines, 0u);
+}
+
+TEST(DistChaos, ArtifactUploadRetriesAfterTransientDisconnect)
+{
+    if (!TraceCache::instance().enabled())
+        GTEST_SKIP() << "trace compilation disabled in this environment";
+
+    // The first droppable event to worker 0 is its first staging
+    // upload: the connection tears mid-upload and the retry lands.
+    ScopedFaults faults("netdrop:0:1");
+    const SweepSpec spec = distSpec("artretry", {{18, 0.44}, {6, 0.56}},
+                                    2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_GE(coord.stats().artifactRetries, 1u);
+    EXPECT_EQ(coord.stats().tracesShipped, 4u);
+    EXPECT_EQ(coord.stats().quarantines, 0u);
+    EXPECT_EQ(coord.stats().cellsRun, 4u);
+}
+
+TEST(DistChaos, DroppedHeartbeatsExpireTheLease)
+{
+    // Heartbeat silence shows up as a receive timeout on worker 0's
+    // first stream line: the lease expires and the cells requeue.
+    ScopedFaults faults(
+        "nethb:0:" + std::to_string(firstStreamEvent(2)));
+    const SweepSpec spec = distSpec("nethb", {{19, 0.41}, {10, 0.61}},
+                                    2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_EQ(coord.stats().cellsRun, 4u);
+    EXPECT_GE(coord.stats().leasesExpired, 1u);
+    EXPECT_GE(coord.stats().requeues, 1u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+}
+
+TEST(DistChaos, QuarantinedWorkerIsReadmittedByHealthProbe)
+{
+    // Worker 0's first stream line tears its first chunk (one-shot);
+    // the service itself stays healthy, so the very first /healthz
+    // probe re-admits it and it finishes real work afterwards. The
+    // 20 ms send delay on worker 1 keeps the 8-cell queue occupied
+    // while the victim sits in probation.
+    ScopedFaults faults(
+        "netdrop:0:" + std::to_string(firstStreamEvent(4)) +
+        ",netslow:1:0");
+    const SweepSpec spec =
+        distSpec("readmit",
+                 {{20, 0.36}, {11, 0.58}, {13, 0.29}, {6, 0.47}},
+                 2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    fleet.cfg.maxWorkerFailures = 1; // first failure -> quarantine
+    fleet.cfg.probeBaseMs = 1;
+    fleet.cfg.probeCapMs = 4;
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_EQ(coord.stats().cellsRun, 8u);
+    EXPECT_EQ(coord.stats().quarantines, 1u);
+    EXPECT_EQ(coord.stats().readmissions, 1u);
+    EXPECT_EQ(coord.stats().workersDead, 0u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+}
+
+TEST(DistChaos, HedgedDispatchDuplicatesTheStragglerOnce)
+{
+    // A two-cell grid: both workers lease their primary at t=0, so
+    // their run times track each other closely — except cell 1, whose
+    // injected sleeps (the spec is repeated: every matching entry
+    // fires per poll, so six entries buy ~6 ms per poll and roughly
+    // 100 ms of straggling) make it finish far behind cell 0. The
+    // early finisher goes idle, waits out the hedge delay, and
+    // duplicates the straggler. First completion wins; the loser's
+    // lease expires without a requeue. (The reference run below also
+    // pays the sleeps; 'slow' never changes simulated bytes, only
+    // wall time.)
+    ScopedFaults faults("slow:1:0,slow:1:0,slow:1:0,"
+                        "slow:1:0,slow:1:0,slow:1:0");
+    const SweepSpec spec = distSpec("hedge", {{14, 0.42}},
+                                    2000, 48000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    fleet.cfg.hedgeDelayMs = 2;
+    fleet.cfg.ledgerPath = tmpPath("dist_hedge_ledger.jsonl");
+    std::remove(fleet.cfg.ledgerPath.c_str());
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_EQ(coord.stats().cellsRun, 2u);
+    EXPECT_GE(coord.stats().hedges, 1u);
+    // A losing hedge is not a scheduling failure: nothing requeues,
+    // no lease "expires" in the accounting sense.
+    EXPECT_EQ(coord.stats().leasesExpired, 0u);
+    EXPECT_EQ(coord.stats().requeues, 0u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+
+    // The ledger carries the hedge lines, and replay still resolves
+    // to the completed grid with nothing outstanding: hedges are
+    // redundant racers, never scheduling truth.
+    std::ifstream is(fleet.cfg.ledgerPath);
+    ASSERT_TRUE(is.good());
+    const dist::LedgerState state = dist::readLedger(is);
+    EXPECT_EQ(state.completed.size(), 2u);
+    EXPECT_TRUE(state.outstanding.empty());
+    EXPECT_GE(state.leaseLines, 3u); // 2 primaries + >=1 hedge
+    std::remove(fleet.cfg.ledgerPath.c_str());
+}
+
+TEST(DistChaos, FleetLossFallsBackInProcessByteIdentically)
+{
+    // Every connect to every worker is refused: both workers drain
+    // their probe budgets and die, and the coordinator finishes the
+    // whole grid in-process — byte-identical to a --local run.
+    ScopedFaults faults("netrefuse:*:0");
+    const SweepSpec spec = distSpec("fleetloss", {{21, 0.37}, {12, 0.57}},
+                                    2000, 4000);
+    const std::string reference = referenceBytes(spec);
+
+    InProcFleet fleet(2);
+    fleet.cfg.maxWorkerFailures = 1;
+    fleet.cfg.connectAttempts = 2;
+    fleet.cfg.reconnectBaseMs = 1;
+    fleet.cfg.reconnectCapMs = 4;
+    fleet.cfg.quarantineProbes = 2;
+    fleet.cfg.probeBaseMs = 1;
+    fleet.cfg.probeCapMs = 4;
+    fleet.cfg.ledgerPath = tmpPath("dist_fleetloss_ledger.jsonl");
+    std::remove(fleet.cfg.ledgerPath.c_str());
+    dist::SweepCoordinator coord(fleet.cfg);
+    const std::vector<RunResult> results = coord.run(spec);
+
+    EXPECT_EQ(mergedBytes(results), reference);
+    EXPECT_EQ(coord.stats().cellsRun, 0u);
+    EXPECT_EQ(coord.stats().cellsFallback, 4u);
+    EXPECT_EQ(coord.stats().quarantines, 2u);
+    EXPECT_EQ(coord.stats().workersDead, 2u);
+    EXPECT_EQ(coord.stats().cellsSynthFailed, 0u);
+
+    // The fallback journals its own leases and completions: replay
+    // resolves to the full grid, nothing outstanding.
+    std::ifstream is(fleet.cfg.ledgerPath);
+    ASSERT_TRUE(is.good());
+    const dist::LedgerState state = dist::readLedger(is);
+    EXPECT_EQ(state.completed.size(), 4u);
+    EXPECT_TRUE(state.outstanding.empty());
+    std::remove(fleet.cfg.ledgerPath.c_str());
+}
+
+TEST(DistChaos, LeaseNotExceedingHeartbeatIsRejectedUpFront)
+{
+    const SweepSpec spec = distSpec("cfgerr", {{8, 0.5}}, 100, 100);
+    dist::CoordinatorConfig cfg;
+    cfg.workers = {{"127.0.0.1", 9}};
+    cfg.leaseSeconds = 1;
+    cfg.workerHeartbeatMs = 1000;
+    dist::SweepCoordinator coord(cfg);
+    EXPECT_THROW(coord.run(spec), ConfigError);
 }
 
 } // namespace

@@ -62,6 +62,22 @@ TEST(BenchCli, HelpExitsZeroAndUnknownFlagExitsTwo)
         expectUniformCli(benchDir, name);
 }
 
+TEST(BenchCli, CoordRejectsLeaseShorterThanTheHeartbeat)
+{
+    const std::string benchDir = requiredEnv("ELFSIM_BENCH_DIR");
+    ASSERT_FALSE(benchDir.empty());
+    const std::string coord = benchDir + "/elfsim_coord";
+    // A 1 s lease can never outlive a 1000 ms heartbeat period: the
+    // config is rejected up front with the uniform usage-error exit.
+    EXPECT_EQ(runTool(coord,
+                      "--spec /dev/null --spawn 2 --lease 1"),
+              2);
+    EXPECT_EQ(runTool(coord,
+                      "--spec /dev/null --spawn 2 --lease 2 "
+                      "--worker-heartbeat-ms 2000"),
+              2);
+}
+
 TEST(BenchCli, ExamplesSharingTheParserFollowTheSameContract)
 {
     const std::string dir = requiredEnv("ELFSIM_EXAMPLES_DIR");
