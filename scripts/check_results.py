@@ -95,6 +95,8 @@ SAMPLING_FIELDS = (
     "period_insts", "length_insts", "warmup_insts", "windows",
     "total_insts", "measured_insts", "ipc_rel_err_95",
     "est_total_cycles", "ckpt_hits", "ckpt_misses", "ckpt_saves",
+    "warm_kernel_insts", "warm_scalar_insts", "warm_branch_events",
+    "warm_lines_touched", "warm_ff_insts",
 )
 
 
@@ -178,6 +180,12 @@ def check_document(path, doc, allow_failed=0, quiet=False):
             if sampling["measured_insts"] != r["insts"]:
                 fail(path, f"{where}.sampling: measured_insts does "
                            "not match the result's insts")
+            if (sampling["warm_kernel_insts"] +
+                    sampling["warm_scalar_insts"]
+                    != sampling["warm_ff_insts"]):
+                fail(path, f"{where}.sampling: warm kernel/scalar "
+                           "split does not sum to the fast-forward "
+                           "total")
             if interval != sampling["length_insts"]:
                 fail(path, f"{where}: interval_insts does not match "
                            "the sample length")

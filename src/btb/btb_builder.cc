@@ -120,6 +120,26 @@ BtbBuilder::establish(Addr start_pc)
 }
 
 void
+BtbBuilder::retireSequentialRange(Addr start_pc, InstCount n)
+{
+    if (n == 0)
+        return;
+    // First instruction ever: scalar retire() establishes at si.pc.
+    if (nextEstablishPC == invalidAddr)
+        establish(start_pc);
+    // Scalar retire() establishes whenever si.pc == nextEstablishPC.
+    // The visited PCs are exactly start_pc + k*instBytes for k < n,
+    // and each establish() moves nextEstablishPC strictly forward
+    // (every entry covers >= 1 instruction), so walking the
+    // establishment chain in ascending order reproduces the scalar
+    // visit order.
+    const Addr end = start_pc + instsToBytes(n);
+    while (nextEstablishPC >= start_pc && nextEstablishPC < end &&
+           (nextEstablishPC - start_pc) % instBytes == 0)
+        establish(nextEstablishPC);
+}
+
+void
 BtbBuilder::retire(const StaticInst &si, bool taken, Addr next_pc)
 {
     // Start of a fresh region: first instruction ever, the target of

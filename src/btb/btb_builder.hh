@@ -39,6 +39,18 @@ class BtbBuilder
     void retire(const StaticInst &si, bool taken, Addr next_pc);
 
     /**
+     * Observe @a n retired non-branch instructions starting at
+     * @a start_pc and advancing sequentially by instBytes — the batch
+     * equivalent of n retire() calls with taken=false on a
+     * branch-free region. Non-branch retires only ever establish
+     * entries (at the very first instruction, or wherever the stream
+     * crosses nextEstablishPC), so the batch walks establishment
+     * points directly instead of testing every instruction. State
+     * after the call is identical to the scalar sequence.
+     */
+    void retireSequentialRange(Addr start_pc, InstCount n);
+
+    /**
      * Construct the entry starting at @a start_pc from the static
      * image and the observed-taken knowledge (exposed for tests and
      * for ELF's FAQ-block reconstruction).

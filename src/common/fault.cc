@@ -129,6 +129,8 @@ FaultInjector::parse(const std::string &spec)
             s.kind = FaultKind::TraceCache;
         else if (site == "ckptcache")
             s.kind = FaultKind::CkptCache;
+        else if (site == "warmtab")
+            s.kind = FaultKind::WarmTables;
         else if (site == "netrefuse")
             s.kind = FaultKind::NetRefuse;
         else if (site == "netdrop")
@@ -144,8 +146,9 @@ FaultInjector::parse(const std::string &spec)
         else
             throw ConfigError(errorf(
                 "unknown fault site '%s' (throw, panic, transient, "
-                "hang, slow, tracecache, ckptcache, netrefuse, "
-                "netdrop, nettrunc, netcorrupt, nethb, netslow)",
+                "hang, slow, tracecache, ckptcache, warmtab, "
+                "netrefuse, netdrop, nettrunc, netcorrupt, nethb, "
+                "netslow)",
                 site.c_str()));
 
         const auto parseNum = [&](const std::string &v,
@@ -200,16 +203,26 @@ FaultInjector::arm(std::vector<FaultSpec> specs)
 void
 FaultInjector::poll(const ExecContext &ctx, std::uint64_t tick)
 {
-    for (const FaultSpec &s : armedFaults) {
-        if (s.kind == FaultKind::TraceCache ||
-            s.kind == FaultKind::CkptCache || isNetFault(s.kind))
-            continue; // fires from the cache/network path, not here
-        if (!s.anyJob && s.job != ctx.jobIndex)
-            continue;
-        if (tick < s.tick)
-            continue;
-        fire(s, ctx);
+    // Match under the lock, fire after releasing it: fire() may block
+    // for seconds (hang) or throw, and must never hold the mutex the
+    // arm()/read hooks on other threads need.
+    std::vector<FaultSpec> matched;
+    {
+        std::lock_guard<std::mutex> lk(netMtx);
+        for (const FaultSpec &s : armedFaults) {
+            if (s.kind == FaultKind::TraceCache ||
+                s.kind == FaultKind::CkptCache ||
+                s.kind == FaultKind::WarmTables || isNetFault(s.kind))
+                continue; // fires from its own hook, not here
+            if (!s.anyJob && s.job != ctx.jobIndex)
+                continue;
+            if (tick < s.tick)
+                continue;
+            matched.push_back(s);
+        }
     }
+    for (const FaultSpec &s : matched)
+        fire(s, ctx);
 }
 
 void
@@ -251,6 +264,7 @@ FaultInjector::fire(const FaultSpec &s, const ExecContext &ctx)
         return;
       case FaultKind::TraceCache:
       case FaultKind::CkptCache:
+      case FaultKind::WarmTables:
       case FaultKind::NetRefuse:
       case FaultKind::NetDrop:
       case FaultKind::NetTrunc:
@@ -264,6 +278,7 @@ FaultInjector::fire(const FaultSpec &s, const ExecContext &ctx)
 bool
 FaultInjector::shouldCorruptTraceRead() const
 {
+    std::lock_guard<std::mutex> lk(netMtx);
     for (const FaultSpec &s : armedFaults) {
         if (s.kind != FaultKind::TraceCache)
             continue;
@@ -400,8 +415,25 @@ FaultInjector::netSendDelayMs(std::size_t worker)
 bool
 FaultInjector::shouldCorruptCkptRead() const
 {
+    std::lock_guard<std::mutex> lk(netMtx);
     for (const FaultSpec &s : armedFaults) {
         if (s.kind != FaultKind::CkptCache)
+            continue;
+        if (s.anyJob)
+            return true;
+        const ExecContext *ctx = currentExecContext();
+        if (!ctx || ctx->jobIndex == s.job)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::shouldPoisonWarmTables() const
+{
+    std::lock_guard<std::mutex> lk(netMtx);
+    for (const FaultSpec &s : armedFaults) {
+        if (s.kind != FaultKind::WarmTables)
             continue;
         if (s.anyJob)
             return true;

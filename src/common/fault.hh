@@ -41,6 +41,12 @@
  *              failed its checksum, forcing the transparent
  *              fast-forward fallback (cell -> ok, just slower). The
  *              <tick> field is ignored, like tracecache.
+ *   warmtab    distrust the compiled-trace warming side tables: the
+ *              batch warming kernel is bypassed and fast-forward
+ *              degrades to the scalar per-instruction loop
+ *              (cell -> ok with identical warm state, just slower;
+ *              proves the scalar fallback stays live). The <tick>
+ *              field is ignored, like tracecache.
  *
  * Network sites reuse the same grammar with the middle field naming a
  * WORKER INDEX (position in the coordinator's --workers list, '*' for
@@ -182,6 +188,7 @@ enum class FaultKind
     Slow,
     TraceCache,
     CkptCache,
+    WarmTables,
     NetRefuse,
     NetDrop,
     NetTrunc,
@@ -231,7 +238,14 @@ class FaultInjector
     /** Drop every armed fault and its fired state. */
     void disarm() { arm({}); }
 
-    bool armed() const { return !armedFaults.empty(); }
+    /** True when any fault is armed (thread-safe: tests re-arm while
+     *  service/worker threads poll concurrently). */
+    bool
+    armed() const
+    {
+        std::lock_guard<std::mutex> lk(netMtx);
+        return !armedFaults.empty();
+    }
 
     /** Deterministic hook called from ExecContext::poll. */
     void poll(const ExecContext &ctx, std::uint64_t tick);
@@ -248,6 +262,11 @@ class FaultInjector
     /** Same hook for the CheckpointStore's disk-read path ('ckptcache'
      *  faults; identical matching rules). */
     bool shouldCorruptCkptRead() const;
+
+    /** Same hook for Core::fastForward's kernel dispatch ('warmtab'
+     *  faults; identical matching rules): true means bypass the batch
+     *  warming kernel and warm with the scalar loop instead. */
+    bool shouldPoisonWarmTables() const;
 
     // ---- network hooks (coordinator-side; see the file comment) ----
     //
@@ -305,7 +324,10 @@ class FaultInjector
 
     std::vector<FaultSpec> armedFaults;
     std::vector<NetState> netState; ///< parallel to armedFaults
-    std::mutex netMtx;              ///< guards netState counters
+    /** Guards armedFaults and the netState counters: arm() runs from
+     *  test threads while service/worker threads poll. (mutable: the
+     *  read-side hooks are const.) */
+    mutable std::mutex netMtx;
 };
 
 } // namespace elfsim

@@ -225,11 +225,12 @@ SweepCoordinator::SweepCoordinator(CoordinatorConfig c)
 void
 SweepCoordinator::shipArtifacts(Fleet &fleet)
 {
-    // Compile each distinct full-run trace once, locally, and stage
-    // the image — the fleet-wide compile count stays at one per
-    // distinct program, and probation re-admission can re-ship from
-    // the staged copy without recompiling. Sampled cells never use
-    // traces; their warm state stages as checkpoints below.
+    // Compile each distinct trace once, locally, and stage the image
+    // — the fleet-wide compile count stays at one per distinct
+    // program, and probation re-admission can re-ship from the staged
+    // copy without recompiling. Sampled cells stage a capped prefix
+    // (the batch warming kernel fast-forwards over it); their warm
+    // state additionally stages as checkpoints below.
     std::map<std::uint64_t, std::pair<const Program *, InstCount>> want;
     bool anySampled = false;
     for (std::size_t i = 0; i < fleet.ex.jobs.size(); ++i) {
@@ -238,12 +239,11 @@ SweepCoordinator::shipArtifacts(Fleet &fleet)
         const SweepJob &job = fleet.ex.jobs[i];
         if (!job.program)
             continue;
+        InstCount count = job.opts.warmupInsts + job.opts.measureInsts;
         if (job.opts.sampled()) {
             anySampled = true;
-            continue;
+            count = std::min(count, maxSampledTraceInsts);
         }
-        const InstCount count =
-            job.opts.warmupInsts + job.opts.measureInsts;
         want[CompiledTrace::key(*job.program, count)] = {job.program,
                                                          count};
     }

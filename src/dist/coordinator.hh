@@ -27,7 +27,7 @@
  *
  * Compile-once-per-fleet: before dispatching any shard, the
  * coordinator compiles each distinct full-run program trace once
- * (through its own TraceCache) and ships the elfsim-trace-v1 image to
+ * (through its own TraceCache) and ships the elfsim-trace-v2 image to
  * every worker (POST /artifact/trace, content-hash validated), so
  * fleet-wide trace.compiles stays at one per distinct program instead
  * of one per program per worker. Sampled grids ship warm-state

@@ -12,7 +12,7 @@
  *                         completed cell (global index + jobKey +
  *                         full result), heartbeat event lines while
  *                         cells run, and a terminal "done" event.
- *   POST /artifact/trace  body = a raw elfsim-trace-v1 image
+ *   POST /artifact/trace  body = a raw elfsim-trace-v2 image
  *                         (CompiledTrace::serialized()); the
  *                         `x-elfsim-key` header carries the expected
  *                         content hash (16 hex digits) and

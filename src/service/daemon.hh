@@ -30,7 +30,7 @@
  *                         JSONL response (manifest lines, heartbeats,
  *                         terminal done event)
  *   POST /artifact/trace  install a coordinator-compiled
- *                         elfsim-trace-v1 image into the TraceCache
+ *                         elfsim-trace-v2 image into the TraceCache
  *                         (validated against the x-elfsim-key hash)
  *   POST /artifact/ckpt   drop an elfsim-ckpt-v1 file into the
  *                         checkpoint directory (x-elfsim-name)

@@ -1,10 +1,12 @@
 #include "sim/core.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "workload/compiled_trace.hh"
 
 namespace elfsim {
 
@@ -380,14 +382,37 @@ Core::fastForward(InstCount n)
     Addr lastLine = invalidAddr;
     Addr resumePC = invalidAddr;
 
+    // Batch warming kernel (sim/warm_kernel.cc): when the window
+    // starts inside the compiled prefix, warm as much of it as the
+    // prefix covers by iterating the trace's side tables — state-
+    // identical to the scalar loop below, at memory-scan speed. The
+    // 'warmtab' fault site forces the scalar path, standing in for a
+    // side-table defect (recovery = warm the slow, reference way).
+    InstCount done = 0;
+    if (const CompiledTrace *tr = oracle->backingTrace()) {
+        const InstCount p0 = lastCommitOracleIdx;
+        const InstCount kn =
+            p0 < tr->size() ? std::min(n, tr->size() - p0) : 0;
+        if (kn > 0 &&
+            !FaultInjector::instance().shouldPoisonWarmTables()) {
+            warmKernel(*tr, p0, kn, lastLine);
+            done = kn;
+            resumePC = tr->nextPC(p0 + kn - 1);
+        }
+    }
+    warmStats_.scalarInsts += n - done;
+
+    // Scalar warming for whatever the kernel did not cover (lazy
+    // streams, the tail past the compiled prefix, poisoned tables).
     // Long fast-forwards must stay observable: publish the stream
     // position as the heartbeat and give watchdogs / fault injection
-    // their deterministic hook, like Core::run does.
-    constexpr InstCount pollInterval = 16384;
+    // their deterministic hook, like Core::run does. The poll ladder
+    // is call-relative and shared with the kernel: position i polls
+    // iff i is a multiple of ffPollInsts, wherever the prefix ends.
     ExecContext *exec = currentExecContext();
 
-    for (InstCount i = 0; i < n; ++i) {
-        if (exec && (i & (pollInterval - 1)) == 0)
+    for (InstCount i = done; i < n; ++i) {
+        if (exec && (i & (ffPollInsts - 1)) == 0)
             exec->poll(coreStats.cycles, lastCommitOracleIdx);
         const SeqNum idx = lastCommitOracleIdx + 1;
         const OracleInst &oi = oracle->at(idx);
@@ -625,9 +650,8 @@ Core::run(InstCount max_insts)
     // and give the fault injector its deterministic hook. Polling
     // reads simulator state but never writes it, so a watched run is
     // cycle-for-cycle identical to an unwatched one.
-    constexpr Cycle pollInterval = 1024;
     ExecContext *exec = currentExecContext();
-    Cycle nextPoll = coreStats.cycles + pollInterval;
+    Cycle nextPoll = coreStats.cycles + runPollCycles;
 
     const InstCount target = committed() + max_insts;
     InstCount lastCommitted = committed();
@@ -645,7 +669,7 @@ Core::run(InstCount max_insts)
                          variantName(cfg.variant));
         }
         if (exec && coreStats.cycles >= nextPoll) {
-            nextPoll = coreStats.cycles + pollInterval;
+            nextPoll = coreStats.cycles + runPollCycles;
             exec->poll(coreStats.cycles, committed());
         }
     }

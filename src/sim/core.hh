@@ -21,6 +21,7 @@
 #include "frontend/decode.hh"
 #include "frontend/supply.hh"
 #include "sim/config.hh"
+#include "sim/warm_kernel.hh"
 #include "workload/oracle_stream.hh"
 #include "workload/program.hh"
 #include "workload/wrong_path.hh"
@@ -78,6 +79,19 @@ class Core
      * after a generous cycle bound — a deadlock diagnostic).
      */
     void run(InstCount max_insts);
+
+    /**
+     * Watchdog/fault-injection poll cadences, one named constant per
+     * execution mode so `--stall` detection latency is predictable:
+     * the detailed loop polls every runPollCycles cycles; both
+     * fast-forward paths (scalar and batch kernel) poll every
+     * ffPollInsts instructions on the same call-relative ladder.
+     * Both values are load-bearing for fault-injection determinism
+     * (armed ticks land on poll points) — change them only with the
+     * fault tests in mind.
+     */
+    static constexpr Cycle runPollCycles = 1024;
+    static constexpr InstCount ffPollInsts = 16384;
 
     Cycle cycles() const { return coreStats.cycles; }
     InstCount committed() const { return backendUnit->stats().committed; }
@@ -145,6 +159,10 @@ class Core
     bool ffResumeStateValid() const { return ffGenStateValid; }
     const OracleGen &ffResumeState() const { return ffGenState; }
 
+    /** Cumulative functional-warming work counters (see
+     *  sim/warm_kernel.hh); monotonic across fastForward() calls. */
+    const WarmStats &warmStats() const { return warmStats_; }
+
     /**
      * Serialize the complete warm state — every structure
      * fastForward() warms plus every cumulative counter the reporters
@@ -173,6 +191,19 @@ class Core
     void applyRedirect(Redirect r);
     void applyPatches(Redirect &redirect, Cycle now);
     bool historyVisible(const StaticInst &si) const;
+
+    /**
+     * Batch functional warming over the compiled-trace side tables
+     * (sim/warm_kernel.cc): warm @a kn instructions starting at
+     * 0-based stream position @a p0 (== lastCommitOracleIdx), with
+     * @a last_line the live I-line dedup register shared with the
+     * scalar loop (in/out, for windows straddling the prefix end).
+     * State after the call is byte-identical to @a kn scalar
+     * fast-forward iterations. @a p0 + @a kn must lie within the
+     * compiled prefix.
+     */
+    void warmKernel(const CompiledTrace &tr, InstCount p0,
+                    InstCount kn, Addr &last_line);
     DynInst *findInFlight(SeqNum seq);
     /** findInFlight, falling back to the fetch-to-decode buffer
      *  (binary search — both structures are seq-ordered). */
@@ -222,6 +253,7 @@ class Core
     bool ffGenStateValid = false;
 
     CoreStats coreStats;
+    WarmStats warmStats_;
 };
 
 } // namespace elfsim

@@ -221,6 +221,17 @@ runSampled(const Program &prog, const SimConfig &cfg,
     const std::uint64_t cfgFp = configFingerprint(cfg);
     CheckpointStore &store = CheckpointStore::instance();
 
+    // Back the stream with a compiled trace so fast-forward runs the
+    // batch warming kernel over the compiled prefix instead of the
+    // scalar per-instruction loop (state-identical either way). The
+    // acquisition is capped — streams longer than the cap warm their
+    // tail scalar — and a no-op when trace compilation is disabled.
+    std::shared_ptr<const CompiledTrace> trace = opts.trace;
+    if (!trace)
+        trace = TraceCache::instance().acquire(
+            prog, std::min(opts.warmupInsts + opts.measureInsts,
+                           maxSampledTraceInsts));
+
     // Two attempts: the second only runs if a checkpoint passed every
     // artifact-level check yet its payload failed mid-restore (layout
     // drift), leaving the core half-loaded. That run restarts from
@@ -228,7 +239,7 @@ runSampled(const Program &prog, const SimConfig &cfg,
     // on the cache.
     for (int attempt = 0; attempt < 2; ++attempt) {
         const bool useCkpts = attempt == 0 && store.usable();
-        Core core(cfg, prog, opts.trace);
+        Core core(cfg, prog, trace);
         // Per-window placement offsets; re-seeded per attempt so a
         // checkpoint-pollution restart measures the same positions.
         Rng offsetRng(mix64(P, mix64(L, W)));
@@ -239,6 +250,8 @@ runSampled(const Program &prog, const SimConfig &cfg,
         timeline.reserve(windows);
         ipcs.reserve(windows);
         std::uint64_t ckptHits = 0, ckptMisses = 0, ckptSaves = 0;
+        std::uint64_t ffTotal = 0; ///< insts fast-forwarded (coherence
+                                   ///< witness for the warm counters)
         bool polluted = false;
 
         for (std::uint64_t w = 0; w < windows; ++w) {
@@ -268,7 +281,7 @@ runSampled(const Program &prog, const SimConfig &cfg,
                         if (hasGen)
                             gen.loadState(d);
                         if (hasGen ||
-                            streamCovers(opts.trace, detailedStart)) {
+                            streamCovers(trace, detailedStart)) {
                             coreTouched = true;
                             core.loadWarmState(
                                 d, detailedStart,
@@ -307,9 +320,11 @@ runSampled(const Program &prog, const SimConfig &cfg,
                     ++ckptMisses;
                 ELFSIM_ASSERT(core.consumedInsts() <= detailedStart,
                               "sampled run overran the window start");
-                if (detailedStart > core.consumedInsts())
+                if (detailedStart > core.consumedInsts()) {
+                    ffTotal += detailedStart - core.consumedInsts();
                     core.fastForward(detailedStart -
                                      core.consumedInsts());
+                }
                 if (ckptHere) {
                     Serializer s;
                     // Persist the generator resume state only when it
@@ -317,7 +332,7 @@ runSampled(const Program &prog, const SimConfig &cfg,
                     // the reseek is array-backed.
                     const bool hasGen =
                         core.ffResumeStateValid() &&
-                        !streamCovers(opts.trace, detailedStart);
+                        !streamCovers(trace, detailedStart);
                     s.boolean(hasGen);
                     if (hasGen)
                         core.ffResumeState().saveState(s);
@@ -370,6 +385,16 @@ runSampled(const Program &prog, const SimConfig &cfg,
         r.sampling.ckptHits = ckptHits;
         r.sampling.ckptMisses = ckptMisses;
         r.sampling.ckptSaves = ckptSaves;
+
+        // Functional-warming work split (counted on the core; the
+        // independent ffTotal witnesses kernel + scalar == ff).
+        const WarmStats &wd = core.warmStats();
+        r.sampling.warmKernelInsts = wd.kernelInsts;
+        r.sampling.warmScalarInsts = wd.scalarInsts;
+        r.sampling.warmBranchEvents = wd.branchEvents;
+        r.sampling.warmLinesTouched = wd.linesTouched;
+        r.sampling.warmFfInsts = ffTotal;
+        recordWarmStats(wd);
         return r;
     }
     throw ParseError("sampled run failed twice; checkpoint store and "

@@ -105,6 +105,20 @@ struct SamplingInfo
     std::uint64_t ckptMisses = 0;
     std::uint64_t ckptSaves = 0;
 
+    // Functional-warming work split for this run (see
+    // sim/warm_kernel.hh). Deterministic for a given (workload,
+    // schedule): kernel vs scalar split depends only on the compiled-
+    // prefix length, never on thread count or wall-clock, so these
+    // are safe in byte-compared result JSON. warmFfInsts counts the
+    // total instructions fast-forwarded (kernel + scalar by
+    // construction; exported independently so check_results.py can
+    // verify the coherence rather than assume it).
+    std::uint64_t warmKernelInsts = 0;
+    std::uint64_t warmScalarInsts = 0;
+    std::uint64_t warmBranchEvents = 0;
+    std::uint64_t warmLinesTouched = 0;
+    std::uint64_t warmFfInsts = 0;
+
     /** Field visitor; see IntervalSample::visitFields. */
     template <typename Self, typename V>
     static void
@@ -121,6 +135,11 @@ struct SamplingInfo
         v("ckpt_hits", self.ckptHits);
         v("ckpt_misses", self.ckptMisses);
         v("ckpt_saves", self.ckptSaves);
+        v("warm_kernel_insts", self.warmKernelInsts);
+        v("warm_scalar_insts", self.warmScalarInsts);
+        v("warm_branch_events", self.warmBranchEvents);
+        v("warm_lines_touched", self.warmLinesTouched);
+        v("warm_ff_insts", self.warmFfInsts);
     }
 
     template <typename V>
@@ -292,12 +311,24 @@ struct RunOptions
      * of a workload shares the same buffer). When null, runSimulation
      * asks the process-wide TraceCache, which compiles the stream
      * once per distinct program and is a no-op when trace compilation
-     * is disabled. Behaviour-neutral in all cases. Sampled runs never
-     * ask the TraceCache (compiling a 100M-instruction stream would
-     * cost gigabytes); they honor a caller-provided trace.
+     * is disabled. Behaviour-neutral in all cases. Sampled runs ask
+     * for at most the first maxSampledTraceInsts instructions (a full
+     * 100M-instruction stream would cost gigabytes); the batch
+     * warming kernel covers the compiled prefix and the scalar loop
+     * the lazy tail.
      */
     std::shared_ptr<const CompiledTrace> trace;
 };
+
+/**
+ * Cap on the compiled-trace prefix a sampled run acquires for the
+ * batch warming kernel (instructions). 2^26 insts is roughly 2 GiB
+ * of v2 artifact per distinct workload content — large enough to
+ * cover the whole stream for every catalog/bench workload in use,
+ * small enough to bound cache-directory growth. Streams longer than this warm the
+ * tail with the scalar loop (state-identical either way).
+ */
+constexpr InstCount maxSampledTraceInsts = InstCount(1) << 26;
 
 /**
  * Point-in-time capture of the core counters that runSimulation

@@ -282,23 +282,26 @@ SweepRunner::runSubset(const std::vector<SweepJob> &grid,
     // disabled) leave those cells on the lazy reference path.
     const TraceStats traceStart = TraceCache::instance().stats();
     const CkptStats ckptStart = CheckpointStore::instance().stats();
+    const WarmStats warmStart = processWarmStats();
     std::vector<std::shared_ptr<const CompiledTrace>> traces(grid.size());
     for (std::size_t i = 0; i < grid.size(); ++i) {
         if (done[i] || !grid[i].program)
             continue;
-        // Sampled cells stay lazy: compiling their whole (typically
-        // 10M+ instruction) stream would dwarf the run itself. Their
-        // warm state comes from the CheckpointStore instead.
-        if (grid[i].opts.sampled()) {
-            traces[i] = grid[i].opts.trace;
-            continue;
-        }
+        // Sampled cells compile a capped prefix: the batch warming
+        // kernel fast-forwards over the compiled SoA, so the prefix
+        // that covers warmup+measure (bounded by maxSampledTraceInsts
+        // to keep the artifact finite) pays for itself many times
+        // over. Anything past the cap degrades to the scalar path.
+        const InstCount want =
+            grid[i].opts.sampled()
+                ? std::min(grid[i].opts.warmupInsts +
+                               grid[i].opts.measureInsts,
+                           maxSampledTraceInsts)
+                : grid[i].opts.warmupInsts + grid[i].opts.measureInsts;
         traces[i] = grid[i].opts.trace
                         ? grid[i].opts.trace
                         : TraceCache::instance().acquire(
-                              *grid[i].program,
-                              grid[i].opts.warmupInsts +
-                                  grid[i].opts.measureInsts);
+                              *grid[i].program, want);
     }
 
     const auto sweepStart = std::chrono::steady_clock::now();
@@ -456,6 +459,7 @@ SweepRunner::runSubset(const std::vector<SweepJob> &grid,
 
     lastTraceStats = TraceCache::instance().stats().delta(traceStart);
     lastCkptStats = CheckpointStore::instance().stats().delta(ckptStart);
+    lastWarmStats = processWarmStats().delta(warmStart);
 
     lastTiming = SweepTiming{};
     lastTiming.jobs = static_cast<unsigned>(only ? selected : grid.size());
@@ -571,6 +575,22 @@ SweepRunner::printTimingSummary(std::ostream &os) const
     cg.addCounter("bytes_written", "artifact bytes persisted") +=
         ck.bytesWritten;
     cg.dump(os);
+
+    const WarmStats &w = lastWarmStats;
+    stats::StatGroup wg("warm");
+    wg.addCounter("kernel_insts",
+                  "insts fast-forwarded by the batch kernel") +=
+        w.kernelInsts;
+    wg.addCounter("scalar_insts",
+                  "insts fast-forwarded by the scalar loop") +=
+        w.scalarInsts;
+    wg.addCounter("branch_events", "branch events the kernel replayed") +=
+        w.branchEvents;
+    wg.addCounter("lines_touched", "I-side line fetches the kernel issued") +=
+        w.linesTouched;
+    wg.addFormula("kernel_seconds", "wall-clock inside the batch kernel",
+                  [&w] { return w.kernelSeconds; });
+    wg.dump(os);
 }
 
 } // namespace elfsim

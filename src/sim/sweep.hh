@@ -228,6 +228,9 @@ class SweepRunner
      *  (CheckpointStore counter deltas captured across run()). */
     const CkptStats &ckptStats() const { return lastCkptStats; }
 
+    /** Functional-warming work split accumulated by the last run(). */
+    const WarmStats &warmStats() const { return lastWarmStats; }
+
     /** Results of the most recent run(), in submission order. */
     const std::vector<RunResult> &results() const { return lastResults; }
 
@@ -304,6 +307,7 @@ class SweepRunner
     SweepTiming lastTiming;
     TraceStats lastTraceStats;  ///< TraceCache activity, last run
     CkptStats lastCkptStats;    ///< CheckpointStore activity, last run
+    WarmStats lastWarmStats;    ///< warming kernel activity, last run
     std::vector<RunResult> lastResults; ///< merged results, last run
     std::vector<double> jobSeconds; ///< per-job wall-clocks, last run
     std::function<void(std::size_t, const RunResult &)> cellObserver;

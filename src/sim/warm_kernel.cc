@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Batch functional-warming kernel (Core::warmKernel).
+ *
+ * Replays a window of the compiled architectural stream through the
+ * warm structures — caches, predictors, BTB hierarchy, BTB builder —
+ * by iterating the elfsim-trace-v2 warming side tables instead of
+ * pulling every instruction through the oracle window:
+ *
+ *   - the cache pass merges I-line transitions (computed from the
+ *     sequential-run list and the configured L0I line size — line
+ *     geometry is config-dependent, so transitions are never stored)
+ *     with the memory-event list, in stream order, issuing exactly
+ *     the instFetch/dataAccess calls the scalar loop would;
+ *   - the branch pass walks the branch-event list, catching the BTB
+ *     builder up over branch-free gaps with
+ *     BtbBuilder::retireSequentialRange, then training
+ *     TAGE/ITTAGE/bimodal/RAS, the coupled predictors, and the BTB
+ *     exactly like commit of an unpredicted branch.
+ *
+ * The two passes touch disjoint state (MemHierarchy vs the predictor/
+ * BTB group), and each preserves stream order within its group, so
+ * splitting them is state-equivalent to the interleaved scalar loop.
+ * Work is chunked on the scalar loop's exact ffPollInsts ladder: the
+ * ExecContext poll fires at chunk start with the same (cycles,
+ * committed) pair the scalar loop would publish, and a poll that
+ * throws leaves the chunk unprocessed — i.e. the same state the
+ * scalar loop would hold at that poll point. The hard invariant,
+ * enforced catalog-wide by test_warm_kernel: serialized warm state
+ * after this kernel is byte-identical to the scalar path.
+ */
+
+#include <chrono>
+#include <mutex>
+
+#include "common/fault.hh"
+#include "sim/core.hh"
+#include "workload/compiled_trace.hh"
+
+namespace elfsim {
+
+namespace {
+
+std::mutex warmStatsMtx;
+WarmStats processWarm;
+
+} // namespace
+
+void
+recordWarmStats(const WarmStats &d)
+{
+    std::lock_guard<std::mutex> lock(warmStatsMtx);
+    processWarm.add(d);
+}
+
+WarmStats
+processWarmStats()
+{
+    std::lock_guard<std::mutex> lock(warmStatsMtx);
+    return processWarm;
+}
+
+void
+Core::warmKernel(const CompiledTrace &tr, InstCount p0, InstCount kn,
+                 Addr &last_line)
+{
+    ELFSIM_ASSERT(p0 == lastCommitOracleIdx &&
+                      p0 + kn <= tr.size(),
+                  "warm kernel window outside the compiled prefix");
+    const auto wallStart = std::chrono::steady_clock::now();
+
+    const Addr lineBytes = Addr(cfg.mem.l0i.lineBytes);
+    const Addr lineMask = ~(lineBytes - 1);
+    const Cycle base = coreStats.cycles;
+    const SeqNum idx0 = lastCommitOracleIdx;
+    ExecContext *exec = currentExecContext();
+
+    // The oracle window may hold instructions generated ahead by the
+    // preceding detailed run; the scalar loop would replay them (the
+    // compiled stream is the lazy stream, so replay == table replay).
+    // Drop them and re-serve from the arrays after the seek below.
+    if (!oracle->windowEmpty())
+        oracle->retireUpTo(oracle->newest());
+
+    // Side-table cursors, advanced monotonically across chunks.
+    InstCount r = tr.runContaining(p0);
+    InstCount m = tr.firstMemAtOrAfter(p0);
+    InstCount b = tr.firstBranchAtOrAfter(p0);
+    const StaticInst *image = prog.instructions().data();
+
+    // PC of the branch pass's next unretired position, tracked
+    // incrementally: between branch events the stream is strictly
+    // sequential (runs end only at taken *branches*), and each
+    // event's recorded next-PC is the PC after it — taken target or
+    // fall-through alike. One search seeds it; no lookups after.
+    Addr gapNextPC = tr.runPC(r) + instsToBytes(p0 - tr.runPos(r));
+
+    std::uint64_t fetches = 0;
+    const InstCount bAtEntry = b;
+
+    InstCount i = 0; // call-relative position (poll ladder)
+    while (i < kn) {
+        if (exec)
+            exec->poll(base + i, idx0 + i);
+        const InstCount c1 = std::min(i + ffPollInsts, kn);
+        const InstCount A0 = p0 + i;
+        const InstCount A1 = p0 + c1;
+
+        // --- cache pass: line transitions merged with mem events ---
+        InstCount pos = A0;
+        while (pos < A1) {
+            const InstCount runEnd = (r + 1 < tr.numRuns())
+                                         ? tr.runPos(r + 1)
+                                         : tr.size();
+            const InstCount segEnd = std::min(runEnd, A1);
+            Addr pc = tr.runPC(r) + instsToBytes(pos - tr.runPos(r));
+            while (pos < segEnd) {
+                // Next position whose fetch leaves the current line.
+                InstCount nf;
+                const Addr line = pc & lineMask;
+                if (line != last_line)
+                    nf = pos;
+                else
+                    nf = pos + (line + lineBytes - pc) / instBytes;
+                if (nf >= segEnd) {
+                    // No further fetch this segment: drain mem
+                    // events up to the segment end and move on.
+                    while (m < tr.numMemEvents() &&
+                           tr.memPos(m) < segEnd) {
+                        mem->dataAccess(tr.memPC(m), tr.memEvAddr(m),
+                                        tr.memIsStore(m),
+                                        base + (tr.memPos(m) - p0) + 1);
+                        ++m;
+                    }
+                    pos = segEnd;
+                    break;
+                }
+                // Mem events strictly before the fetch position
+                // precede it; one *at* the fetch position follows the
+                // fetch (scalar order: instFetch, then dataAccess) —
+                // it drains on the next iteration or at segment end.
+                while (m < tr.numMemEvents() && tr.memPos(m) < nf) {
+                    mem->dataAccess(tr.memPC(m), tr.memEvAddr(m),
+                                    tr.memIsStore(m),
+                                    base + (tr.memPos(m) - p0) + 1);
+                    ++m;
+                }
+                pc += instsToBytes(nf - pos);
+                pos = nf;
+                mem->instFetch(pc, base + (pos - p0) + 1);
+                last_line = pc & lineMask;
+                ++fetches;
+            }
+            if (pos == runEnd) {
+                // The instruction ending this run is a taken
+                // transfer; the scalar loop resets its line register
+                // after every taken branch so the target refetches.
+                if (tr.taken(runEnd - 1))
+                    last_line = invalidAddr;
+                ++r;
+            }
+        }
+
+        // --- branch pass: builder catch-up + commit training --------
+        InstCount gapStart = A0;
+        while (b < tr.numBranchEvents() && tr.branchPos(b) < A1) {
+            const InstCount bpos = tr.branchPos(b);
+            if (bpos > gapStart)
+                builder->retireSequentialRange(gapNextPC,
+                                               bpos - gapStart);
+            const StaticInst &si = image[tr.siIndex(bpos)];
+            ELFSIM_ASSERT(si.pc ==
+                              gapNextPC + instsToBytes(bpos - gapStart),
+                          "branch-pass PC tracking diverged");
+            const bool taken = tr.branchTaken(b);
+            const Addr target = tr.branchTarget(b);
+            bank->commitBranch(si.pc, si.branch, taken, target,
+                               TagePrediction{}, IttagePrediction{},
+                               historyVisible(si));
+            controller->coupledPredictors().trainCommit(
+                si.pc, si.branch, taken, target, FetchMode::Coupled);
+            if (taken) {
+                btbHier->lookup(target);
+            }
+            builder->retire(si, taken, target);
+            ++b;
+            gapStart = bpos + 1;
+            gapNextPC = target; // recorded next-PC either way
+        }
+        if (A1 > gapStart) {
+            builder->retireSequentialRange(gapNextPC, A1 - gapStart);
+            gapNextPC += instsToBytes(A1 - gapStart);
+        }
+
+        // Chunk done: publish the scalar loop's end-of-chunk state.
+        coreStats.cycles = base + c1;
+        lastCommitOracleIdx = idx0 + c1;
+        i = c1;
+    }
+
+    // Reposition the stream after the warmed window; the next
+    // instruction served is idx0 + kn + 1 (from the arrays inside
+    // the prefix, resuming the saved generator state past it).
+    oracle->seekTo(idx0 + kn + 1);
+
+    warmStats_.kernelInsts += kn;
+    warmStats_.branchEvents += b - bAtEntry;
+    warmStats_.linesTouched += fetches;
+    warmStats_.kernelSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+}
+
+} // namespace elfsim

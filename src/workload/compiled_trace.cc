@@ -1,5 +1,6 @@
 #include "workload/compiled_trace.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,10 +21,20 @@ namespace elfsim {
 
 namespace {
 
-constexpr char traceMagic[16] = "elfsim-trace-v1"; // includes the NUL
+constexpr char traceMagic[16] = "elfsim-trace-v2"; // includes the NUL
+
+/**
+ * Content-key salt, frozen at the original format string. The key
+ * names the *stream* (program content + length), not the container
+ * layout; CheckpointStore keys derive from it, so the salt must
+ * survive container-format bumps. Staleness of the container itself
+ * is caught by the magic above — a v1 file fails the memcmp and
+ * recompiles into a v2 file under the same key and path.
+ */
+constexpr char traceKeySalt[] = "elfsim-trace-v1";
 
 /** Fixed-size part of the file, through the checksum field. */
-constexpr std::size_t headerBytes = 16 + 8 * 8;
+constexpr std::size_t headerBytes = 16 + 11 * 8;
 
 /** Header scalar fields, in file order (after the magic). */
 struct TraceHeader
@@ -35,6 +46,9 @@ struct TraceHeader
     std::uint64_t indN = 0;
     std::uint64_t memN = 0;
     std::uint64_t endPC = 0;
+    std::uint64_t nBranch = 0;
+    std::uint64_t nRun = 0;
+    std::uint64_t nMem = 0;
     std::uint64_t checksum = 0;
 };
 
@@ -50,8 +64,12 @@ std::uint64_t
 expectedFileSize(const TraceHeader &h)
 {
     const std::uint64_t u64s = h.callDepth + h.condN + h.indN + h.memN +
-                               takenWordsFor(h.count) + 2 * h.count;
-    return headerBytes + 8 * u64s + 4 * h.count;
+                               takenWordsFor(h.count) + 2 * h.count +
+                               2 * h.nBranch + h.nRun + 2 * h.nMem +
+                               takenWordsFor(h.nMem);
+    const std::uint64_t u32s =
+        h.count + h.nBranch + h.nRun + h.nMem;
+    return headerBytes + 8 * u64s + 4 * u32s + h.nBranch;
 }
 
 /**
@@ -70,7 +88,10 @@ contentChecksum(const TraceHeader &h, const void *sections,
         .u64(h.condN)
         .u64(h.indN)
         .u64(h.memN)
-        .u64(h.endPC);
+        .u64(h.endPC)
+        .u64(h.nBranch)
+        .u64(h.nRun)
+        .u64(h.nMem);
     hash.bytes(sections, section_bytes);
     return hash.value();
 }
@@ -139,7 +160,7 @@ std::uint64_t
 CompiledTrace::key(const Program &prog, InstCount count)
 {
     Fnv1a h;
-    h.str(traceMagic); // format version participates in the key
+    h.str(traceKeySalt); // frozen stream-content salt, NOT the magic
     h.u64(prog.codeBase()).u64(prog.entryPC()).u64(count);
 
     const std::vector<StaticInst> &image = prog.instructions();
@@ -200,27 +221,78 @@ CompiledTrace::compile(const Program &prog, InstCount count)
     const StaticInst *imageBase = prog.instructions().data();
     OracleGen gen;
     gen.reset(prog);
+    // Warming side-table derivation runs inline with the generation
+    // pass: a new sequential run opens at position 0 and after every
+    // taken transfer; every branch-kinded and memory instruction
+    // contributes one event in stream order.
+    bool newRun = true;
+    Addr fallThrough = invalidAddr;
     for (InstCount i = 0; i < count; ++i) {
         const OracleInst oi = gen.step(prog);
+        const StaticInst &si = *oi.si;
         t->ownSiIdx_[i] = std::uint32_t(oi.si - imageBase);
         if (oi.taken)
             t->ownTaken_[i >> 6] |= std::uint64_t(1) << (i & 63);
         t->ownNextPC_[i] = oi.nextPC;
         t->ownMemAddr_[i] = oi.memAddr;
+
+        if (newRun) {
+            t->ownRunPos_.push_back(std::uint32_t(i));
+            t->ownRunPC_.push_back(si.pc);
+        } else {
+            ELFSIM_ASSERT(si.pc == fallThrough,
+                          "non-sequential PC inside a run");
+        }
+        if (si.branch != BranchKind::None) {
+            t->ownBranchPos_.push_back(std::uint32_t(i));
+            t->ownBranchPC_.push_back(si.pc);
+            t->ownBranchTarget_.push_back(oi.nextPC);
+            t->ownBranchKind_.push_back(
+                std::uint8_t(std::uint64_t(si.branch)) |
+                (oi.taken ? std::uint8_t(0x80) : std::uint8_t(0)));
+        }
+        if (si.isMemInst()) {
+            const std::size_t j = t->ownMemPos_.size();
+            if ((j & 63) == 0)
+                t->ownStoreWords_.push_back(0);
+            if (si.isStore())
+                t->ownStoreWords_[j >> 6] |=
+                    std::uint64_t(1) << (j & 63);
+            t->ownMemPos_.push_back(std::uint32_t(i));
+            t->ownMemPC_.push_back(si.pc);
+            t->ownMemEvAddr_.push_back(oi.memAddr);
+        }
+        newRun = oi.taken;
+        fallThrough = si.pc + instBytes;
     }
     t->end_ = std::move(gen);
+    t->nBranch_ = t->ownBranchPos_.size();
+    t->nRun_ = t->ownRunPos_.size();
+    t->nMem_ = t->ownMemPos_.size();
 
     t->takenWords_ = t->ownTaken_.data();
     t->nextPC_ = t->ownNextPC_.data();
     t->memAddr_ = t->ownMemAddr_.data();
     t->siIdx_ = t->ownSiIdx_.data();
+    t->branchPC_ = t->ownBranchPC_.data();
+    t->branchTarget_ = t->ownBranchTarget_.data();
+    t->runPC_ = t->ownRunPC_.data();
+    t->memPC_ = t->ownMemPC_.data();
+    t->memEvAddr_ = t->ownMemEvAddr_.data();
+    t->storeWords_ = t->ownStoreWords_.data();
+    t->branchPos_ = t->ownBranchPos_.data();
+    t->runPos_ = t->ownRunPos_.data();
+    t->memPos_ = t->ownMemPos_.data();
+    t->branchKind_ = t->ownBranchKind_.data();
     return t;
 }
 
 std::size_t
 CompiledTrace::payloadBytes() const
 {
-    return 8 * (takenWordsFor(count_) + 2 * count_) + 4 * count_;
+    return 8 * (takenWordsFor(count_) + 2 * count_ + 2 * nBranch_ +
+                nRun_ + 2 * nMem_ + takenWordsFor(nMem_)) +
+           4 * (count_ + nBranch_ + nRun_ + nMem_) + nBranch_;
 }
 
 std::vector<char>
@@ -234,6 +306,9 @@ CompiledTrace::serialized() const
     h.indN = end_.indCount.size();
     h.memN = end_.memCount.size();
     h.endPC = end_.pc;
+    h.nBranch = nBranch_;
+    h.nRun = nRun_;
+    h.nMem = nMem_;
 
     // Assemble the whole image once so the checksum and every
     // consumer (the file write, the wire payload) see the exact same
@@ -241,10 +316,15 @@ CompiledTrace::serialized() const
     std::vector<char> image;
     image.reserve(std::size_t(expectedFileSize(h)));
     image.resize(headerBytes);
-    const auto appendU64s = [&image](const std::uint64_t *p,
-                                     std::size_t n) {
-        const char *raw = reinterpret_cast<const char *>(p);
-        image.insert(image.end(), raw, raw + 8 * n);
+    const auto appendRaw = [&image](const void *p, std::size_t bytes) {
+        if (bytes == 0)
+            return; // empty sections may have null views
+        const char *raw = static_cast<const char *>(p);
+        image.insert(image.end(), raw, raw + bytes);
+    };
+    const auto appendU64s = [&appendRaw](const std::uint64_t *p,
+                                         std::size_t n) {
+        appendRaw(p, 8 * n);
     };
     appendU64s(end_.callStack.data(), h.callDepth);
     appendU64s(end_.condCount.data(), h.condN);
@@ -253,16 +333,25 @@ CompiledTrace::serialized() const
     appendU64s(takenWords_, takenWordsFor(count_));
     appendU64s(nextPC_, count_);
     appendU64s(memAddr_, count_);
-    const char *siRaw = reinterpret_cast<const char *>(siIdx_);
-    image.insert(image.end(), siRaw, siRaw + 4 * count_);
+    appendU64s(branchPC_, nBranch_);
+    appendU64s(branchTarget_, nBranch_);
+    appendU64s(runPC_, nRun_);
+    appendU64s(memPC_, nMem_);
+    appendU64s(memEvAddr_, nMem_);
+    appendU64s(storeWords_, takenWordsFor(nMem_));
+    appendRaw(siIdx_, 4 * count_);
+    appendRaw(branchPos_, 4 * nBranch_);
+    appendRaw(runPos_, 4 * nRun_);
+    appendRaw(memPos_, 4 * nMem_);
+    appendRaw(branchKind_, nBranch_);
 
     h.checksum = contentChecksum(h, image.data() + headerBytes,
                                  image.size() - headerBytes);
 
     std::memcpy(image.data(), traceMagic, sizeof(traceMagic));
-    const std::uint64_t scalars[] = {h.key,   h.count, h.callDepth,
-                                     h.condN, h.indN,  h.memN,
-                                     h.endPC, h.checksum};
+    const std::uint64_t scalars[] = {
+        h.key,  h.count,   h.callDepth, h.condN, h.indN,    h.memN,
+        h.endPC, h.nBranch, h.nRun,     h.nMem,  h.checksum};
     std::memcpy(image.data() + 16, scalars, sizeof(scalars));
     return image;
 }
@@ -340,11 +429,11 @@ CompiledTrace::parseImage(const char *data, std::size_t size,
                                 what.c_str(), size, headerBytes));
     if (std::memcmp(data, traceMagic, sizeof(traceMagic)) != 0)
         throw ParseError(errorf("%s has a bad magic "
-                                "(not an elfsim-trace-v1 image)",
+                                "(not an elfsim-trace-v2 image)",
                                 what.c_str()));
 
     TraceHeader h;
-    std::memcpy(&h.key, data + 16, 8 * 8); // scalars are contiguous
+    std::memcpy(&h.key, data + 16, 11 * 8); // scalars are contiguous
     if (h.key != expect_key)
         throw ParseError(errorf(
             "%s is stale: key %016llx, expected %016llx",
@@ -353,11 +442,17 @@ CompiledTrace::parseImage(const char *data, std::size_t size,
 
     // Field sanity before any size arithmetic (caps far above real
     // values keep a corrupt length from overflowing the size check).
+    // Side-table lengths are bounded by the instruction count: every
+    // event maps to one instruction, and a run needs a first one.
     constexpr std::uint64_t fieldCap = std::uint64_t(1) << 32;
     if (h.count >= fieldCap || h.callDepth > OracleGen::maxCallDepth ||
         h.condN >= fieldCap || h.indN >= fieldCap || h.memN >= fieldCap)
         throw ParseError(errorf("%s has implausible "
                                 "section lengths", what.c_str()));
+    if (h.nBranch > h.count || h.nMem > h.count || h.nRun > h.count ||
+        (h.count > 0) != (h.nRun > 0))
+        throw ParseError(errorf("%s has implausible "
+                                "side-table lengths", what.c_str()));
     if (size != expectedFileSize(h))
         throw ParseError(errorf(
             "%s size mismatch (%zu bytes, header "
@@ -392,14 +487,66 @@ CompiledTrace::parseImage(const char *data, std::size_t size,
     takeU64s(t->end_.indCount, h.indN);
     takeU64s(t->end_.memCount, h.memN);
 
+    t->nBranch_ = h.nBranch;
+    t->nRun_ = h.nRun;
+    t->nMem_ = h.nMem;
+
     t->takenWords_ = u64s;
     u64s += takenWordsFor(h.count);
     t->nextPC_ = u64s;
     u64s += h.count;
     t->memAddr_ = u64s;
     u64s += h.count;
-    t->siIdx_ = reinterpret_cast<const std::uint32_t *>(u64s);
+    t->branchPC_ = u64s;
+    u64s += h.nBranch;
+    t->branchTarget_ = u64s;
+    u64s += h.nBranch;
+    t->runPC_ = u64s;
+    u64s += h.nRun;
+    t->memPC_ = u64s;
+    u64s += h.nMem;
+    t->memEvAddr_ = u64s;
+    u64s += h.nMem;
+    t->storeWords_ = u64s;
+    u64s += takenWordsFor(h.nMem);
+
+    const std::uint32_t *u32s =
+        reinterpret_cast<const std::uint32_t *>(u64s);
+    t->siIdx_ = u32s;
+    u32s += h.count;
+    t->branchPos_ = u32s;
+    u32s += h.nBranch;
+    t->runPos_ = u32s;
+    u32s += h.nRun;
+    t->memPos_ = u32s;
+    u32s += h.nMem;
+    t->branchKind_ = reinterpret_cast<const std::uint8_t *>(u32s);
     return t;
+}
+
+InstCount
+CompiledTrace::firstBranchAtOrAfter(InstCount pos) const
+{
+    const std::uint32_t *it = std::lower_bound(
+        branchPos_, branchPos_ + nBranch_, std::uint32_t(pos));
+    return InstCount(it - branchPos_);
+}
+
+InstCount
+CompiledTrace::firstMemAtOrAfter(InstCount pos) const
+{
+    const std::uint32_t *it = std::lower_bound(
+        memPos_, memPos_ + nMem_, std::uint32_t(pos));
+    return InstCount(it - memPos_);
+}
+
+InstCount
+CompiledTrace::runContaining(InstCount pos) const
+{
+    ELFSIM_ASSERT(pos < count_, "run lookup past the compiled prefix");
+    const std::uint32_t *it = std::upper_bound(
+        runPos_, runPos_ + nRun_, std::uint32_t(pos));
+    return InstCount(it - runPos_) - 1; // runPos_[0] == 0 always
 }
 
 } // namespace elfsim

@@ -17,26 +17,58 @@
  * past the compiled prefix resumes lazy generation seamlessly — the
  * compiled and lazy streams are indistinguishable at every index.
  *
- * On-disk format ("elfsim-trace-v1", native-endian, 8-byte words):
+ * Besides the per-instruction arrays, compilation derives three
+ * *warming side tables* — flat event lists the batch warming kernel
+ * (sim/warm_kernel.cc) iterates instead of walking every instruction:
  *
- *   char     magic[16]   "elfsim-trace-v1\0"
+ *   - branch events: one entry per instruction with a branch kind
+ *     (taken or not), carrying position, PC, kind + resolved
+ *     direction, and the architectural next PC (the commit-training
+ *     target);
+ *   - runs: maximal sequential regions. A run starts at position 0
+ *     and at the target of every taken transfer; within a run the PC
+ *     advances by instBytes per instruction, so I-cache line
+ *     transitions are pure arithmetic over (runPC, runPos);
+ *   - memory events: one entry per memory instruction, carrying
+ *     position, PC, bound address, and a packed is-store bitset.
+ *
+ * On-disk format ("elfsim-trace-v2", native-endian, 8-byte words):
+ *
+ *   char     magic[16]   "elfsim-trace-v2\0"
  *   u64      key         content hash (program image + behaviour
- *                        specs + instruction count + format version)
+ *                        specs + instruction count); the key salt is
+ *                        frozen at the v1 format string — see key()
  *   u64      count       compiled instructions
  *   u64      callDepth, condN, indN, memN   end-state array lengths
  *   u64      endPC       generator PC after instruction count
+ *   u64      nBranch, nRun, nMem            side-table lengths
  *   u64      checksum    FNV-1a of the other header scalars plus
  *                        every section byte after this field
  *   u64[]    callStack, condCount, indCount, memCount  (end state)
  *   u64[]    takenWords  ceil(count / 64) packed outcome bits
  *   u64[]    nextPC      count entries
  *   u64[]    memAddr     count entries (invalidAddr for non-mem ops)
+ *   u64[]    branchPC    nBranch entries
+ *   u64[]    branchTarget nBranch entries (architectural next PC)
+ *   u64[]    runPC       nRun entries (PC at each run start)
+ *   u64[]    memPC       nMem entries
+ *   u64[]    memEvAddr   nMem entries (bound address per mem event)
+ *   u64[]    storeWords  ceil(nMem / 64) packed is-store bits
  *   u32[]    siIdx       count entries (index into the program image)
+ *   u32[]    branchPos   nBranch entries (stream positions, ascending)
+ *   u32[]    runPos      nRun entries (run start positions, ascending)
+ *   u32[]    memPos      nMem entries (stream positions, ascending)
+ *   u8[]     branchKind  nBranch entries: BranchKind in the low bits,
+ *                        resolved taken direction in bit 7
  *
- * The file size is fully determined by the header, so truncation is
- * detected before the checksum is even computed; a bad magic, a stale
- * key, a size mismatch, or a checksum mismatch all raise ParseError,
- * which the TraceCache treats as "recompile", never as a failed cell.
+ * All u64 sections precede the u32 sections, which precede the u8
+ * section, so every view is naturally aligned off the 8-aligned
+ * header. The file size is fully determined by the header, so
+ * truncation is detected before the checksum is even computed; a bad
+ * magic (including a stale v1 artifact), a stale key, a size
+ * mismatch, or a checksum mismatch all raise ParseError, which the
+ * TraceCache treats as "recompile", never as a failed cell — a v1
+ * file transparently recompiles into a v2 file at the same path.
  */
 
 #ifndef ELFSIM_WORKLOAD_COMPILED_TRACE_HH
@@ -64,10 +96,18 @@ class CompiledTrace
 
     /**
      * Content hash identifying a (program, instruction count) pair:
-     * the static image, every behaviour spec, the entry point, the
-     * requested length, and the format version. Two programs with
-     * identical content share a key (and therefore a cache file)
-     * regardless of their names or addresses in memory.
+     * the static image, every behaviour spec, the entry point, and
+     * the requested length. Two programs with identical content share
+     * a key (and therefore a cache file) regardless of their names or
+     * addresses in memory.
+     *
+     * The hash is salted with the *original* "elfsim-trace-v1" format
+     * string, frozen independently of the file magic: the key names
+     * the stream content, not the container layout, and warm-state
+     * checkpoint keys (CheckpointStore::key) derive from it — bumping
+     * the salt with the container would orphan every elfsim-ckpt-v1
+     * artifact for no semantic change. Container-format staleness is
+     * caught by the file magic instead.
      */
     static std::uint64_t key(const Program &prog, InstCount count);
 
@@ -91,6 +131,43 @@ class CompiledTrace
      *  resume point). */
     const OracleGen &endState() const { return end_; }
 
+    // --- warming side tables (see the file comment) ------------------
+
+    /** Branch events (every instruction whose kind != None). */
+    InstCount numBranchEvents() const { return nBranch_; }
+    InstCount branchPos(InstCount j) const { return branchPos_[j]; }
+    Addr branchPC(InstCount j) const { return branchPC_[j]; }
+    Addr branchTarget(InstCount j) const { return branchTarget_[j]; }
+    BranchKind
+    branchKind(InstCount j) const
+    {
+        return BranchKind(branchKind_[j] & 0x7f);
+    }
+    bool branchTaken(InstCount j) const { return branchKind_[j] >> 7; }
+
+    /** Sequential runs delimited by taken transfers. */
+    InstCount numRuns() const { return nRun_; }
+    InstCount runPos(InstCount j) const { return runPos_[j]; }
+    Addr runPC(InstCount j) const { return runPC_[j]; }
+
+    /** Memory events (every memory instruction). */
+    InstCount numMemEvents() const { return nMem_; }
+    InstCount memPos(InstCount j) const { return memPos_[j]; }
+    Addr memPC(InstCount j) const { return memPC_[j]; }
+    Addr memEvAddr(InstCount j) const { return memEvAddr_[j]; }
+    bool
+    memIsStore(InstCount j) const
+    {
+        return (storeWords_[j >> 6] >> (j & 63)) & 1;
+    }
+
+    /** Index of the first branch event at position >= @a pos. */
+    InstCount firstBranchAtOrAfter(InstCount pos) const;
+    /** Index of the first memory event at position >= @a pos. */
+    InstCount firstMemAtOrAfter(InstCount pos) const;
+    /** Index of the run containing position @a pos (pos < size()). */
+    InstCount runContaining(InstCount pos) const;
+
     /** Size of the instruction arrays in bytes (stat reporting). */
     std::size_t payloadBytes() const;
 
@@ -105,7 +182,7 @@ class CompiledTrace
     void save(const std::string &path) const;
 
     /**
-     * The complete elfsim-trace-v1 image (header + sections) as a
+     * The complete elfsim-trace-v2 image (header + sections) as a
      * byte buffer — exactly the bytes save() writes. This is how the
      * distributed coordinator ships a compiled trace to its workers:
      * the wire payload carries the same magic / key / size / checksum
@@ -124,7 +201,7 @@ class CompiledTrace
     load(const std::string &path, std::uint64_t expect_key);
 
     /**
-     * Rebuild a trace from an in-memory elfsim-trace-v1 image (the
+     * Rebuild a trace from an in-memory elfsim-trace-v2 image (the
      * receive side of serialized()), with the same magic / key / size
      * / checksum validation as load(). @a what names the image in
      * error messages. Throws ParseError on any defect.
@@ -139,7 +216,7 @@ class CompiledTrace
   private:
     CompiledTrace() = default;
 
-    /** Validate + adopt one complete elfsim-trace-v1 image (shared by
+    /** Validate + adopt one complete elfsim-trace-v2 image (shared by
      *  the file and in-memory load paths); @a backing keeps @a data
      *  alive for the views, @a what names the image in errors. */
     static std::shared_ptr<const CompiledTrace>
@@ -151,6 +228,10 @@ class CompiledTrace
     std::uint64_t key_ = 0;
     OracleGen end_;
 
+    InstCount nBranch_ = 0;
+    InstCount nRun_ = 0;
+    InstCount nMem_ = 0;
+
     // Array views: into the owned vectors after compile(), into the
     // backing file (or its heap copy) after load().
     const std::uint64_t *takenWords_ = nullptr;
@@ -158,10 +239,32 @@ class CompiledTrace
     const Addr *memAddr_ = nullptr;
     const std::uint32_t *siIdx_ = nullptr;
 
+    const Addr *branchPC_ = nullptr;
+    const Addr *branchTarget_ = nullptr;
+    const Addr *runPC_ = nullptr;
+    const Addr *memPC_ = nullptr;
+    const Addr *memEvAddr_ = nullptr;
+    const std::uint64_t *storeWords_ = nullptr;
+    const std::uint32_t *branchPos_ = nullptr;
+    const std::uint32_t *runPos_ = nullptr;
+    const std::uint32_t *memPos_ = nullptr;
+    const std::uint8_t *branchKind_ = nullptr;
+
     std::vector<std::uint64_t> ownTaken_;
     std::vector<Addr> ownNextPC_;
     std::vector<Addr> ownMemAddr_;
     std::vector<std::uint32_t> ownSiIdx_;
+
+    std::vector<Addr> ownBranchPC_;
+    std::vector<Addr> ownBranchTarget_;
+    std::vector<Addr> ownRunPC_;
+    std::vector<Addr> ownMemPC_;
+    std::vector<Addr> ownMemEvAddr_;
+    std::vector<std::uint64_t> ownStoreWords_;
+    std::vector<std::uint32_t> ownBranchPos_;
+    std::vector<std::uint32_t> ownRunPos_;
+    std::vector<std::uint32_t> ownMemPos_;
+    std::vector<std::uint8_t> ownBranchKind_;
 
     /** Keeps a file mapping (or heap image) alive for the views. */
     std::shared_ptr<void> backing_;

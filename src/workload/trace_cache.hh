@@ -10,7 +10,7 @@
  *
  * With a cache directory configured (--trace-cache DIR on the benches,
  * $ELFSIM_TRACE_CACHE, or TraceCache::setDirectory), traces also
- * persist across processes as content-keyed "elfsim-trace-v1" files:
+ * persist across processes as content-keyed "elfsim-trace-v2" files:
  * the first process of a campaign compiles and saves, the rest map the
  * file read-only. Staleness and corruption are detected by the file's
  * key and checksum; any load failure logs a warning and falls back to
@@ -82,7 +82,7 @@ class TraceCache
     /**
      * Memoize an externally supplied trace under its own content key
      * (the distributed worker's install path: the coordinator ships a
-     * validated elfsim-trace-v1 image, and every later acquire() of
+     * validated elfsim-trace-v2 image, and every later acquire() of
      * the same content becomes a memo hit instead of a compile). An
      * existing memo entry for the key is kept — the contents are
      * identical by construction. No counters change: installs are

@@ -227,11 +227,19 @@ TEST(Sampling, CheckpointedRerunIsByteIdenticalAndSkipsFastForward)
     EXPECT_EQ(d.loadFailures, 0u);
 
     // The warm run must reproduce the cold run bit-exactly —
-    // everything but the checkpoint traffic counters.
+    // everything but the checkpoint traffic counters and the
+    // functional-warming work split (a checkpointed rerun skips the
+    // fast-forward entirely, so its warm.* counters are zero).
     RunResult a = cold, b = warm;
     a.sampling.ckptHits = b.sampling.ckptHits = 0;
     a.sampling.ckptMisses = b.sampling.ckptMisses = 0;
     a.sampling.ckptSaves = b.sampling.ckptSaves = 0;
+    EXPECT_EQ(warm.sampling.warmFfInsts, 0u);
+    a.sampling.warmKernelInsts = b.sampling.warmKernelInsts = 0;
+    a.sampling.warmScalarInsts = b.sampling.warmScalarInsts = 0;
+    a.sampling.warmBranchEvents = b.sampling.warmBranchEvents = 0;
+    a.sampling.warmLinesTouched = b.sampling.warmLinesTouched = 0;
+    a.sampling.warmFfInsts = b.sampling.warmFfInsts = 0;
     EXPECT_EQ(toJson(a), toJson(b));
 }
 
@@ -289,6 +297,13 @@ TEST(Sampling, CorruptCheckpointsFallBackToFastForward)
         g.sampling.ckptHits = warm.sampling.ckptHits = 0;
         g.sampling.ckptMisses = warm.sampling.ckptMisses = 0;
         g.sampling.ckptSaves = warm.sampling.ckptSaves = 0;
+        g.sampling.warmKernelInsts = warm.sampling.warmKernelInsts = 0;
+        g.sampling.warmScalarInsts = warm.sampling.warmScalarInsts = 0;
+        g.sampling.warmBranchEvents = warm.sampling.warmBranchEvents =
+            0;
+        g.sampling.warmLinesTouched = warm.sampling.warmLinesTouched =
+            0;
+        g.sampling.warmFfInsts = warm.sampling.warmFfInsts = 0;
         EXPECT_EQ(toJson(g), toJson(warm));
     }
 }

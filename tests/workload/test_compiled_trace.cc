@@ -223,6 +223,105 @@ TEST(CompiledTrace, LoadRejectsBadMagicStaleKeyAndTruncation)
     std::remove(path.c_str());
 }
 
+// The v2 warming side tables are a pure re-indexing of the per-inst
+// arrays: re-derive all three from siIndex/taken/nextPC/memAddr and
+// the static image, and require the stored tables — and the binary
+// searches over them — to agree exactly, for every catalog workload
+// and after a disk round trip.
+TEST(CompiledTrace, SideTablesMatchPerInstArraysAcrossCatalog)
+{
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        const Program prog = buildWorkload(w);
+        const auto compiled = CompiledTrace::compile(prog, 5000);
+        const std::string path = tempPath("trace_side.etrace");
+        compiled->save(path);
+        const auto loaded =
+            CompiledTrace::load(path, compiled->cacheKey());
+        std::remove(path.c_str());
+
+        const StaticInst *image = prog.instructions().data();
+        for (const auto &t : {compiled, loaded}) {
+            InstCount b = 0, r = 0, m = 0;
+            bool newRun = true;
+            for (InstCount i = 0; i < t->size(); ++i) {
+                const StaticInst &si = image[t->siIndex(i)];
+                if (newRun) {
+                    ASSERT_LT(r, t->numRuns()) << w.name;
+                    ASSERT_EQ(t->runPos(r), i) << w.name;
+                    ASSERT_EQ(t->runPC(r), si.pc) << w.name;
+                    ASSERT_EQ(t->runContaining(i), r) << w.name;
+                    ++r;
+                }
+                ASSERT_EQ(t->runContaining(i), r - 1) << w.name;
+                if (si.branch != BranchKind::None) {
+                    ASSERT_LT(b, t->numBranchEvents()) << w.name;
+                    ASSERT_EQ(t->firstBranchAtOrAfter(i), b) << w.name;
+                    ASSERT_EQ(t->branchPos(b), i) << w.name;
+                    ASSERT_EQ(t->branchPC(b), si.pc) << w.name;
+                    ASSERT_EQ(t->branchTarget(b), t->nextPC(i))
+                        << w.name;
+                    ASSERT_EQ(t->branchKind(b), si.branch) << w.name;
+                    ASSERT_EQ(t->branchTaken(b), t->taken(i)) << w.name;
+                    ++b;
+                }
+                if (si.isMemInst()) {
+                    ASSERT_LT(m, t->numMemEvents()) << w.name;
+                    ASSERT_EQ(t->firstMemAtOrAfter(i), m) << w.name;
+                    ASSERT_EQ(t->memPos(m), i) << w.name;
+                    ASSERT_EQ(t->memPC(m), si.pc) << w.name;
+                    ASSERT_EQ(t->memEvAddr(m), t->memAddr(i)) << w.name;
+                    ASSERT_EQ(t->memIsStore(m), si.isStore()) << w.name;
+                    ++m;
+                }
+                newRun = t->taken(i);
+            }
+            EXPECT_EQ(b, t->numBranchEvents()) << w.name;
+            EXPECT_EQ(r, t->numRuns()) << w.name;
+            EXPECT_EQ(m, t->numMemEvents()) << w.name;
+        }
+    }
+}
+
+// A v1-era artifact (the pre-side-table format) must demote to a
+// transparent recompile — never a failed acquisition — and the
+// recompile overwrites the stale file with a loadable v2 image.
+TEST(TraceCache, V1ArtifactTransparentlyRecompiles)
+{
+    ScopedCacheDir scope(testing::TempDir() + "elfsim_trace_v1fb");
+    TraceCache &cache = TraceCache::instance();
+    const Program prog = microBtbMissChain(512, 6);
+
+    const auto first = cache.acquire(prog, 3000);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(cache.stats().compiles, 1u);
+    const std::string path = cache.filePath(prog, 3000);
+    ASSERT_FALSE(path.empty());
+
+    // Stamp the artifact with the retired v1 magic. Nothing else in
+    // the file changes — magic rejection alone must trigger the
+    // fallback.
+    std::string bytes = slurp(path);
+    ASSERT_GE(bytes.size(), std::size_t(16));
+    ASSERT_NE(bytes.find("elfsim-trace-v2"), std::string::npos);
+    bytes[14] = '1';
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), std::streamsize(bytes.size()));
+    }
+
+    cache.clearMemory();  // also zeroes the stats counters
+    const auto second = cache.acquire(prog, 3000);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(cache.stats().compiles, 1u);
+    EXPECT_EQ(cache.stats().cacheHits, 0u);
+    EXPECT_EQ(second->cacheKey(), first->cacheKey());
+    EXPECT_EQ(second->size(), first->size());
+
+    // The refreshed artifact is v2 again and loads cleanly.
+    EXPECT_NE(slurp(path).find("elfsim-trace-v2"), std::string::npos);
+    EXPECT_NO_THROW(CompiledTrace::load(path, first->cacheKey()));
+}
+
 TEST(TraceCache, MemoizesAndSharesOneTracePerContent)
 {
     ScopedCacheDir scoped(""); // memory-only
